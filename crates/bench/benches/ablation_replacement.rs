@@ -1,0 +1,58 @@
+//! Ablation — L2 replacement policy.
+//!
+//! The Set Affinity bound reasons about when "the cached data in this
+//! specific set will be replaced by new reference", which is an LRU-style
+//! argument. This ablation measures how SP's gain and its pollution
+//! respond when the shared L2 uses FIFO, random, or tree-PLRU
+//! replacement instead — the bound still predicts the degradation knee
+//! under recency-based policies, while random replacement blurs it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_cachesim::{CacheConfig, Policy};
+use sp_core::{run_original, run_sp, SpParams};
+use sp_workloads::{Benchmark, Workload};
+
+const POLICIES: [(&str, Policy); 4] = [
+    ("lru", Policy::Lru),
+    ("fifo", Policy::Fifo),
+    ("random", Policy::Random { seed: 0xC0FFEE }),
+    ("plru", Policy::PlruTree),
+];
+
+fn print_series() {
+    let trace = Workload::scaled(Benchmark::Em3d).trace();
+    println!("\n== Ablation: L2 replacement policy (EM3D) ==");
+    println!("  policy  distance  runtime_norm  pollution");
+    for (name, pol) in POLICIES {
+        let cfg = CacheConfig::scaled_default().with_policy(pol);
+        let base = run_original(&trace, cfg);
+        for d in [20u32, 320] {
+            let sp = run_sp(&trace, cfg, SpParams::from_distance_rp(d, 0.5));
+            println!(
+                "  {:6}  {:8}  {:12.3}  {:9}",
+                name,
+                d,
+                sp.runtime as f64 / base.runtime as f64,
+                sp.stats.pollution.total()
+            );
+        }
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let trace = Workload::scaled(Benchmark::Em3d).trace();
+    let mut g = c.benchmark_group("ablation/replacement");
+    g.sample_size(10);
+    for (name, pol) in POLICIES {
+        let cfg = CacheConfig::scaled_default().with_policy(pol);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, &cfg| {
+            b.iter(|| run_sp(&trace, cfg, SpParams::from_distance_rp(20, 0.5)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 2 — EM3D performance vs growing prefetch distance.
+//!
+//! Prints the three normalized series (runtime, memory accesses, hot
+//! L2 misses — the paper's Fig. 2 curves), then times the underlying
+//! original and SP co-simulations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_bench::experiments::fig2;
+use sp_cachesim::CacheConfig;
+use sp_core::{run_original, run_sp, SpParams};
+use sp_workloads::{Benchmark, Workload};
+
+fn print_fig2() {
+    let s = fig2(CacheConfig::scaled_default());
+    println!("\n== Figure 2 (regenerated): EM3D, normalized to original ==");
+    println!("  distance  runtime  mem_accesses  hot_misses");
+    for p in &s.points {
+        println!(
+            "  {:8}  {:7.3}  {:12.3}  {:10.3}",
+            p.distance, p.runtime_norm, p.memory_accesses_norm, p.hot_misses_norm
+        );
+    }
+    println!("  paper shape: all three curves rise with growing distance\n");
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    print_fig2();
+    let trace = Workload::scaled(Benchmark::Em3d).trace();
+    let cfg = CacheConfig::scaled_default();
+    let mut g = c.benchmark_group("fig2/em3d_cosim");
+    g.sample_size(10);
+    g.bench_function("original", |b| b.iter(|| run_original(&trace, cfg)));
+    for d in [20u32, 160] {
+        g.bench_with_input(BenchmarkId::new("sp", d), &d, |b, &d| {
+            b.iter(|| run_sp(&trace, cfg, SpParams::from_distance_rp(d, 0.5)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figure 4 — EM3D access-behaviour change and normalized runtime vs
+//! prefetch distance.
+//!
+//! Prints the Δtotally-hit / Δtotally-miss / Δpartially-hit series (in %
+//! of the original run's memory accesses, the paper's normalization) and
+//! the runtime curve, then times the SP co-simulation below and above
+//! the Set-Affinity distance bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_bench::experiments::fig_behavior;
+use sp_cachesim::CacheConfig;
+use sp_core::{run_sp, SpParams};
+use sp_workloads::{Benchmark, Workload};
+
+const BENCH: Benchmark = Benchmark::Em3d;
+
+fn print_series() {
+    let s = fig_behavior(BENCH, CacheConfig::scaled_default());
+    println!(
+        "\n== Figure 4 (regenerated): {} behaviour change, bound={:?} ==",
+        s.benchmark, s.bound
+    );
+    println!("  distance  dTH%     dTM%     dPH%     runtime  pollution");
+    for p in &s.sweep.points {
+        println!(
+            "  {:8}  {:+7.2}  {:+7.2}  {:+7.2}  {:7.3}  {:9}",
+            p.distance,
+            p.behavior.totally_hit_pct,
+            p.behavior.totally_miss_pct,
+            p.behavior.partially_hit_pct,
+            p.runtime_norm,
+            p.pollution.stats.total()
+        );
+    }
+    println!("  paper shape: totally-hits fall and runtime rises as distance grows\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let trace = Workload::scaled(BENCH).trace();
+    let cfg = CacheConfig::scaled_default();
+    let mut g = c.benchmark_group("fig4/em3d_sp");
+    g.sample_size(10);
+    for d in [20u32, 320] {
+        g.bench_with_input(BenchmarkId::new("distance", d), &d, |b, &d| {
+            b.iter(|| run_sp(&trace, cfg, SpParams::from_distance_rp(d, 0.5)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,404 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! reproduce [table1|table2|fig2|fig4|fig5|fig6|all] [--out DIR]
+//! ```
+//!
+//! Prints aligned text tables (with the paper's reference values beside
+//! the measured ones) and writes one CSV per artifact under `--out`
+//! (default `results/`).
+
+use sp_bench::experiments::{
+    self, fig2, fig_behavior, selection, table2, table2_paper, SELECTION_THRESHOLD,
+};
+use sp_bench::plot::{line_chart, save_svg, ChartConfig, Series};
+use sp_bench::report::{render_table, write_csv};
+use sp_cachesim::CacheConfig;
+use sp_core::Sweep;
+use sp_workloads::Benchmark;
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut what = "all".to_string();
+    let mut out = PathBuf::from("results");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                out = PathBuf::from(it.next().expect("--out needs a directory"));
+            }
+            other if !other.starts_with('-') => what = other.to_string(),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let cfg = CacheConfig::scaled_default();
+    let run_all = what == "all";
+    if run_all || what == "table1" {
+        print_table1(&cfg);
+    }
+    if run_all || what == "table2" {
+        print_table2(&cfg, &out);
+    }
+    if run_all || what == "selection" {
+        print_selection(&cfg, &out);
+    }
+    if what == "table2paper" {
+        // Not part of `all`: streams ~2x10^8 references (about a minute).
+        print_table2_paper(&out);
+    }
+    if run_all || what == "fig2" {
+        print_fig2(cfg, &out);
+    }
+    for (name, b) in [
+        ("fig4", Benchmark::Em3d),
+        ("fig5", Benchmark::Mcf),
+        ("fig6", Benchmark::Mst),
+    ] {
+        if run_all || what == name {
+            print_fig_behavior(name, b, cfg, &out);
+        }
+    }
+    if !run_all
+        && ![
+            "table1",
+            "table2",
+            "table2paper",
+            "selection",
+            "fig2",
+            "fig4",
+            "fig5",
+            "fig6",
+        ]
+        .contains(&what.as_str())
+    {
+        eprintln!(
+            "unknown artifact {what}; expected table1|table2|table2paper|selection|fig2|fig4|fig5|fig6|all"
+        );
+        std::process::exit(2);
+    }
+}
+
+fn print_table1(cfg: &CacheConfig) {
+    println!("== Table 1: hardware system (simulated substitute) ==\n");
+    let paper = CacheConfig::core2_q6600();
+    let geo = |c: &CacheConfig| {
+        vec![
+            format!(
+                "{}KB, {}-way, {}B lines",
+                c.l1.size_bytes / 1024,
+                c.l1.ways,
+                c.l1.line_size
+            ),
+            format!(
+                "{}KB shared, {}-way, {}B lines ({} sets)",
+                c.l2.size_bytes / 1024,
+                c.l2.ways,
+                c.l2.line_size,
+                c.l2.sets()
+            ),
+        ]
+    };
+    let (p, s) = (geo(&paper), geo(cfg));
+    let rows = vec![
+        vec![
+            "Processor".into(),
+            "Intel Core 2 Quad Q6600".into(),
+            "2-core CMP simulator".into(),
+        ],
+        vec!["L1 DCache".into(), p[0].clone(), s[0].clone()],
+        vec!["L2 unified".into(), p[1].clone(), s[1].clone()],
+        vec![
+            "Latencies".into(),
+            "(hardware)".into(),
+            format!(
+                "L1 {}cy, L2 {}cy, mem {}cy, bus {}cy/line",
+                cfg.latency.l1_hit, cfg.latency.l2_hit, cfg.latency.mem, cfg.latency.bus_service
+            ),
+        ],
+        vec![
+            "Prefetchers".into(),
+            "2x streamer + 2x DPL".into(),
+            format!(
+                "per-core streamer (deg {}) + DPL (deg {}), {}",
+                cfg.stream_degree,
+                cfg.dpl_degree,
+                if cfg.hw_prefetchers {
+                    "enabled"
+                } else {
+                    "disabled"
+                }
+            ),
+        ],
+        vec![
+            "OS".into(),
+            "Fedora 9, kernel 2.6.25".into(),
+            "n/a (simulated)".into(),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(
+            &["component", "paper (Table 1)", "this reproduction"],
+            &rows
+        )
+    );
+}
+
+fn print_table2(cfg: &CacheConfig, out: &Path) {
+    println!("== Table 2: benchmark characteristics ==\n");
+    let paper_ranges = [
+        ("EM3D", "[40, 360]"),
+        ("MCF", "[3000, 46000]"),
+        ("MST", "[6300, 10000]"),
+    ];
+    let rows_data = table2(cfg);
+    let fmt_range = |r: Option<(u32, u32)>| match r {
+        Some((a, b)) => format!("[{a}, {b}]"),
+        None => "(no overflow)".into(),
+    };
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .zip(paper_ranges)
+        .map(|(r, (_, paper_sa))| {
+            vec![
+                r.benchmark.to_string(),
+                r.input.clone(),
+                r.iterations.to_string(),
+                fmt_range(r.sa_range),
+                fmt_range(r.sa_sampled),
+                paper_sa.to_string(),
+                r.distance_bound
+                    .map(|d| d.to_string())
+                    .unwrap_or("-".into()),
+                format!("{:.3}", r.calr),
+                format!("{:.2}", r.rp),
+            ]
+        })
+        .collect();
+    let header = [
+        "benchmark",
+        "input (scaled)",
+        "outer iters",
+        "SA(L,Sx) full",
+        "SA(L,Sx) sampled",
+        "paper SA",
+        "dist bound",
+        "CALR",
+        "RP",
+    ];
+    println!("{}", render_table(&header, &rows));
+    write_csv(&out.join("table2.csv"), &header, &rows).expect("write table2.csv");
+}
+
+fn print_table2_paper(out: &Path) {
+    println!("== Table 2 at PAPER scale: paper inputs on the 4MB 16-way L2 ==");
+    println!("   (streaming analysis; takes a minute)\n");
+    let rows_data = table2_paper(10_000);
+    let fmt = |r: Option<(u32, u32)>| match r {
+        Some((a, b)) => format!("[{a}, {b}]"),
+        None => "(no overflow)".into(),
+    };
+    let header = [
+        "benchmark",
+        "input",
+        "SA(L,Sx) measured",
+        "paper SA",
+        "bound",
+        "paper bound",
+    ];
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.to_string(),
+                r.input.clone(),
+                fmt(r.sa_range),
+                r.paper_range.to_string(),
+                r.distance_bound
+                    .map(|d| format!("< {}", d + 1))
+                    .unwrap_or("-".into()),
+                r.paper_bound.to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&header, &rows));
+    write_csv(&out.join("table2_paper.csv"), &header, &rows).expect("write table2_paper.csv");
+}
+
+fn print_selection(cfg: &CacheConfig, out: &Path) {
+    println!(
+        "== Benchmark selection (paper SIV.B): L2-miss cycle share, threshold {:.0}% ==\n",
+        SELECTION_THRESHOLD * 100.0
+    );
+    let header = [
+        "candidate",
+        "miss cycles",
+        "total cycles",
+        "miss share",
+        "verdict",
+        "paper",
+    ];
+    let rows: Vec<Vec<String>> = selection(cfg)
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.profile.miss_cycles.to_string(),
+                r.profile.total().to_string(),
+                format!("{:.1}%", r.profile.miss_share() * 100.0),
+                if r.selected {
+                    "selected".into()
+                } else {
+                    "rejected".into()
+                },
+                match r.name.as_str() {
+                    "EM3D" | "MCF" | "MST" => "selected".into(),
+                    _ => "screened out".to_string(),
+                },
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&header, &rows));
+    write_csv(&out.join("selection.csv"), &header, &rows).expect("write selection.csv");
+}
+
+fn sweep_rows(s: &Sweep) -> Vec<Vec<String>> {
+    s.points
+        .iter()
+        .map(|p| {
+            vec![
+                p.distance.to_string(),
+                format!("{:.4}", p.runtime_norm),
+                format!("{:.4}", p.memory_accesses_norm),
+                format!("{:.4}", p.hot_misses_norm),
+                format!("{:.2}", p.behavior.totally_hit_pct),
+                format!("{:.2}", p.behavior.totally_miss_pct),
+                format!("{:.2}", p.behavior.partially_hit_pct),
+                p.pollution.stats.total().to_string(),
+                format!("{:.4}", p.pollution.dead_prefetch_rate),
+            ]
+        })
+        .collect()
+}
+
+const SWEEP_HEADER: [&str; 9] = [
+    "distance",
+    "runtime_norm",
+    "mem_accesses_norm",
+    "hot_misses_norm",
+    "d_totally_hit_pct",
+    "d_totally_miss_pct",
+    "d_partially_hit_pct",
+    "pollution_events",
+    "dead_prefetch_rate",
+];
+
+fn print_fig2(cfg: CacheConfig, out: &Path) {
+    println!("== Figure 2: EM3D performance vs prefetch distance ==");
+    println!("   (paper: all three normalized curves rise with distance)\n");
+    let s = fig2(cfg);
+    let rows = sweep_rows(&s);
+    println!("{}", render_table(&SWEEP_HEADER, &rows));
+    write_csv(&out.join("fig2_em3d.csv"), &SWEEP_HEADER, &rows).expect("write fig2 csv");
+    let xs: Vec<f64> = s.points.iter().map(|p| p.distance as f64).collect();
+    let series = vec![
+        Series::new(
+            "Normalized_Runtime",
+            &xs,
+            &s.points.iter().map(|p| p.runtime_norm).collect::<Vec<_>>(),
+        ),
+        Series::new(
+            "Normalized_MemoryAccesses",
+            &xs,
+            &s.points
+                .iter()
+                .map(|p| p.memory_accesses_norm)
+                .collect::<Vec<_>>(),
+        ),
+        Series::new(
+            "Normalized_HotMisses",
+            &xs,
+            &s.points
+                .iter()
+                .map(|p| p.hot_misses_norm)
+                .collect::<Vec<_>>(),
+        ),
+    ];
+    let svg = line_chart(
+        "Fig. 2: EM3D performance vs prefetch distance",
+        "prefetch distance (log)",
+        "normalized to original",
+        &series,
+        ChartConfig::default(),
+    );
+    save_svg(&out.join("fig2_em3d.svg"), &svg).expect("write fig2 svg");
+}
+
+fn print_fig_behavior(name: &str, b: Benchmark, cfg: CacheConfig, out: &Path) {
+    let series = fig_behavior(b, cfg);
+    println!(
+        "== Figure {}: {} behaviour change vs prefetch distance (bound = {:?}) ==\n",
+        &name[3..],
+        series.benchmark,
+        series.bound
+    );
+    let rows = sweep_rows(&series.sweep);
+    println!("{}", render_table(&SWEEP_HEADER, &rows));
+    let stem = format!("{name}_{}", series.benchmark.to_lowercase());
+    write_csv(&out.join(format!("{stem}.csv")), &SWEEP_HEADER, &rows).expect("write behaviour csv");
+    let pts = &series.sweep.points;
+    let xs: Vec<f64> = pts.iter().map(|p| p.distance as f64).collect();
+    let behaviour = vec![
+        Series::new(
+            "Totally_hit",
+            &xs,
+            &pts.iter()
+                .map(|p| p.behavior.totally_hit_pct)
+                .collect::<Vec<_>>(),
+        ),
+        Series::new(
+            "Totally_miss",
+            &xs,
+            &pts.iter()
+                .map(|p| p.behavior.totally_miss_pct)
+                .collect::<Vec<_>>(),
+        ),
+        Series::new(
+            "Partially_hit",
+            &xs,
+            &pts.iter()
+                .map(|p| p.behavior.partially_hit_pct)
+                .collect::<Vec<_>>(),
+        ),
+    ];
+    let fig_no = &name[3..];
+    let svg = line_chart(
+        &format!(
+            "Fig. {fig_no}(a): {} access-behaviour change (bound {:?})",
+            series.benchmark, series.bound
+        ),
+        "prefetch distance (log)",
+        "change, % of original memory accesses",
+        &behaviour,
+        ChartConfig::default(),
+    );
+    save_svg(&out.join(format!("{stem}_behavior.svg")), &svg).expect("write behaviour svg");
+    let runtime = vec![Series::new(
+        "Normalized runtime",
+        &xs,
+        &pts.iter().map(|p| p.runtime_norm).collect::<Vec<_>>(),
+    )];
+    let svg = line_chart(
+        &format!("Fig. {fig_no}(b): {} normalized runtime", series.benchmark),
+        "prefetch distance (log)",
+        "runtime / original",
+        &runtime,
+        ChartConfig::default(),
+    );
+    save_svg(&out.join(format!("{stem}_runtime.svg")), &svg).expect("write runtime svg");
+    let _ = experiments::distances_for(b);
+}

@@ -1,0 +1,26 @@
+//! # sp-bench
+//!
+//! Experiment drivers shared by the Criterion benches and the
+//! `reproduce` binary. One module per paper artifact:
+//!
+//! * `reproduce table1` — the hardware configuration (simulated).
+//! * [`experiments::table2`] — benchmark characteristics: outer-hot-loop
+//!   iterations and the Set Affinity range `SA(L, Sx)` per application.
+//! * [`experiments::fig2`] — EM3D: normalized hot misses / memory
+//!   accesses / runtime vs. prefetch distance.
+//! * [`experiments::fig_behavior`] — Figures 4–6: per-benchmark access
+//!   behaviour change and normalized runtime vs. prefetch distance.
+//!
+//! Every driver is deterministic; the `reproduce` binary prints aligned
+//! text tables and writes CSV files under `results/`.
+
+pub mod experiments;
+pub mod plot;
+pub mod report;
+
+pub use experiments::{
+    fig2, fig_behavior, table2, BehaviorSeries, Table2Row, DISTANCES_EM3D, DISTANCES_MCF,
+    DISTANCES_MST,
+};
+pub use plot::{line_chart, save_svg, ChartConfig, Series};
+pub use report::{render_table, write_csv};

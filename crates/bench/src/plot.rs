@@ -1,0 +1,345 @@
+//! Minimal dependency-free SVG line charts, so `reproduce` can emit the
+//! paper's figures as images next to the CSV data.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One line of a chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points, in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Build a series from parallel slices.
+    pub fn new(label: impl Into<String>, xs: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "xs and ys must be parallel");
+        Series {
+            label: label.into(),
+            points: xs.iter().copied().zip(ys.iter().copied()).collect(),
+        }
+    }
+}
+
+/// Chart layout parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ChartConfig {
+    /// Canvas width, px.
+    pub width: u32,
+    /// Canvas height, px.
+    pub height: u32,
+    /// Use a log10 x axis (distance sweeps span decades).
+    pub log_x: bool,
+}
+
+impl Default for ChartConfig {
+    fn default() -> Self {
+        ChartConfig {
+            width: 720,
+            height: 440,
+            log_x: true,
+        }
+    }
+}
+
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 160.0;
+const MARGIN_T: f64 = 48.0;
+const MARGIN_B: f64 = 56.0;
+const COLORS: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+];
+
+fn nice_ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    if hi <= lo {
+        return vec![lo];
+    }
+    let span = hi - lo;
+    let raw = span / n as f64;
+    let mag = 10f64.powf(raw.log10().floor());
+    let step = [1.0, 2.0, 2.5, 5.0, 10.0]
+        .iter()
+        .map(|m| m * mag)
+        .find(|s| span / s <= n as f64)
+        .unwrap_or(mag * 10.0);
+    let start = (lo / step).ceil() * step;
+    let mut out = Vec::new();
+    let mut t = start;
+    while t <= hi + 1e-9 * span {
+        out.push(t);
+        t += step;
+    }
+    out
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{:.0}", v)
+    } else if v.abs() >= 10.0 {
+        format!("{:.1}", v).trim_end_matches(".0").to_string()
+    } else {
+        format!("{:.2}", v)
+            .trim_end_matches('0')
+            .trim_end_matches('.')
+            .to_string()
+    }
+}
+
+/// Render a line chart as an SVG document.
+pub fn line_chart(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+    cfg: ChartConfig,
+) -> String {
+    assert!(!series.is_empty(), "need at least one series");
+    let tx = |x: f64| if cfg.log_x { x.max(1e-12).log10() } else { x };
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, y)| (tx(x), y)))
+        .collect();
+    assert!(!all.is_empty(), "series must contain points");
+    let (mut x_lo, mut x_hi) = all.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| {
+        (lo.min(x), hi.max(x))
+    });
+    let (mut y_lo, mut y_hi) = all.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| {
+        (lo.min(y), hi.max(y))
+    });
+    if x_lo == x_hi {
+        x_lo -= 0.5;
+        x_hi += 0.5;
+    }
+    if y_lo == y_hi {
+        y_lo -= 0.5;
+        y_hi += 0.5;
+    }
+    // Pad y a little.
+    let pad = (y_hi - y_lo) * 0.06;
+    y_lo -= pad;
+    y_hi += pad;
+
+    let w = cfg.width as f64;
+    let h = cfg.height as f64;
+    let plot_w = w - MARGIN_L - MARGIN_R;
+    let plot_h = h - MARGIN_T - MARGIN_B;
+    let px = |x: f64| MARGIN_L + (tx(x) - x_lo) / (x_hi - x_lo) * plot_w;
+    let py = |y: f64| MARGIN_T + (1.0 - (y - y_lo) / (y_hi - y_lo)) * plot_h;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif">"#
+    );
+    let _ = writeln!(svg, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+    let _ = writeln!(
+        svg,
+        r#"<text x="{}" y="24" font-size="15" font-weight="bold">{}</text>"#,
+        MARGIN_L,
+        xml_escape(title)
+    );
+    // Axes frame.
+    let _ = writeln!(
+        svg,
+        r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#333"/>"##
+    );
+    // Y ticks + gridlines.
+    for t in nice_ticks(y_lo, y_hi, 6) {
+        let y = py(t);
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
+            MARGIN_L + plot_w
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="end">{}</text>"#,
+            MARGIN_L - 6.0,
+            y + 4.0,
+            fmt_num(t)
+        );
+    }
+    // X ticks: at the data points (sweeps have few, meaningful x values).
+    let mut xs: Vec<f64> = series[0].points.iter().map(|&(x, _)| x).collect();
+    xs.dedup();
+    for &x in &xs {
+        let xp = px(x);
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{xp:.1}" y1="{:.1}" x2="{xp:.1}" y2="{:.1}" stroke="#333"/>"##,
+            MARGIN_T + plot_h,
+            MARGIN_T + plot_h + 5.0
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{xp:.1}" y="{:.1}" font-size="11" text-anchor="middle">{}</text>"#,
+            MARGIN_T + plot_h + 18.0,
+            fmt_num(x)
+        );
+    }
+    // Axis labels.
+    let _ = writeln!(
+        svg,
+        r#"<text x="{:.1}" y="{:.1}" font-size="12" text-anchor="middle">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        h - 12.0,
+        xml_escape(x_label)
+    );
+    let _ = writeln!(
+        svg,
+        r#"<text x="16" y="{:.1}" font-size="12" text-anchor="middle" transform="rotate(-90 16 {:.1})">{}</text>"#,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        xml_escape(y_label)
+    );
+    // Series.
+    for (i, s) in series.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        let pts: Vec<String> = s
+            .points
+            .iter()
+            .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+            .collect();
+        let _ = writeln!(
+            svg,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+            pts.join(" ")
+        );
+        for &(x, y) in &s.points {
+            let _ = writeln!(
+                svg,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                px(x),
+                py(y)
+            );
+        }
+        // Legend.
+        let ly = MARGIN_T + 16.0 + i as f64 * 18.0;
+        let lx = MARGIN_L + plot_w + 12.0;
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/>"#,
+            lx + 18.0
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{}" y="{}" font-size="11">{}</text>"#,
+            lx + 24.0,
+            ly + 4.0,
+            xml_escape(&s.label)
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Write an SVG document to `path`, creating parent directories.
+pub fn save_svg(path: &Path, svg: &str) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, svg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Vec<Series> {
+        vec![
+            Series::new("a", &[1.0, 10.0, 100.0], &[0.5, 0.6, 1.2]),
+            Series::new("b", &[1.0, 10.0, 100.0], &[1.0, 1.0, 1.0]),
+        ]
+    }
+
+    #[test]
+    fn chart_contains_all_structural_elements() {
+        let svg = line_chart(
+            "T",
+            "distance",
+            "normalized",
+            &demo(),
+            ChartConfig::default(),
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains(">T<"));
+        assert!(svg.contains("distance"));
+        assert!(svg.contains(">a<") && svg.contains(">b<"));
+    }
+
+    #[test]
+    fn chart_is_deterministic() {
+        let c = ChartConfig::default();
+        assert_eq!(
+            line_chart("T", "x", "y", &demo(), c),
+            line_chart("T", "x", "y", &demo(), c)
+        );
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let s = vec![Series::new("<evil> & co", &[1.0], &[1.0])];
+        let svg = line_chart("a<b", "x", "y", &s, ChartConfig::default());
+        assert!(!svg.contains("<evil>"));
+        assert!(svg.contains("&lt;evil&gt; &amp; co"));
+    }
+
+    #[test]
+    fn nice_ticks_cover_the_range() {
+        let ticks = nice_ticks(0.0, 1.0, 6);
+        assert!(ticks.len() >= 3 && ticks.len() <= 8);
+        assert!(*ticks.first().unwrap() >= 0.0);
+        assert!(*ticks.last().unwrap() <= 1.0 + 1e-9);
+        // Degenerate range.
+        assert_eq!(nice_ticks(5.0, 5.0, 4), vec![5.0]);
+    }
+
+    #[test]
+    fn single_point_series_renders() {
+        let s = vec![Series::new("p", &[42.0], &[0.7])];
+        let svg = line_chart(
+            "one",
+            "x",
+            "y",
+            &s,
+            ChartConfig {
+                log_x: false,
+                ..Default::default()
+            },
+        );
+        assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one series")]
+    fn empty_chart_rejected() {
+        let _ = line_chart("t", "x", "y", &[], ChartConfig::default());
+    }
+
+    #[test]
+    fn save_writes_file() {
+        let dir = std::env::temp_dir().join("sp_plot_test");
+        let path = dir.join("t.svg");
+        save_svg(
+            &path,
+            &line_chart("t", "x", "y", &demo(), ChartConfig::default()),
+        )
+        .unwrap();
+        assert!(std::fs::read_to_string(&path).unwrap().contains("<svg"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,121 @@
+//! Plain-text table rendering and CSV output for the `reproduce` binary.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Render rows as an aligned text table. `header` and every row must
+/// have the same number of columns.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (w, cell) in widths.iter_mut().zip(r) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, (c, w)) in cells.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(c);
+            out.extend(std::iter::repeat_n(' ', w - c.len()));
+        }
+        // Trim trailing padding.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    line(
+        &mut out,
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.extend(std::iter::repeat_n('-', rule));
+    out.push('\n');
+    for r in rows {
+        line(&mut out, r);
+    }
+    out
+}
+
+/// Write rows as CSV (naive quoting: fields containing commas or quotes
+/// are double-quoted). Creates parent directories as needed.
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let quote = |s: &str| {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    writeln!(
+        f,
+        "{}",
+        header
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(",")
+    )?;
+    for r in rows {
+        writeln!(
+            f,
+            "{}",
+            r.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
+        )?;
+    }
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let s = render_table(
+            &["name", "v"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "name    v");
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(lines[2], "a       1");
+        assert_eq!(lines[3], "longer  22");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let _ = render_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn csv_quotes_special_fields() {
+        let dir = std::env::temp_dir().join("sp_bench_csv_test");
+        let path = dir.join("t.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[
+                vec!["x,y".into(), "plain".into()],
+                vec!["q\"q".into(), "2".into()],
+            ],
+        )
+        .unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(s, "a,b\n\"x,y\",plain\n\"q\"\"q\",2\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,331 @@
+//! One set-associative cache level.
+
+use crate::geometry::CacheGeometry;
+use crate::replacement::{Policy, PolicyEngine};
+use crate::stats::Entity;
+use sp_trace::VAddr;
+
+/// Metadata of one cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Line {
+    /// Whether the line holds valid data.
+    pub valid: bool,
+    /// Tag of the cached block.
+    pub tag: u64,
+    /// Entity whose request filled the line.
+    pub filler: Entity,
+    /// `true` if the fill was speculative (software or hardware prefetch).
+    pub prefetched: bool,
+    /// `true` once a demand access has touched the line since its fill.
+    pub used_since_fill: bool,
+    /// `true` if the line has been written.
+    pub dirty: bool,
+}
+
+impl Line {
+    fn invalid() -> Self {
+        Line {
+            valid: false,
+            tag: 0,
+            filler: Entity::Main,
+            prefetched: false,
+            used_since_fill: false,
+            dirty: false,
+        }
+    }
+}
+
+/// What a fill displaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Block address of the displaced line.
+    pub block: VAddr,
+    /// Who had filled the displaced line.
+    pub filler: Entity,
+    /// Whether the displaced line had been brought in by a prefetch.
+    pub prefetched: bool,
+    /// Whether the displaced line had been demanded since its fill.
+    pub used_since_fill: bool,
+    /// Whether the displaced line was dirty.
+    pub dirty: bool,
+}
+
+/// A single set-associative cache level with pluggable replacement.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    geo: CacheGeometry,
+    lines: Vec<Line>,
+    engine: PolicyEngine,
+}
+
+impl SetAssocCache {
+    /// An empty cache of the given geometry and policy.
+    pub fn new(geo: CacheGeometry, policy: Policy) -> Self {
+        let n = geo.lines() as usize;
+        SetAssocCache {
+            geo,
+            lines: vec![Line::invalid(); n],
+            engine: PolicyEngine::new(policy, geo.sets() as usize, geo.ways as usize),
+        }
+    }
+
+    /// This cache's geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geo
+    }
+
+    fn line_index(&self, set: u64, way: usize) -> usize {
+        set as usize * self.geo.ways as usize + way
+    }
+
+    /// Find the way holding `addr`'s block, without touching any state.
+    pub fn probe(&self, addr: VAddr) -> Option<usize> {
+        let set = self.geo.set_of(addr);
+        let tag = self.geo.tag_of(addr);
+        (0..self.geo.ways as usize).find(|&w| {
+            let l = &self.lines[self.line_index(set, w)];
+            l.valid && l.tag == tag
+        })
+    }
+
+    /// `true` if `addr`'s block is cached.
+    pub fn contains(&self, addr: VAddr) -> bool {
+        self.probe(addr).is_some()
+    }
+
+    /// Record a demand access that hits. Returns the line's pre-touch
+    /// metadata, or `None` on a miss (in which case nothing changes).
+    ///
+    /// On a hit the line is promoted per the replacement policy, its
+    /// `used_since_fill` bit is set, and `is_store` marks it dirty.
+    pub fn demand_touch(&mut self, addr: VAddr, is_store: bool) -> Option<Line> {
+        self.touch(addr, is_store, true)
+    }
+
+    /// Like [`demand_touch`](Self::demand_touch), but with control over
+    /// whether the touch counts as a *use* of the line. Helper-thread
+    /// accesses promote the line but do not mark it used: the pollution
+    /// cases of the paper (§II.C) are about data "used by the processor",
+    /// i.e. the main thread.
+    pub fn touch(&mut self, addr: VAddr, is_store: bool, mark_used: bool) -> Option<Line> {
+        let way = self.probe(addr)?;
+        let set = self.geo.set_of(addr);
+        let idx = self.line_index(set, way);
+        let before = self.lines[idx];
+        if mark_used {
+            self.lines[idx].used_since_fill = true;
+        }
+        if is_store {
+            self.lines[idx].dirty = true;
+        }
+        self.engine.on_hit(set as usize, way);
+        Some(before)
+    }
+
+    /// Fill `addr`'s block on behalf of `filler`.
+    ///
+    /// `prefetched` distinguishes speculative fills (their first demand
+    /// touch counts as a *useful* prefetch; eviction before any touch
+    /// counts as pollution). If the block is already present, the fill is
+    /// a no-op other than a policy promotion and returns `None`.
+    /// Otherwise, returns the displaced line's metadata if a valid line
+    /// had to be evicted.
+    pub fn fill(&mut self, addr: VAddr, filler: Entity, prefetched: bool) -> Option<Evicted> {
+        let set = self.geo.set_of(addr);
+        let tag = self.geo.tag_of(addr);
+        if let Some(way) = self.probe(addr) {
+            self.engine.on_fill(set as usize, way);
+            return None;
+        }
+        // Prefer an invalid way; otherwise ask the policy for a victim.
+        let way = (0..self.geo.ways as usize)
+            .find(|&w| !self.lines[self.line_index(set, w)].valid)
+            .unwrap_or_else(|| self.engine.victim(set as usize));
+        let idx = self.line_index(set, way);
+        let old = self.lines[idx];
+        let evicted = old.valid.then(|| Evicted {
+            block: self.geo.block_from(set, old.tag),
+            filler: old.filler,
+            prefetched: old.prefetched,
+            used_since_fill: old.used_since_fill,
+            dirty: old.dirty,
+        });
+        self.lines[idx] = Line {
+            valid: true,
+            tag,
+            filler,
+            prefetched,
+            // A demand fill is used by the access that requested it.
+            used_since_fill: !prefetched,
+            dirty: false,
+        };
+        self.engine.on_fill(set as usize, way);
+        evicted
+    }
+
+    /// Drop `addr`'s block if present; returns `true` if a line was
+    /// invalidated.
+    pub fn invalidate(&mut self, addr: VAddr) -> bool {
+        if let Some(way) = self.probe(addr) {
+            let set = self.geo.set_of(addr);
+            let idx = self.line_index(set, way);
+            self.lines[idx].valid = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of valid lines in `set`.
+    pub fn occupancy(&self, set: u64) -> usize {
+        (0..self.geo.ways as usize)
+            .filter(|&w| self.lines[self.line_index(set, w)].valid)
+            .count()
+    }
+
+    /// Block addresses currently cached in `set` (test/debug helper).
+    pub fn set_blocks(&self, set: u64) -> Vec<VAddr> {
+        (0..self.geo.ways as usize)
+            .filter_map(|w| {
+                let l = &self.lines[self.line_index(set, w)];
+                l.valid.then(|| self.geo.block_from(set, l.tag))
+            })
+            .collect()
+    }
+
+    /// Total valid lines in the cache.
+    pub fn total_occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Metadata of `addr`'s line, if cached (read-only).
+    pub fn line_meta(&self, addr: VAddr) -> Option<Line> {
+        let way = self.probe(addr)?;
+        let set = self.geo.set_of(addr);
+        Some(self.lines[self.line_index(set, way)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 2 sets x 2 ways x 64B lines = 256B.
+        SetAssocCache::new(CacheGeometry::new(256, 2, 64), Policy::Lru)
+    }
+
+    /// Two addresses mapping to set 0, distinct tags.
+    fn s0(tag: u64) -> VAddr {
+        tag * 2 * 64
+    }
+
+    #[test]
+    fn fill_then_probe_hits() {
+        let mut c = tiny();
+        assert!(!c.contains(s0(0)));
+        assert_eq!(c.fill(s0(0), Entity::Main, false), None);
+        assert!(c.contains(s0(0)));
+        assert_eq!(c.occupancy(0), 1);
+        assert_eq!(c.occupancy(1), 0);
+    }
+
+    #[test]
+    fn lru_eviction_returns_victim_metadata() {
+        let mut c = tiny();
+        c.fill(s0(0), Entity::Main, false);
+        c.fill(s0(1), Entity::Helper, true);
+        // Set 0 full; next fill evicts the LRU line (tag 0).
+        let ev = c.fill(s0(2), Entity::Main, false).expect("eviction");
+        assert_eq!(ev.block, s0(0));
+        assert_eq!(ev.filler, Entity::Main);
+        assert!(!ev.prefetched);
+        assert!(ev.used_since_fill, "demand fills count as used");
+        assert!(!c.contains(s0(0)));
+        assert!(c.contains(s0(1)));
+        assert!(c.contains(s0(2)));
+    }
+
+    #[test]
+    fn demand_touch_promotes_and_marks_used() {
+        let mut c = tiny();
+        c.fill(s0(0), Entity::Main, false);
+        c.fill(s0(1), Entity::Helper, true);
+        let before = c.demand_touch(s0(0), false).expect("hit");
+        assert!(before.used_since_fill);
+        // Tag 0 is now MRU, so tag 1 (helper prefetch, never demanded)
+        // gets evicted next.
+        let ev = c.fill(s0(2), Entity::Main, false).unwrap();
+        assert_eq!(ev.block, s0(1));
+        assert!(ev.prefetched);
+        assert!(!ev.used_since_fill);
+    }
+
+    #[test]
+    fn prefetch_fill_unused_until_touched() {
+        let mut c = tiny();
+        c.fill(s0(0), Entity::Helper, true);
+        let meta = c.line_meta(s0(0)).unwrap();
+        assert!(meta.prefetched && !meta.used_since_fill);
+        c.demand_touch(s0(0), false).unwrap();
+        assert!(c.line_meta(s0(0)).unwrap().used_since_fill);
+    }
+
+    #[test]
+    fn refill_of_present_block_is_noop() {
+        let mut c = tiny();
+        c.fill(s0(0), Entity::Main, false);
+        assert_eq!(c.fill(s0(0), Entity::Helper, true), None);
+        // Original metadata wins (the block was already there).
+        assert_eq!(c.line_meta(s0(0)).unwrap().filler, Entity::Main);
+        assert_eq!(c.occupancy(0), 1);
+    }
+
+    #[test]
+    fn store_touch_marks_dirty_and_eviction_reports_it() {
+        let mut c = tiny();
+        c.fill(s0(0), Entity::Main, false);
+        c.demand_touch(s0(0), true).unwrap();
+        c.fill(s0(1), Entity::Main, false);
+        let ev = c.fill(s0(2), Entity::Main, false).unwrap();
+        assert_eq!(ev.block, s0(0));
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn invalidate_removes_block() {
+        let mut c = tiny();
+        c.fill(s0(0), Entity::Main, false);
+        assert!(c.invalidate(s0(0)));
+        assert!(!c.contains(s0(0)));
+        assert!(!c.invalidate(s0(0)));
+    }
+
+    #[test]
+    fn miss_touch_changes_nothing() {
+        let mut c = tiny();
+        assert_eq!(c.demand_touch(s0(0), false), None);
+        assert_eq!(c.total_occupancy(), 0);
+    }
+
+    #[test]
+    fn set_isolation() {
+        let mut c = tiny();
+        c.fill(0, Entity::Main, false); // set 0
+        c.fill(64, Entity::Main, false); // set 1
+        assert_eq!(c.occupancy(0), 1);
+        assert_eq!(c.occupancy(1), 1);
+        assert_eq!(c.set_blocks(0), vec![0]);
+        assert_eq!(c.set_blocks(1), vec![64]);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_ways() {
+        let mut c = tiny();
+        for tag in 0..10 {
+            c.fill(s0(tag), Entity::Main, false);
+            assert!(c.occupancy(0) <= 2);
+        }
+        assert_eq!(c.occupancy(0), 2);
+    }
+}

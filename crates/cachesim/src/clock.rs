@@ -1,0 +1,65 @@
+//! Simulation time and the latency model.
+
+/// A point in simulated time, in CPU cycles.
+pub type Cycle = u64;
+
+/// Fixed-latency timing model of the memory hierarchy.
+///
+/// Defaults approximate a Core 2-class machine (paper Table 1): 3-cycle
+/// L1D, 14-cycle shared L2, ~200-cycle DRAM, and a bus that can start one
+/// fill every `bus_service` cycles (the bandwidth knob — queueing behind
+/// it is how prefetch traffic "wastes precious bandwidth", paper §V.B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyConfig {
+    /// L1D hit latency, cycles.
+    pub l1_hit: Cycle,
+    /// Shared L2 hit latency, cycles (on top of the L1 probe).
+    pub l2_hit: Cycle,
+    /// DRAM access latency, cycles (on top of L1+L2 probes), excluding
+    /// bus queueing.
+    pub mem: Cycle,
+    /// Minimum gap between consecutive fill *starts* on the shared bus;
+    /// effectively `line_size / bandwidth`.
+    pub bus_service: Cycle,
+    /// Cycles the issuing core spends on a software-prefetch instruction
+    /// (it does not stall for the fill).
+    pub prefetch_issue: Cycle,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig {
+            l1_hit: 3,
+            l2_hit: 14,
+            mem: 200,
+            bus_service: 16,
+            prefetch_issue: 1,
+        }
+    }
+}
+
+impl LatencyConfig {
+    /// Total unloaded latency of a demand access that misses everywhere.
+    pub fn full_miss(&self) -> Cycle {
+        self.l1_hit + self.l2_hit + self.mem
+    }
+
+    /// Total latency of an L2 hit.
+    pub fn l2_total(&self) -> Cycle {
+        self.l1_hit + self.l2_hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_latencies_are_ordered() {
+        let l = LatencyConfig::default();
+        assert!(l.l1_hit < l.l2_hit);
+        assert!(l.l2_hit < l.mem);
+        assert_eq!(l.full_miss(), l.l1_hit + l.l2_hit + l.mem);
+        assert_eq!(l.l2_total(), l.l1_hit + l.l2_hit);
+    }
+}

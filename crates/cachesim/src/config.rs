@@ -1,0 +1,175 @@
+//! Whole-system configuration and presets.
+
+use crate::clock::LatencyConfig;
+use crate::geometry::CacheGeometry;
+use crate::replacement::Policy;
+
+/// L1/L2 inclusion policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Inclusion {
+    /// Evicting an L2 line back-invalidates it from every L1 (the Core 2
+    /// family's inclusive LLC). Under this policy, L2 pollution evicts
+    /// L1-resident data too — pollution bites slightly harder.
+    Inclusive,
+    /// L1s may keep lines the L2 evicted (default: simpler and the
+    /// counters the paper measures are L2-side either way).
+    #[default]
+    NonInclusive,
+}
+
+/// Configuration of the simulated CMP memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of cores sharing the L2 (the SP experiments use 2: main +
+    /// helper, like one die of the paper's Q6600).
+    pub cores: u8,
+    /// Private L1D geometry (per core).
+    pub l1: CacheGeometry,
+    /// Shared L2 (last-level) geometry.
+    pub l2: CacheGeometry,
+    /// L2 replacement policy (L1s always use LRU).
+    pub policy: Policy,
+    /// L1/L2 inclusion policy.
+    pub inclusion: Inclusion,
+    /// Latency model.
+    pub latency: LatencyConfig,
+    /// L2 MSHR entries (outstanding fills).
+    pub mshr_entries: usize,
+    /// Whether the per-core hardware prefetchers are enabled. The paper's
+    /// *Original Set Affinity* is measured with these disabled ("L2
+    /// prefetchers are all disabled", Definition 2).
+    pub hw_prefetchers: bool,
+    /// Streaming-prefetcher slots per core.
+    pub stream_slots: usize,
+    /// Blocks prefetched ahead per streamer trigger.
+    pub stream_degree: u32,
+    /// DPL (stride) table entries per core.
+    pub dpl_entries: usize,
+    /// Strides prefetched ahead per DPL trigger.
+    pub dpl_degree: u32,
+}
+
+impl CacheConfig {
+    /// The default, **scaled** configuration used by the reproduction:
+    /// the paper's geometry shrunk 16x (L2 4MB -> 256KB, L1 32KB -> 4KB)
+    /// so the scaled workloads exert the same per-set pressure as the
+    /// paper's full-size inputs did on the real machine (DESIGN.md §2).
+    pub fn scaled_default() -> Self {
+        CacheConfig {
+            cores: 2,
+            l1: CacheGeometry::new(4 * 1024, 8, 64),
+            l2: CacheGeometry::new(256 * 1024, 16, 64),
+            policy: Policy::Lru,
+            inclusion: Inclusion::NonInclusive,
+            latency: LatencyConfig::default(),
+            mshr_entries: 16,
+            hw_prefetchers: true,
+            stream_slots: 8,
+            stream_degree: 2,
+            dpl_entries: 16,
+            dpl_degree: 2,
+        }
+    }
+
+    /// The paper's hardware (Table 1): Intel Core 2 Quad Q6600 — per die,
+    /// two cores with 32KB 8-way L1Ds sharing a 4MB 16-way unified L2,
+    /// 64-byte lines.
+    pub fn core2_q6600() -> Self {
+        CacheConfig {
+            l1: CacheGeometry::new(32 * 1024, 8, 64),
+            l2: CacheGeometry::new(4 * 1024 * 1024, 16, 64),
+            ..Self::scaled_default()
+        }
+    }
+
+    /// The same configuration with hardware prefetchers disabled (the
+    /// paper's *original* run mode, Definition 2).
+    pub fn without_hw_prefetchers(mut self) -> Self {
+        self.hw_prefetchers = false;
+        self
+    }
+
+    /// Replace the L2 replacement policy (for the replacement ablation).
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Make the L2 inclusive (back-invalidating), as on the real Core 2.
+    pub fn inclusive(mut self) -> Self {
+        self.inclusion = Inclusion::Inclusive;
+        self
+    }
+
+    /// Validate cross-field invariants.
+    ///
+    /// # Panics
+    /// If the L1 line size differs from the L2's (the hierarchy moves
+    /// whole L2 lines), or there are no cores.
+    pub fn validate(&self) {
+        assert!(self.cores >= 1, "need at least one core");
+        assert_eq!(
+            self.l1.line_size, self.l2.line_size,
+            "L1 and L2 must share a line size"
+        );
+        assert!(self.mshr_entries > 0, "need at least one MSHR");
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self::scaled_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        CacheConfig::scaled_default().validate();
+        CacheConfig::core2_q6600().validate();
+    }
+
+    #[test]
+    fn paper_l2_matches_table1() {
+        let c = CacheConfig::core2_q6600();
+        assert_eq!(c.l2.size_bytes, 4 * 1024 * 1024);
+        assert_eq!(c.l2.ways, 16);
+        assert_eq!(c.l2.line_size, 64);
+        assert_eq!(c.l1.size_bytes, 32 * 1024);
+        assert_eq!(c.l1.ways, 8);
+    }
+
+    #[test]
+    fn scaled_l2_is_16x_smaller_same_shape() {
+        let s = CacheConfig::scaled_default();
+        let p = CacheConfig::core2_q6600();
+        assert_eq!(p.l2.size_bytes / s.l2.size_bytes, 16);
+        assert_eq!(s.l2.ways, p.l2.ways);
+        assert_eq!(s.l2.line_size, p.l2.line_size);
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let c = CacheConfig::scaled_default().without_hw_prefetchers();
+        assert!(!c.hw_prefetchers);
+        let c = c.with_policy(Policy::Fifo);
+        assert_eq!(c.policy, Policy::Fifo);
+        assert_eq!(
+            c.inclusion,
+            Inclusion::NonInclusive,
+            "non-inclusive by default"
+        );
+        assert_eq!(c.inclusive().inclusion, Inclusion::Inclusive);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a line size")]
+    fn validate_rejects_mismatched_lines() {
+        let mut c = CacheConfig::scaled_default();
+        c.l1 = CacheGeometry::new(4 * 1024, 8, 32);
+        c.validate();
+    }
+}

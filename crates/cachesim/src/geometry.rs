@@ -1,0 +1,151 @@
+//! Cache geometry and address mapping.
+
+use sp_trace::VAddr;
+
+/// Geometry of one cache level: capacity, associativity, line size.
+///
+/// All three must be powers of two and consistent
+/// (`size = sets * ways * line_size` with `sets >= 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (lines per set).
+    pub ways: u32,
+    /// Line (block) size in bytes.
+    pub line_size: u64,
+}
+
+impl CacheGeometry {
+    /// Build and validate a geometry.
+    ///
+    /// # Panics
+    /// If any parameter is zero or not a power of two, or if the capacity
+    /// is not divisible into at least one full set.
+    pub fn new(size_bytes: u64, ways: u32, line_size: u64) -> Self {
+        assert!(
+            size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(ways > 0, "associativity must be positive");
+        assert!(
+            ways.is_power_of_two(),
+            "associativity must be a power of two"
+        );
+        let lines = size_bytes / line_size;
+        assert!(
+            lines >= ways as u64,
+            "cache must hold at least one set ({} lines < {} ways)",
+            lines,
+            ways
+        );
+        CacheGeometry {
+            size_bytes,
+            ways,
+            line_size,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / self.line_size / self.ways as u64
+    }
+
+    /// Total number of lines.
+    pub fn lines(&self) -> u64 {
+        self.size_bytes / self.line_size
+    }
+
+    /// Block-aligned address of `addr`.
+    pub fn block_of(&self, addr: VAddr) -> VAddr {
+        addr & !(self.line_size - 1)
+    }
+
+    /// Index of the set `addr` maps to.
+    pub fn set_of(&self, addr: VAddr) -> u64 {
+        (addr / self.line_size) & (self.sets() - 1)
+    }
+
+    /// Tag of `addr` (the block address bits above the set index).
+    pub fn tag_of(&self, addr: VAddr) -> u64 {
+        addr / self.line_size / self.sets()
+    }
+
+    /// Reconstruct the block address from a `(set, tag)` pair — the
+    /// inverse of [`set_of`](Self::set_of)/[`tag_of`](Self::tag_of).
+    pub fn block_from(&self, set: u64, tag: u64) -> VAddr {
+        (tag * self.sets() + set) * self.line_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 32KB, 8-way, 64B lines — the paper's L1D (Table 1).
+    fn l1() -> CacheGeometry {
+        CacheGeometry::new(32 * 1024, 8, 64)
+    }
+
+    #[test]
+    fn l1_has_64_sets() {
+        assert_eq!(l1().sets(), 64);
+        assert_eq!(l1().lines(), 512);
+    }
+
+    #[test]
+    fn paper_l2_has_4096_sets() {
+        // 4MB, 16-way, 64B — the paper's shared L2 (Table 1).
+        let l2 = CacheGeometry::new(4 * 1024 * 1024, 16, 64);
+        assert_eq!(l2.sets(), 4096);
+    }
+
+    #[test]
+    fn set_and_tag_roundtrip() {
+        let g = l1();
+        for addr in [0u64, 64, 4096, 0xdead_bec0, 0xffff_ffc0] {
+            let block = g.block_of(addr);
+            let (s, t) = (g.set_of(addr), g.tag_of(addr));
+            assert_eq!(g.block_from(s, t), block, "addr {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn consecutive_blocks_map_to_consecutive_sets() {
+        let g = l1();
+        let s0 = g.set_of(0);
+        let s1 = g.set_of(64);
+        assert_eq!((s0 + 1) % g.sets(), s1);
+    }
+
+    #[test]
+    fn same_set_different_tag_conflict() {
+        let g = l1();
+        let a = 0u64;
+        let b = g.sets() * g.line_size; // one full way-stride apart
+        assert_eq!(g.set_of(a), g.set_of(b));
+        assert_ne!(g.tag_of(a), g.tag_of(b));
+    }
+
+    #[test]
+    fn block_of_strips_offset_bits() {
+        let g = l1();
+        assert_eq!(g.block_of(0x1043), 0x1040);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_size() {
+        let _ = CacheGeometry::new(3000, 4, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one set")]
+    fn rejects_too_small_cache() {
+        let _ = CacheGeometry::new(128, 4, 64); // 2 lines < 4 ways
+    }
+}

@@ -1,0 +1,28 @@
+//! Hardware prefetcher models.
+//!
+//! The Core 2 the paper ran on has, per core, a **streaming prefetcher**
+//! (sequential/adjacent-line) and a **DPL** (Data Prefetch Logic,
+//! IP-indexed stride) prefetcher; the paper counts them among the six
+//! access entities that share the L2 (§III.B). Both models observe the
+//! demand-access stream of their core and emit candidate block addresses;
+//! the [`MemorySystem`](crate::MemorySystem) turns candidates into L2
+//! fills attributed to [`Entity::HwStream`](crate::Entity) /
+//! [`Entity::HwDpl`](crate::Entity).
+
+pub mod dpl;
+pub mod streamer;
+
+pub use dpl::DplPrefetcher;
+pub use streamer::StreamPrefetcher;
+
+use sp_trace::{SiteId, VAddr};
+
+/// A hardware prefetcher observing one core's demand accesses.
+pub trait HwPrefetcher {
+    /// Observe a demand access (`site`, block-aligned `block`); returns
+    /// block addresses to prefetch (possibly empty).
+    fn observe(&mut self, site: SiteId, block: VAddr) -> Vec<VAddr>;
+
+    /// Forget all learned state.
+    fn reset(&mut self);
+}

@@ -1,0 +1,204 @@
+//! Sequential ("streaming") prefetcher.
+
+use super::HwPrefetcher;
+use sp_trace::{SiteId, VAddr};
+
+/// One tracked stream.
+#[derive(Debug, Clone, Copy)]
+struct Stream {
+    /// Block index (address / line size) of the last access in the stream.
+    last: u64,
+    /// Detected direction: +1, -1, or 0 (undetermined).
+    dir: i64,
+    /// Consecutive confirmations of `dir`.
+    conf: u32,
+    /// For LRU slot replacement.
+    stamp: u64,
+    valid: bool,
+}
+
+/// A multi-slot sequential prefetcher.
+///
+/// Each slot tracks a stream of consecutive cache blocks (ascending or
+/// descending). Once a stream is confirmed (two consecutive accesses in
+/// the same direction), every further confirmation prefetches the next
+/// `degree` blocks ahead.
+#[derive(Debug, Clone)]
+pub struct StreamPrefetcher {
+    slots: Vec<Stream>,
+    line_size: u64,
+    degree: u32,
+    clock: u64,
+}
+
+impl StreamPrefetcher {
+    /// A prefetcher with `slots` concurrent streams, prefetching `degree`
+    /// blocks ahead on each confirmation.
+    pub fn new(slots: usize, degree: u32, line_size: u64) -> Self {
+        assert!(slots > 0 && degree > 0);
+        assert!(line_size.is_power_of_two());
+        StreamPrefetcher {
+            slots: vec![
+                Stream {
+                    last: 0,
+                    dir: 0,
+                    conf: 0,
+                    stamp: 0,
+                    valid: false
+                };
+                slots
+            ],
+            line_size,
+            degree,
+            clock: 0,
+        }
+    }
+
+    fn emit(&self, blk: u64, dir: i64) -> Vec<VAddr> {
+        (1..=self.degree as i64)
+            .filter_map(|d| {
+                let target = blk as i64 + dir * d;
+                (target >= 0).then(|| target as u64 * self.line_size)
+            })
+            .collect()
+    }
+}
+
+impl HwPrefetcher for StreamPrefetcher {
+    fn observe(&mut self, _site: SiteId, block: VAddr) -> Vec<VAddr> {
+        let blk = block / self.line_size;
+        self.clock += 1;
+        // Look for a slot this access extends (distance exactly one block).
+        for s in self.slots.iter_mut().filter(|s| s.valid) {
+            let delta = blk as i64 - s.last as i64;
+            if delta == 0 {
+                s.stamp = self.clock;
+                return Vec::new(); // same block re-access: no new info
+            }
+            if delta == 1 || delta == -1 {
+                if s.dir == delta {
+                    s.conf = s.conf.saturating_add(1);
+                } else {
+                    s.dir = delta;
+                    s.conf = 1;
+                }
+                s.last = blk;
+                s.stamp = self.clock;
+                if s.conf >= 1 {
+                    let (last, dir) = (s.last, s.dir);
+                    return self.emit(last, dir);
+                }
+                return Vec::new();
+            }
+        }
+        // No matching stream: allocate the LRU (or first invalid) slot.
+        let slot = self
+            .slots
+            .iter_mut()
+            .min_by_key(|s| if s.valid { s.stamp } else { 0 })
+            .expect("at least one slot");
+        *slot = Stream {
+            last: blk,
+            dir: 0,
+            conf: 0,
+            stamp: self.clock,
+            valid: true,
+        };
+        Vec::new()
+    }
+
+    fn reset(&mut self) {
+        for s in &mut self.slots {
+            s.valid = false;
+        }
+        self.clock = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp() -> StreamPrefetcher {
+        StreamPrefetcher::new(4, 2, 64)
+    }
+
+    #[test]
+    fn second_sequential_access_triggers_prefetch() {
+        let mut p = sp();
+        assert!(
+            p.observe(SiteId::ANON, 0).is_empty(),
+            "first access only trains"
+        );
+        let out = p.observe(SiteId::ANON, 64);
+        assert_eq!(out, vec![128, 192], "prefetch the next `degree` blocks");
+    }
+
+    #[test]
+    fn descending_stream_detected() {
+        let mut p = sp();
+        p.observe(SiteId::ANON, 640);
+        let out = p.observe(SiteId::ANON, 576);
+        assert_eq!(out, vec![512, 448]);
+    }
+
+    #[test]
+    fn descending_stream_clamps_at_zero() {
+        let mut p = sp();
+        p.observe(SiteId::ANON, 128);
+        let out = p.observe(SiteId::ANON, 64);
+        assert_eq!(out, vec![0], "block -1 must not be emitted");
+    }
+
+    #[test]
+    fn random_accesses_never_prefetch() {
+        let mut p = sp();
+        for &b in &[0u64, 4096, 64 * 100, 64 * 7, 64 * 55] {
+            assert!(p.observe(SiteId::ANON, b).is_empty());
+        }
+    }
+
+    #[test]
+    fn repeat_access_is_ignored() {
+        let mut p = sp();
+        p.observe(SiteId::ANON, 0);
+        p.observe(SiteId::ANON, 64); // stream confirmed
+        assert!(p.observe(SiteId::ANON, 64).is_empty());
+        // Stream continues afterwards.
+        assert_eq!(p.observe(SiteId::ANON, 128), vec![192, 256]);
+    }
+
+    #[test]
+    fn tracks_multiple_interleaved_streams() {
+        let mut p = sp();
+        p.observe(SiteId::ANON, 0);
+        p.observe(SiteId::ANON, 1 << 20);
+        assert_eq!(p.observe(SiteId::ANON, 64), vec![128, 192]);
+        assert_eq!(
+            p.observe(SiteId::ANON, (1 << 20) + 64),
+            vec![(1 << 20) + 128, (1 << 20) + 192]
+        );
+    }
+
+    #[test]
+    fn direction_reversal_retrains() {
+        let mut p = sp();
+        p.observe(SiteId::ANON, 0);
+        p.observe(SiteId::ANON, 64); // dir +1 confirmed
+                                     // Reversal: 64 -> 0 is delta -1; retrain but confidence resets to 1
+                                     // so it still fires (conf >= 1), in the new direction.
+        let out = p.observe(SiteId::ANON, 0);
+        assert_eq!(out, vec![]); // block -1 clamped away entirely? No: emit(0,-1) -> empty
+    }
+
+    #[test]
+    fn reset_forgets_streams() {
+        let mut p = sp();
+        p.observe(SiteId::ANON, 0);
+        p.reset();
+        assert!(
+            p.observe(SiteId::ANON, 64).is_empty(),
+            "must retrain after reset"
+        );
+    }
+}

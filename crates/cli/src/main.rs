@@ -1,0 +1,325 @@
+//! `spt` — command-line explorer for the Skip-Prefetching toolkit.
+//!
+//! ```text
+//! spt affinity   [--bench B] [--size S] [--l2-kb N --ways N --line N]
+//! spt sweep      [--bench B] [--rp R] [--distances d1,d2,...] [--svg F]
+//! spt delinquent [--bench B]
+//! spt phases     [--bench B]
+//! spt reuse      [--bench B]
+//! spt adaptive   [--bench B] [--start D] [--epoch N] [--bounded on|off]
+//! spt selection
+//! spt dump       [--bench B] [--size S] --out trace.spt
+//! ```
+//!
+//! Every analysis command also accepts `--trace FILE` to replay a trace
+//! recorded with `spt dump` instead of building a workload.
+//!
+//! Common flags: `--bench em3d|mcf|mst|treeadd|matmul`,
+//! `--size scaled|tiny`, `--cache scaled|core2`, `--hw-prefetch on|off`,
+//! `--l2-kb/--ways/--line` geometry overrides.
+
+mod args;
+
+use args::Args;
+use sp_cachesim::CacheConfig;
+use sp_core::prelude::*;
+use sp_core::{run_sp_adaptive, sampled_set_affinity, FeedbackController};
+use sp_profiler::{
+    detect_phases, rank_delinquent_loads, reuse_histogram, select_benchmarks, BurstSampler,
+    PhaseConfig,
+};
+use sp_workloads::Candidate;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() || argv[0] == "--help" || argv[0] == "help" {
+        print!("{}", USAGE);
+        return;
+    }
+    match Args::parse(argv).and_then(run) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("spt: {e}");
+            eprintln!("run `spt help` for usage");
+            std::process::exit(2);
+        }
+    }
+}
+
+const USAGE: &str = "\
+spt — Skip-Prefetching toolkit explorer
+
+USAGE:
+  spt <command> [--flag value]...
+
+COMMANDS:
+  affinity     Set Affinity report + prefetch-distance bound
+  sweep        distance sweep (normalized runtime/misses/behaviour)
+  delinquent   rank reference sites by L2 misses
+  phases       access-phase detection
+  reuse        LRU stack-distance histogram + miss ratio vs associativity
+  adaptive     run the FDP-style dynamic distance controller
+  selection    benchmark screen by L2-miss cycle share (paper SIV.B)
+  dump         record a workload's hot-loop trace to a file (--out F)
+
+COMMON FLAGS:
+  --bench em3d|mcf|mst|treeadd|health|matmul  workload (default em3d)
+  --size scaled|tiny                    input size (default scaled)
+  --cache scaled|core2                  geometry preset (default scaled)
+  --l2-kb N / --ways N / --line N       L2 geometry overrides
+  --hw-prefetch on|off                  hardware prefetchers
+";
+
+fn run(a: Args) -> Result<(), String> {
+    match a.command.as_str() {
+        "affinity" => affinity(&a),
+        "sweep" => sweep(&a),
+        "delinquent" => delinquent(&a),
+        "phases" => phases(&a),
+        "reuse" => reuse(&a),
+        "adaptive" => adaptive(&a),
+        "selection" => selection_cmd(&a),
+        "dump" => dump(&a),
+        other => Err(format!("unknown command {other}")),
+    }
+}
+
+fn affinity(a: &Args) -> Result<(), String> {
+    let cfg = a.cache_config()?;
+    let trace = a.trace()?;
+    let rec = recommend_distance(&trace, &cfg);
+    println!(
+        "hot loop: {} ({} iters, {} refs)",
+        trace.name,
+        trace.outer_iters(),
+        trace.total_refs()
+    );
+    println!(
+        "L2: {}KB {}-way, {} sets",
+        cfg.l2.size_bytes / 1024,
+        cfg.l2.ways,
+        cfg.l2.sets()
+    );
+    println!("sets touched:        {}", rec.affinity.sets_touched);
+    println!(
+        "sets overflowed:     {} ({:.0}%)",
+        rec.affinity.per_set.len(),
+        rec.affinity.overflow_fraction() * 100.0
+    );
+    println!("SA(L,Sx) range:      {:?}", rec.affinity.range());
+    println!("distance bound:      {:?}  (min SA / 2)", rec.max_distance);
+    let bursts = BurstSampler::default_profile().sample(&trace);
+    let est = sampled_set_affinity(&bursts, cfg.l2);
+    println!("SA (burst-sampled):  {:?}", est.range());
+    Ok(())
+}
+
+fn sweep(a: &Args) -> Result<(), String> {
+    let cfg = a.cache_config()?;
+    let trace = a.trace()?;
+    let rec = recommend_distance(&trace, &cfg);
+    let bound = rec.max_distance.unwrap_or(u32::MAX);
+    let default: Vec<u32> = [bound / 4, bound / 2, bound, bound * 2, bound * 4]
+        .into_iter()
+        .filter(|&d| d >= 1)
+        .collect();
+    let ds = a.distances(&default)?;
+    let rp: f64 = a.get_or("rp", 0.5)?;
+    let s = sweep_distances(&trace, cfg, rp, &ds);
+    println!("bound = {bound}; RP = {rp}");
+    if let Some(svg_path) = a.get("svg") {
+        use sp_bench::plot::{line_chart, save_svg, ChartConfig, Series};
+        let xs: Vec<f64> = s.points.iter().map(|p| p.distance as f64).collect();
+        let series = vec![
+            Series::new(
+                "runtime",
+                &xs,
+                &s.points.iter().map(|p| p.runtime_norm).collect::<Vec<_>>(),
+            ),
+            Series::new(
+                "hot misses",
+                &xs,
+                &s.points
+                    .iter()
+                    .map(|p| p.hot_misses_norm)
+                    .collect::<Vec<_>>(),
+            ),
+        ];
+        let chart = line_chart(
+            &format!("{} distance sweep (bound {bound})", trace.name),
+            "prefetch distance (log)",
+            "normalized to original",
+            &series,
+            ChartConfig::default(),
+        );
+        save_svg(std::path::Path::new(svg_path), &chart).map_err(|e| e.to_string())?;
+        println!("(wrote {svg_path})");
+    }
+    println!(
+        "{:>9} {:>9} {:>9} {:>8} {:>8} {:>8} {:>10}",
+        "distance", "runtime", "misses", "dTH%", "dTM%", "dPH%", "pollution"
+    );
+    for p in &s.points {
+        println!(
+            "{}{:>8} {:>9.3} {:>9.3} {:>+8.2} {:>+8.2} {:>+8.2} {:>10}",
+            if p.distance <= bound { " " } else { "!" },
+            p.distance,
+            p.runtime_norm,
+            p.hot_misses_norm,
+            p.behavior.totally_hit_pct,
+            p.behavior.totally_miss_pct,
+            p.behavior.partially_hit_pct,
+            p.pollution.stats.total(),
+        );
+    }
+    Ok(())
+}
+
+fn delinquent(a: &Args) -> Result<(), String> {
+    let cfg = a.cache_config()?;
+    let trace = a.trace()?;
+    let ranked = rank_delinquent_loads(&trace, cfg.l2, cfg.policy);
+    println!(
+        "{:<32} {:>10} {:>10} {:>8}",
+        "site", "refs", "misses", "rate"
+    );
+    for s in ranked {
+        let name = trace
+            .site_names
+            .get(s.site.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("site#{}", s.site.0));
+        println!(
+            "{:<32} {:>10} {:>10} {:>7.1}%",
+            name,
+            s.refs,
+            s.misses,
+            s.miss_rate() * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn phases(a: &Args) -> Result<(), String> {
+    let trace = a.trace()?;
+    let phases = detect_phases(&trace, PhaseConfig::default());
+    println!(
+        "{} phases over {} iterations",
+        phases.len(),
+        trace.outer_iters()
+    );
+    for p in phases {
+        println!(
+            "  [{:>8}, {:>8})  {:>7.1} refs/iter  {:>6.2} new blocks/iter",
+            p.start_iter, p.end_iter, p.refs_per_iter, p.blocks_per_iter
+        );
+    }
+    Ok(())
+}
+
+fn reuse(a: &Args) -> Result<(), String> {
+    let cfg = a.cache_config()?;
+    let trace = a.trace()?;
+    let h = reuse_histogram(&trace, cfg.l2);
+    println!("accesses: {} (cold: {})", h.total, h.cold);
+    println!("{:>6} {:>12} {:>10}", "ways", "LRU misses", "miss rate");
+    for ways in [1u32, 2, 4, 8, 16, 32] {
+        println!(
+            "{:>6} {:>12} {:>9.2}%",
+            ways,
+            h.miss_count(ways),
+            h.miss_ratio(ways) * 100.0
+        );
+    }
+    if let Some(w) = h.ways_for_miss_ratio(0.05) {
+        println!("associativity for <=5% misses at this set count: {w}");
+    }
+    Ok(())
+}
+
+fn adaptive(a: &Args) -> Result<(), String> {
+    let cfg = a.cache_config()?;
+    let trace = a.trace()?;
+    let rec = recommend_distance(&trace, &cfg);
+    let start: u32 = a.get_or("start", rec.max_distance.map(|b| b * 4).unwrap_or(64))?;
+    let epoch: usize = a.get_or("epoch", 128)?;
+    let mut ctl = FeedbackController::new(start, a.get_or("rp", 0.5)?);
+    let bounded = matches!(a.get("bounded"), Some("on")) || a.get("bounded").is_none();
+    if bounded {
+        if let Some(b) = rec.max_distance {
+            ctl = ctl.bounded(b);
+        }
+    }
+    let base = run_original(&trace, cfg);
+    let r = run_sp_adaptive(&trace, cfg, &mut ctl, epoch);
+    println!(
+        "start {start}, epoch {epoch}, bound {:?} ({}); runtime {:.3} vs original",
+        rec.max_distance,
+        if bounded { "clamped" } else { "unclamped" },
+        r.run.runtime as f64 / base.runtime as f64
+    );
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "epoch", "distance", "accuracy", "lateness", "pollution", "next dist"
+    );
+    for e in r.epochs.iter().take(24) {
+        println!(
+            "{:>6} {:>9} {:>9.2} {:>9.2} {:>9.2} {:>10}",
+            e.feedback.epoch,
+            e.feedback.params.a_ski,
+            e.feedback.accuracy(),
+            e.feedback.lateness(),
+            e.feedback.pollution_rate(),
+            e.next_distance
+        );
+    }
+    if r.epochs.len() > 24 {
+        println!("  ... ({} more epochs)", r.epochs.len() - 24);
+    }
+    Ok(())
+}
+
+fn dump(a: &Args) -> Result<(), String> {
+    let out = a.get("out").ok_or("dump needs --out FILE")?;
+    let trace = a.trace()?;
+    let path = std::path::Path::new(out);
+    sp_prefetch_save(&trace, path)?;
+    let bytes = std::fs::metadata(path).map_err(|e| e.to_string())?.len();
+    println!(
+        "wrote {} ({} iters, {} refs, {} bytes, {:.1} B/ref)",
+        out,
+        trace.outer_iters(),
+        trace.total_refs(),
+        bytes,
+        bytes as f64 / trace.total_refs().max(1) as f64
+    );
+    Ok(())
+}
+
+fn sp_prefetch_save(t: &sp_trace::HotLoopTrace, path: &std::path::Path) -> Result<(), String> {
+    sp_trace::save_trace(t, path).map_err(|e| e.to_string())
+}
+
+fn selection_cmd(a: &Args) -> Result<(), String> {
+    let cfg: CacheConfig = a.cache_config()?;
+    let threshold: f64 = a.get_or("threshold", 0.3)?;
+    let candidates: Vec<(String, sp_trace::HotLoopTrace)> = Candidate::ALL
+        .iter()
+        .map(|&c| (c.name().to_string(), c.trace_scaled()))
+        .collect();
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}  verdict",
+        "candidate", "miss cycles", "total", "share"
+    );
+    for r in select_benchmarks(&candidates, &cfg, threshold) {
+        println!(
+            "{:<10} {:>12} {:>12} {:>9.1}%  {}",
+            r.name,
+            r.profile.miss_cycles,
+            r.profile.total(),
+            r.profile.miss_share() * 100.0,
+            if r.selected { "selected" } else { "rejected" }
+        );
+    }
+    Ok(())
+}

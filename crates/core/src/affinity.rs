@@ -1,0 +1,390 @@
+//! Set Affinity analysis (paper §III.B, Fig. 3) and the prefetch-distance
+//! upper bound.
+//!
+//! **Definition 1 (Set Affinity).** Given a cache set, its Set Affinity
+//! is the iteration count of the outer hot loop at which the distinct
+//! accessed blocks mapped to that set exceed the set's capacity
+//! (associativity).
+//!
+//! **Definition 2 (Original Set Affinity).** Set Affinity measured from
+//! an application running alone (no hardware prefetchers, no helper).
+//!
+//! **Definition 3 (Set Affinity with Helper Thread).** Set Affinity with
+//! helper-thread prefetching applied.
+//!
+//! The paper's bound (§III.B): once the helper (and hardware prefetchers)
+//! are active, `SA_helper * 2 <= SA_original`, so to keep prefetched data
+//! from being displaced (or displacing reusable data) before use:
+//!
+//! ```text
+//! prefetch distance < SA_with_helper,  i.e.  distance < SA_original / 2
+//! ```
+//!
+//! with the binding value being the *minimum* Set Affinity over all
+//! touched sets.
+
+use crate::params::SpParams;
+use crate::skip::{helper_refs, plan, HelperStep};
+use sp_cachesim::CacheGeometry;
+use sp_profiler::Burst;
+use sp_trace::{HotLoopTrace, VAddr};
+use std::collections::HashMap;
+
+/// Per-set outcome of the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SetState {
+    distinct_blocks: u32,
+    /// Iteration at which the set overflowed, once recorded.
+    affinity: Option<u32>,
+}
+
+/// Result of a Set Affinity analysis.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SetAffinityReport {
+    /// Set index -> Set Affinity (outer-iteration count at overflow), for
+    /// every set that overflowed.
+    pub per_set: HashMap<u64, u32>,
+    /// Number of sets touched at least once.
+    pub sets_touched: usize,
+}
+
+impl SetAffinityReport {
+    /// Smallest Set Affinity over all overflowed sets — the binding value
+    /// for the distance bound. `None` if no set ever overflowed (the
+    /// loop's footprint fits; any distance is safe).
+    pub fn min(&self) -> Option<u32> {
+        self.per_set.values().copied().min()
+    }
+
+    /// Largest recorded Set Affinity.
+    pub fn max(&self) -> Option<u32> {
+        self.per_set.values().copied().max()
+    }
+
+    /// The paper's range notation `SA(L, Sx)` (Table 2, last column).
+    pub fn range(&self) -> Option<(u32, u32)> {
+        Some((self.min()?, self.max()?))
+    }
+
+    /// Fraction of touched sets that overflowed.
+    pub fn overflow_fraction(&self) -> f64 {
+        if self.sets_touched == 0 {
+            0.0
+        } else {
+            self.per_set.len() as f64 / self.sets_touched as f64
+        }
+    }
+
+    /// The paper's prefetch-distance upper limit:
+    /// `distance < min(SA_original) / 2`. Returns the largest *allowed*
+    /// distance, or `None` if unbounded (no set overflowed).
+    pub fn distance_bound(&self) -> Option<u32> {
+        self.min().map(|sa| (sa / 2).saturating_sub(1).max(1))
+    }
+
+    /// Merge another report (used to combine per-burst analyses): the
+    /// per-set affinity keeps the smaller (more conservative) value.
+    pub fn merge(&mut self, other: &SetAffinityReport) {
+        for (&set, &sa) in &other.per_set {
+            self.per_set
+                .entry(set)
+                .and_modify(|v| *v = (*v).min(sa))
+                .or_insert(sa);
+        }
+        self.sets_touched = self.sets_touched.max(other.sets_touched);
+    }
+}
+
+/// The Fig. 3 algorithm over an arbitrary `(outer_iteration, address)`
+/// stream.
+///
+/// ```
+/// use sp_cachesim::CacheGeometry;
+/// use sp_core::original_set_affinity;
+/// use sp_trace::synth;
+///
+/// // One new block lands in set 5 per outer iteration of a 4-way cache:
+/// // the set overflows (5th distinct block) in iteration 5.
+/// let geo = CacheGeometry::new(16 * 1024, 4, 64);
+/// let trace = synth::set_hammer(50, 1, 5, geo.sets(), geo.line_size);
+/// let report = original_set_affinity(&trace, geo);
+/// assert_eq!(report.range(), Some((5, 5)));
+/// assert_eq!(report.distance_bound(), Some(1)); // min SA / 2, exclusive
+/// ```
+///
+/// For each touched set, track the distinct blocks mapped to it; when the
+/// count first *exceeds* the set's associativity, record the current
+/// outer-iteration count (1-based, "the program executes N iterations")
+/// as that set's affinity.
+pub fn set_affinity_stream<I>(stream: I, geo: CacheGeometry) -> SetAffinityReport
+where
+    I: IntoIterator<Item = (u32, VAddr)>,
+{
+    let ways = geo.ways;
+    let mut sets: HashMap<u64, SetState> = HashMap::new();
+    let mut blocks: HashMap<VAddr, ()> = HashMap::new();
+    for (iter, addr) in stream {
+        let block = geo.block_of(addr);
+        if blocks.insert(block, ()).is_some() {
+            continue; // already-seen block: not a new entrant anywhere
+        }
+        let set = geo.set_of(addr);
+        let st = sets.entry(set).or_insert(SetState {
+            distinct_blocks: 0,
+            affinity: None,
+        });
+        st.distinct_blocks += 1;
+        if st.affinity.is_none() && st.distinct_blocks > ways {
+            st.affinity = Some(iter + 1); // 1-based iteration count
+        }
+    }
+    SetAffinityReport {
+        sets_touched: sets.len(),
+        per_set: sets
+            .into_iter()
+            .filter_map(|(s, st)| st.affinity.map(|a| (s, a)))
+            .collect(),
+    }
+}
+
+/// **Original Set Affinity** (Definition 2): the full main-thread stream,
+/// no helper, no hardware prefetchers.
+pub fn original_set_affinity(trace: &HotLoopTrace, geo: CacheGeometry) -> SetAffinityReport {
+    set_affinity_stream(trace.tagged_refs().map(|(i, r)| (i, r.vaddr)), geo)
+}
+
+/// **Set Affinity with Helper Thread** (Definition 3): the interleaved
+/// stream in which, while the main thread executes iteration `i`, the
+/// helper (running `A_SKI` iterations ahead) prefetches the inner loads
+/// of iteration `i + A_SKI` according to its skip/pre-execute plan.
+pub fn helper_set_affinity(
+    trace: &HotLoopTrace,
+    geo: CacheGeometry,
+    params: SpParams,
+) -> SetAffinityReport {
+    let n = trace.iters.len();
+    let steps = plan(params, n);
+    let lead = params.a_ski as usize;
+    let stream = (0..n).flat_map(move |i| {
+        let main = trace.iters[i].refs().map(move |r| (i as u32, r.vaddr));
+        let helper_iter = i + lead;
+        let helper: Vec<(u32, VAddr)> =
+            if helper_iter < n && steps[helper_iter] == HelperStep::Prefetch {
+                helper_refs(&trace.iters[helper_iter].inner)
+                    .map(|r| (i as u32, r.vaddr))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+        main.chain(helper)
+    });
+    set_affinity_stream(stream, geo)
+}
+
+/// Estimate Set Affinity from burst samples (the paper's low-overhead
+/// profile run, §IV.C). Each burst is analyzed independently with
+/// iteration counts relative to the burst start; sets whose affinity
+/// exceeds the burst length are not observable within that burst, so the
+/// estimate is the merge over all bursts (conservative per set).
+pub fn sampled_set_affinity(bursts: &[Burst], geo: CacheGeometry) -> SetAffinityReport {
+    let mut report = SetAffinityReport::default();
+    for b in bursts {
+        let stream = b
+            .iters
+            .iter()
+            .enumerate()
+            .flat_map(|(k, it)| it.refs().map(move |r| (k as u32, r.vaddr)));
+        let r = set_affinity_stream(stream, geo);
+        report.merge(&r);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_trace::synth;
+
+    fn geo() -> CacheGeometry {
+        // 64 sets x 4 ways x 64B.
+        CacheGeometry::new(16 * 1024, 4, 64)
+    }
+
+    #[test]
+    fn set_hammer_has_closed_form_affinity() {
+        let g = geo();
+        // 1 new block in set 5 per iteration: the 5th distinct block
+        // (> 4 ways) arrives in iteration index 4 -> SA = 5 (1-based).
+        let t = synth::set_hammer(20, 1, 5, g.sets(), g.line_size);
+        let r = original_set_affinity(&t, g);
+        assert_eq!(r.per_set.len(), 1);
+        assert_eq!(r.per_set[&5], 5);
+        assert_eq!(r.min(), Some(5));
+        assert_eq!(r.range(), Some((5, 5)));
+    }
+
+    #[test]
+    fn hammer_rate_scales_affinity_inversely() {
+        let g = geo();
+        // 2 new blocks per iteration: 5th block arrives in iteration 2
+        // (0-based index 2) -> SA = 3.
+        let t = synth::set_hammer(20, 2, 9, g.sets(), g.line_size);
+        let r = original_set_affinity(&t, g);
+        assert_eq!(r.per_set[&9], 3);
+    }
+
+    #[test]
+    fn repeated_blocks_do_not_advance_affinity() {
+        let g = geo();
+        // Touch the same 4 blocks of one set forever: never overflows.
+        let mut t = sp_trace::HotLoopTrace::new("t");
+        for _ in 0..100 {
+            let inner = (0..4u64)
+                .map(|b| sp_trace::MemRef::anon(b * g.sets() * g.line_size))
+                .collect();
+            t.iters.push(sp_trace::IterRecord {
+                backbone: Vec::new(),
+                inner,
+                compute_cycles: 0,
+            });
+        }
+        let r = original_set_affinity(&t, g);
+        assert!(r.per_set.is_empty());
+        assert_eq!(r.min(), None);
+        assert_eq!(r.distance_bound(), None, "footprint fits: unbounded");
+        assert_eq!(r.sets_touched, 1);
+    }
+
+    #[test]
+    fn more_ways_never_decrease_affinity() {
+        let small = CacheGeometry::new(16 * 1024, 4, 64);
+        let big = CacheGeometry::new(32 * 1024, 8, 64); // same 64 sets, 8 ways
+        assert_eq!(small.sets(), big.sets());
+        let t = synth::random(400, 8, 0, 1 << 22, 11, 0);
+        let rs = original_set_affinity(&t, small);
+        let rb = original_set_affinity(&t, big);
+        for (set, sa_big) in &rb.per_set {
+            let sa_small = rs
+                .per_set
+                .get(set)
+                .expect("overflowed at 8 ways => at 4 ways");
+            assert!(sa_small <= sa_big, "set {set}: {sa_small} > {sa_big}");
+        }
+    }
+
+    #[test]
+    fn distance_bound_is_half_min_sa() {
+        let g = geo();
+        let t = synth::set_hammer(200, 1, 0, g.sets(), g.line_size);
+        let r = original_set_affinity(&t, g);
+        assert_eq!(r.min(), Some(5));
+        // floor(5/2) - 1 = 1 -> max(1) = 1.
+        assert_eq!(r.distance_bound(), Some(1));
+        // A larger SA gives a proportionally larger bound.
+        let t2 = {
+            // one new block every 10 iterations
+            let mut t2 = sp_trace::HotLoopTrace::new("slow");
+            for i in 0..600u64 {
+                let inner = if i % 10 == 0 {
+                    vec![sp_trace::MemRef::anon((i / 10) * g.sets() * g.line_size)]
+                } else {
+                    Vec::new()
+                };
+                t2.iters.push(sp_trace::IterRecord {
+                    backbone: Vec::new(),
+                    inner,
+                    compute_cycles: 0,
+                });
+            }
+            t2
+        };
+        let r2 = original_set_affinity(&t2, g);
+        assert_eq!(
+            r2.min(),
+            Some(41),
+            "5th distinct block at iteration 40 (1-based 41)"
+        );
+        assert_eq!(r2.distance_bound(), Some(19));
+    }
+
+    #[test]
+    fn helper_stream_halves_affinity_for_rp_half() {
+        let g = geo();
+        // Main touches 1 new block of set 0 per iteration; with the
+        // helper running distance d ahead at RP 0.5, the combined stream
+        // brings in roughly 1.5 new blocks per iteration -> SA drops.
+        let t = synth::set_hammer(400, 1, 0, g.sets(), g.line_size);
+        let orig = original_set_affinity(&t, g);
+        let with_helper = helper_set_affinity(&t, g, SpParams::new(8, 8));
+        let (o, h) = (orig.per_set[&0], with_helper.per_set[&0]);
+        assert!(h < o, "helper must reduce SA: orig {o}, helper {h}");
+        assert!(
+            h * 2 <= o + 2,
+            "paper's halving bound (±1 rounding): orig {o}, helper {h}"
+        );
+    }
+
+    #[test]
+    fn sampled_estimate_matches_full_for_small_affinity() {
+        let g = geo();
+        let t = synth::set_hammer(1000, 2, 3, g.sets(), g.line_size);
+        let full = original_set_affinity(&t, g);
+        let sampler = sp_profiler::BurstSampler::new(50, 150);
+        let bursts = sampler.sample(&t);
+        let est = sampled_set_affinity(&bursts, g);
+        // The hammer is homogeneous: every burst sees the same overflow
+        // pace, so the estimate equals the full-stream value.
+        assert_eq!(est.per_set[&3], full.per_set[&3]);
+    }
+
+    #[test]
+    fn sampled_estimate_misses_sets_slower_than_the_burst() {
+        let g = geo();
+        // SA = 41 > burst length 20: unobservable.
+        let mut t = sp_trace::HotLoopTrace::new("slow");
+        for i in 0..600u64 {
+            let inner = if i % 10 == 0 {
+                vec![sp_trace::MemRef::anon((i / 10) * g.sets() * g.line_size)]
+            } else {
+                Vec::new()
+            };
+            t.iters.push(sp_trace::IterRecord {
+                backbone: Vec::new(),
+                inner,
+                compute_cycles: 0,
+            });
+        }
+        let bursts = sp_profiler::BurstSampler::new(20, 20).sample(&t);
+        let est = sampled_set_affinity(&bursts, g);
+        assert!(
+            est.per_set.is_empty(),
+            "20-iteration bursts cannot observe SA = 41"
+        );
+    }
+
+    #[test]
+    fn merge_keeps_conservative_minimum() {
+        let mut a = SetAffinityReport {
+            per_set: [(1u64, 10u32)].into_iter().collect(),
+            sets_touched: 4,
+        };
+        let b = SetAffinityReport {
+            per_set: [(1u64, 7u32), (2, 99)].into_iter().collect(),
+            sets_touched: 2,
+        };
+        a.merge(&b);
+        assert_eq!(a.per_set[&1], 7);
+        assert_eq!(a.per_set[&2], 99);
+        assert_eq!(a.sets_touched, 4);
+    }
+
+    #[test]
+    fn overflow_fraction_bounds() {
+        let g = geo();
+        let t = synth::set_hammer(100, 1, 0, g.sets(), g.line_size);
+        let r = original_set_affinity(&t, g);
+        assert!((r.overflow_fraction() - 1.0).abs() < 1e-12);
+        let empty = SetAffinityReport::default();
+        assert_eq!(empty.overflow_fraction(), 0.0);
+    }
+}

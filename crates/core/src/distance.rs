@@ -1,0 +1,193 @@
+//! Prefetch-distance control: the sweep harness behind Figures 2 and
+//! 4–6, and the bound-driven distance recommendation.
+
+use crate::affinity::{original_set_affinity, SetAffinityReport};
+use crate::engine::{run_original, run_sp, RunResult};
+use crate::params::SpParams;
+use crate::pollution::{BehaviorChange, PollutionSummary};
+use sp_cachesim::CacheConfig;
+use sp_trace::HotLoopTrace;
+
+/// One point of a prefetch-distance sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The prefetch distance (`A_SKI`) of this run.
+    pub distance: u32,
+    /// The full parameter set used.
+    pub params: SpParams,
+    /// Runtime normalized to the original run (Fig. 2 / 4b / 5b / 6b).
+    pub runtime_norm: f64,
+    /// Main-thread memory accesses normalized to the original (Fig. 2).
+    pub memory_accesses_norm: f64,
+    /// Main-thread totally L2 misses normalized to the original —
+    /// the paper's "hot misses" curve (Fig. 2).
+    pub hot_misses_norm: f64,
+    /// The behaviour-change triple (Fig. 4a / 5a / 6a).
+    pub behavior: BehaviorChange,
+    /// Pollution summary at this distance.
+    pub pollution: PollutionSummary,
+    /// The raw SP run.
+    pub run: RunResult,
+}
+
+/// A complete distance sweep of one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    /// The original (no-helper) run everything is normalized to.
+    pub baseline: RunResult,
+    /// One point per requested distance, in the given order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// The distance with the lowest normalized runtime.
+    pub fn best_distance(&self) -> Option<u32> {
+        self.points
+            .iter()
+            .min_by(|a, b| a.runtime_norm.total_cmp(&b.runtime_norm))
+            .map(|p| p.distance)
+    }
+
+    /// The point measured at `distance`, if swept.
+    pub fn at(&self, distance: u32) -> Option<&SweepPoint> {
+        self.points.iter().find(|p| p.distance == distance)
+    }
+}
+
+/// Run the paper's sweep: the original program once, then SP at each
+/// `distance` with the prefetch ratio fixed at `rp` (the paper uses
+/// `RP = 0.5` for all three benchmarks, §V.B).
+pub fn sweep_distances(
+    trace: &HotLoopTrace,
+    cache_cfg: CacheConfig,
+    rp: f64,
+    distances: &[u32],
+) -> Sweep {
+    let baseline = run_original(trace, cache_cfg);
+    let base_rt = baseline.runtime.max(1) as f64;
+    let base_ma = baseline.stats.main.memory_accesses().max(1) as f64;
+    let base_miss = baseline.stats.main.total_misses.max(1) as f64;
+    let points = distances
+        .iter()
+        .map(|&d| {
+            let params = SpParams::from_distance_rp(d, rp);
+            let run = run_sp(trace, cache_cfg, params);
+            SweepPoint {
+                distance: d,
+                params,
+                runtime_norm: run.runtime as f64 / base_rt,
+                memory_accesses_norm: run.stats.main.memory_accesses() as f64 / base_ma,
+                hot_misses_norm: run.stats.main.total_misses as f64 / base_miss,
+                behavior: BehaviorChange::between(&baseline, &run),
+                pollution: PollutionSummary::from_run(&run),
+                run,
+            }
+        })
+        .collect();
+    Sweep { baseline, points }
+}
+
+/// The full distance-control pipeline of the paper:
+/// profile → Set Affinity → bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceRecommendation {
+    /// The Set Affinity report the bound came from.
+    pub affinity: SetAffinityReport,
+    /// The paper's upper limit: `min SA / 2` (exclusive), i.e. the
+    /// maximum allowed distance. `None` when no set overflows.
+    pub max_distance: Option<u32>,
+}
+
+/// Compute the Set-Affinity-based distance bound for a hot loop on a
+/// cache configuration (using the **original** stream and the L2
+/// geometry, per Definitions 1–2).
+pub fn recommend_distance(trace: &HotLoopTrace, cache_cfg: &CacheConfig) -> DistanceRecommendation {
+    let affinity = original_set_affinity(trace, cache_cfg.l2);
+    let max_distance = affinity.distance_bound();
+    DistanceRecommendation {
+        affinity,
+        max_distance,
+    }
+}
+
+/// Clamp a requested distance to the recommendation (the controller the
+/// paper's conclusion advocates: "controlling prefetch distance within
+/// the estimated range").
+pub fn controlled_distance(requested: u32, rec: &DistanceRecommendation) -> u32 {
+    match rec.max_distance {
+        Some(max) => requested.min(max),
+        None => requested,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_cachesim::CacheGeometry;
+    use sp_trace::synth;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig {
+            cores: 2,
+            l1: CacheGeometry::new(1024, 2, 64),
+            l2: CacheGeometry::new(16 * 1024, 4, 64),
+            hw_prefetchers: false,
+            ..CacheConfig::scaled_default()
+        }
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_distance() {
+        let t = synth::sequential(800, 2, 0, 64, 0);
+        let s = sweep_distances(&t, cfg(), 0.5, &[1, 4, 16]);
+        assert_eq!(s.points.len(), 3);
+        assert_eq!(s.points[0].distance, 1);
+        assert!(s.at(4).is_some());
+        assert!(s.at(99).is_none());
+        assert!(s.best_distance().is_some());
+    }
+
+    #[test]
+    fn normalizations_are_relative_to_the_baseline() {
+        let t = synth::sequential(800, 2, 0, 64, 0);
+        let s = sweep_distances(&t, cfg(), 0.5, &[4]);
+        let p = &s.points[0];
+        let expect = p.run.runtime as f64 / s.baseline.runtime as f64;
+        assert!((p.runtime_norm - expect).abs() < 1e-12);
+        assert!(p.runtime_norm > 0.0);
+    }
+
+    #[test]
+    fn recommendation_uses_l2_geometry() {
+        let c = cfg();
+        let g = c.l2;
+        // Hammer set 0 with one new block per iteration: SA = ways + 1.
+        let t = synth::set_hammer(100, 1, 0, g.sets(), g.line_size);
+        let rec = recommend_distance(&t, &c);
+        assert_eq!(rec.affinity.min(), Some(g.ways + 1));
+        assert_eq!(rec.max_distance, rec.affinity.distance_bound());
+    }
+
+    #[test]
+    fn controlled_distance_clamps() {
+        let rec = DistanceRecommendation {
+            affinity: SetAffinityReport::default(),
+            max_distance: Some(10),
+        };
+        assert_eq!(controlled_distance(5, &rec), 5);
+        assert_eq!(controlled_distance(50, &rec), 10);
+        let unbounded = DistanceRecommendation {
+            affinity: SetAffinityReport::default(),
+            max_distance: None,
+        };
+        assert_eq!(controlled_distance(50, &unbounded), 50);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let t = synth::random(300, 3, 0, 1 << 20, 23, 2);
+        let a = sweep_distances(&t, cfg(), 0.5, &[2, 8]);
+        let b = sweep_distances(&t, cfg(), 0.5, &[2, 8]);
+        assert_eq!(a, b);
+    }
+}

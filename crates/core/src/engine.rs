@@ -1,0 +1,552 @@
+//! Two-core co-simulation of the main thread and the SP helper thread.
+//!
+//! The engine replays a [`HotLoopTrace`] on the shared
+//! [`MemorySystem`]:
+//!
+//! * The **main thread** (core 0) executes every iteration in full:
+//!   backbone loads, inner loads/stores (all demand accesses that stall),
+//!   plus the iteration's pure-computation cycles.
+//! * The **helper thread** (core 1) follows the SP plan
+//!   ([`crate::skip::plan`]): on *Chase* iterations it executes only the
+//!   backbone loads (demand — it needs the pointer values to advance); on
+//!   *Prefetch* iterations it additionally issues the inner-loop loads as
+//!   non-blocking software prefetches.
+//!
+//! **Synchronization** mirrors the paper's round construction: the helper
+//! may run at most one round (`A_SKI + A_PRE` iterations) ahead of the
+//! main thread; past that it spins until the main thread advances. If the
+//! main thread ever overtakes it (possible when the backbone chase
+//! dominates), the helper *jumps* forward to `main + A_SKI`, re-syncing
+//! like a real helper thread does on its shared progress counter.
+//!
+//! The engine alternates between the two threads by picking whichever has
+//! the smaller local clock, so the memory system always sees accesses in
+//! global time order.
+
+use crate::params::SpParams;
+use crate::skip::HelperStep;
+use sp_cachesim::{CacheConfig, Cycle, Entity, MemStats, MemorySystem};
+use sp_trace::{AccessKind, HotLoopTrace};
+
+/// Result of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Main-thread completion time — the paper's "runtime".
+    pub runtime: Cycle,
+    /// Helper-thread completion time (0 for original runs).
+    pub helper_runtime: Cycle,
+    /// Full memory-system statistics.
+    pub stats: MemStats,
+    /// Outer iterations executed by the main thread.
+    pub outer_iters: usize,
+    /// Times the helper hit the sync window and had to wait.
+    pub helper_waits: u64,
+    /// Times the helper fell behind and jumped forward.
+    pub helper_jumps: u64,
+}
+
+impl RunResult {
+    /// Main-thread memory accesses (the paper's normalization base).
+    pub fn memory_accesses(&self) -> u64 {
+        self.stats.main.memory_accesses()
+    }
+}
+
+/// How the helper thread's covered loads are modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// `true` (default, faithful to the paper): the helper's inner-loop
+    /// loads are *real blocking loads* on the helper core whose fills are
+    /// marked speculative — the helper "executes the load's computation"
+    /// and can barely outrun the main thread on low-CALR loops, which is
+    /// exactly the problem SP's skipping solves.
+    ///
+    /// `false` (idealized, for the helper-model ablation): inner loads
+    /// are fire-and-forget software prefetches costing only their issue
+    /// cycles, as if the helper had unbounded memory-level parallelism.
+    pub blocking_helper: bool,
+    /// How many times the hot loop executes back to back (Olden programs
+    /// iterate their kernels; passes after the first run against a warm
+    /// cache). The helper follows the main thread across pass boundaries.
+    pub passes: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            blocking_helper: true,
+            passes: 1,
+        }
+    }
+}
+
+/// Run the original program: main thread only (hardware prefetchers per
+/// `cache_cfg`).
+pub fn run_original(trace: &HotLoopTrace, cache_cfg: CacheConfig) -> RunResult {
+    run_original_passes(trace, cache_cfg, 1)
+}
+
+/// Run the original program for `passes` back-to-back executions of the
+/// hot loop (pass 2+ sees a warm cache).
+pub fn run_original_passes(
+    trace: &HotLoopTrace,
+    cache_cfg: CacheConfig,
+    passes: usize,
+) -> RunResult {
+    assert!(passes > 0, "need at least one pass");
+    let mut mem = MemorySystem::new(cache_cfg);
+    let mut clock: Cycle = 0;
+    for _ in 0..passes {
+        for it in &trace.iters {
+            for r in it.refs() {
+                let res = mem.demand_access(Entity::Main, *r, clock);
+                clock = res.complete_at;
+            }
+            clock += it.compute_cycles;
+        }
+    }
+    RunResult {
+        runtime: clock,
+        helper_runtime: 0,
+        stats: mem.finish(),
+        outer_iters: trace.iters.len() * passes,
+        helper_waits: 0,
+        helper_jumps: 0,
+    }
+}
+
+/// Per-thread replay cursor.
+struct Cursor {
+    /// Outer iteration currently being executed.
+    iter: usize,
+    /// Next reference index within the iteration's flattened ref list.
+    ref_idx: usize,
+    clock: Cycle,
+    done: bool,
+}
+
+/// What the helper does per iteration, and how tightly it is leashed —
+/// implemented by the static SP plan and by the adaptive controller in
+/// [`crate::adaptive`].
+pub trait HelperSchedule {
+    /// The helper's action for outer iteration `iter`.
+    fn step(&self, iter: usize) -> HelperStep;
+    /// Maximum iterations the helper may lead the main thread.
+    fn window(&self) -> usize;
+    /// Iterations ahead of the main thread the helper re-syncs to after
+    /// falling behind.
+    fn jump_distance(&self) -> u32;
+    /// Called once each time the main thread completes an outer
+    /// iteration — the hook adaptive schedules use to read feedback.
+    fn on_main_iter(&mut self, _main_iter: usize, _mem: &MemorySystem, _clock: Cycle) {}
+}
+
+/// The paper's static SP schedule: a fixed `(A_SKI, A_PRE)` round plan,
+/// computed modularly so it extends over any number of passes.
+pub struct StaticSchedule {
+    params: SpParams,
+}
+
+impl StaticSchedule {
+    /// Plan `params` over the hot loop.
+    pub fn new(params: SpParams) -> Self {
+        StaticSchedule { params }
+    }
+}
+
+impl HelperSchedule for StaticSchedule {
+    fn step(&self, iter: usize) -> HelperStep {
+        if (iter % self.params.round_len() as usize) < self.params.a_ski as usize {
+            HelperStep::Chase
+        } else {
+            HelperStep::Prefetch
+        }
+    }
+    fn window(&self) -> usize {
+        self.params.round_len() as usize
+    }
+    fn jump_distance(&self) -> u32 {
+        self.params.a_ski
+    }
+}
+
+/// Run the SP mechanism: main + helper with the given parameters and the
+/// default (blocking-helper) model.
+pub fn run_sp(trace: &HotLoopTrace, cache_cfg: CacheConfig, params: SpParams) -> RunResult {
+    run_sp_with(trace, cache_cfg, params, EngineOptions::default())
+}
+
+/// Run the SP mechanism with explicit engine options.
+pub fn run_sp_with(
+    trace: &HotLoopTrace,
+    cache_cfg: CacheConfig,
+    params: SpParams,
+    opts: EngineOptions,
+) -> RunResult {
+    let mut schedule = StaticSchedule::new(params);
+    run_scheduled(trace, cache_cfg, &mut schedule, opts)
+}
+
+/// The generic two-thread co-simulation loop over any
+/// [`HelperSchedule`]. [`run_sp_with`] instantiates it with the static
+/// plan; `sp_core::adaptive` with a feedback-driven one.
+pub fn run_scheduled(
+    trace: &HotLoopTrace,
+    cache_cfg: CacheConfig,
+    schedule: &mut dyn HelperSchedule,
+    opts: EngineOptions,
+) -> RunResult {
+    assert!(opts.passes > 0, "need at least one pass");
+    // Virtual iteration space: `passes` back-to-back executions of the
+    // hot loop; iteration v executes trace iteration v % len.
+    let n = trace.iters.len() * opts.passes;
+    let mut mem = MemorySystem::new(cache_cfg);
+
+    let mut main = Cursor {
+        iter: 0,
+        ref_idx: 0,
+        clock: 0,
+        done: n == 0,
+    };
+    let mut helper = Cursor {
+        iter: 0,
+        ref_idx: 0,
+        clock: 0,
+        done: n == 0,
+    };
+    let mut helper_waits = 0u64;
+    let mut helper_jumps = 0u64;
+    let mut helper_blocked = false;
+    let mut helper_finish: Cycle = 0;
+
+    // One "step" = one memory access (plus, for the main thread, the
+    // iteration's compute when it finishes the iteration's refs).
+    while !main.done {
+        // Re-sync the helper against the main thread's progress.
+        if !helper.done {
+            if helper.iter < main.iter {
+                // Fell behind: jump ahead like a real resync.
+                helper.iter = (main.iter + schedule.jump_distance() as usize).min(n);
+                helper.ref_idx = 0;
+                helper_jumps += 1;
+                if helper.iter >= n {
+                    helper.done = true;
+                    helper_finish = helper.clock;
+                }
+            }
+            let was_blocked = helper_blocked;
+            helper_blocked = !helper.done && helper.iter >= main.iter + schedule.window();
+            if helper_blocked && !was_blocked {
+                helper_waits += 1;
+            }
+            if was_blocked && !helper_blocked {
+                // Spun until the main thread advanced.
+                helper.clock = helper.clock.max(main.clock);
+            }
+        }
+
+        let run_helper = !helper.done && !helper_blocked && helper.clock <= main.clock;
+        if run_helper {
+            let step = schedule.step(helper.iter);
+            step_helper(
+                &mut helper,
+                &mut mem,
+                trace,
+                step,
+                n,
+                &mut helper_finish,
+                opts,
+            );
+        } else {
+            let before = main.iter;
+            step_main(&mut main, &mut mem, trace, n);
+            if main.iter != before {
+                schedule.on_main_iter(before, &mem, main.clock);
+            }
+        }
+    }
+    if !helper.done {
+        helper_finish = helper.clock;
+    }
+
+    RunResult {
+        runtime: main.clock,
+        helper_runtime: helper_finish,
+        stats: mem.finish(),
+        outer_iters: n,
+        helper_waits,
+        helper_jumps,
+    }
+}
+
+/// Execute the main thread's next access; advances its clock, including
+/// the iteration's compute cycles when the iteration ends.
+fn step_main(c: &mut Cursor, mem: &mut MemorySystem, trace: &HotLoopTrace, n: usize) {
+    let it = &trace.iters[c.iter % trace.iters.len()];
+    let total = it.len();
+    if c.ref_idx < total {
+        let r = if c.ref_idx < it.backbone.len() {
+            it.backbone[c.ref_idx]
+        } else {
+            it.inner[c.ref_idx - it.backbone.len()]
+        };
+        let res = mem.demand_access(Entity::Main, r, c.clock);
+        c.clock = res.complete_at;
+        c.ref_idx += 1;
+    }
+    if c.ref_idx >= total {
+        c.clock += it.compute_cycles;
+        c.iter += 1;
+        c.ref_idx = 0;
+        if c.iter >= n {
+            c.done = true;
+        }
+    }
+}
+
+/// Execute the helper thread's next access per its SP plan.
+fn step_helper(
+    c: &mut Cursor,
+    mem: &mut MemorySystem,
+    trace: &HotLoopTrace,
+    step: HelperStep,
+    n: usize,
+    finish: &mut Cycle,
+    opts: EngineOptions,
+) {
+    let it = &trace.iters[c.iter % trace.iters.len()];
+    let prefetching = step == HelperStep::Prefetch;
+    // The helper's work list for this iteration: backbone (blocking loads
+    // whose fills are still speculative — everything the helper brings in
+    // is a prefetch from the main thread's point of view), then — on
+    // pre-executed iterations — the inner loads.
+    let backbone_len = it.backbone.len();
+    let total = if prefetching {
+        backbone_len + it.inner.len()
+    } else {
+        backbone_len
+    };
+    let mut idx = c.ref_idx;
+    // Skip inner refs the helper doesn't replicate (stores).
+    loop {
+        if idx >= total {
+            break;
+        }
+        if idx < backbone_len {
+            let res = mem.helper_load(it.backbone[idx], c.clock);
+            c.clock = res.complete_at;
+            idx += 1;
+            break;
+        }
+        let r = it.inner[idx - backbone_len];
+        if r.kind == AccessKind::Load {
+            let res = if opts.blocking_helper {
+                mem.helper_load(r, c.clock)
+            } else {
+                mem.prefetch_access(r.as_prefetch(), c.clock)
+            };
+            c.clock = res.complete_at;
+            idx += 1;
+            break;
+        }
+        idx += 1; // store or other: dropped, try the next ref
+    }
+    c.ref_idx = idx;
+    if c.ref_idx >= total {
+        c.iter += 1;
+        c.ref_idx = 0;
+        if c.iter >= n {
+            c.done = true;
+            *finish = c.clock;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_cachesim::{CacheGeometry, HitClass};
+    use sp_trace::synth;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig {
+            cores: 2,
+            l1: CacheGeometry::new(1024, 2, 64),
+            l2: CacheGeometry::new(16 * 1024, 4, 64),
+            hw_prefetchers: false,
+            ..CacheConfig::scaled_default()
+        }
+    }
+
+    #[test]
+    fn original_run_accounts_every_reference() {
+        let t = synth::random(200, 4, 0, 1 << 22, 3, 5);
+        let r = run_original(&t, cfg());
+        assert_eq!(r.stats.main.demand_accesses(), 800);
+        assert_eq!(r.stats.helper.demand_accesses(), 0);
+        assert!(
+            r.runtime >= 200 * 5,
+            "compute cycles must be in the runtime"
+        );
+        assert_eq!(r.outer_iters, 200);
+    }
+
+    #[test]
+    fn original_run_is_deterministic() {
+        let t = synth::random(100, 4, 0, 1 << 20, 9, 2);
+        let a = run_original(&t, cfg());
+        let b = run_original(&t, cfg());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sp_helper_issues_prefetches_at_rp_rate() {
+        // Pointer-chase backbone + 2 inner loads per iteration.
+        let mut t = synth::pointer_chase(400, 64, 1, 0);
+        for (i, it) in t.iters.iter_mut().enumerate() {
+            it.inner = vec![
+                sp_trace::MemRef::load(0x40_0000 + i as u64 * 64, sp_trace::SiteId(1)),
+                sp_trace::MemRef::load(0x80_0000 + i as u64 * 64, sp_trace::SiteId(2)),
+            ];
+        }
+        let r = run_sp(&t, cfg(), SpParams::new(4, 4));
+        // Helper chases every backbone (speculative loads) and covers
+        // ~half the iterations' 2 inner loads each: ~400 + ~400.
+        let p = r.stats.prefetches_issued[0];
+        assert!((600..=900).contains(&p), "prefetches {p} should be ~800");
+        // Helper's backbone chases are demand loads.
+        assert!(r.stats.helper.demand_accesses() > 0);
+    }
+
+    #[test]
+    fn sp_reduces_main_thread_total_misses_on_a_prefetchable_loop() {
+        // Every iteration misses in the original (streaming new blocks,
+        // no hw prefetchers): the helper turns a large share into (at
+        // least partial) hits.
+        let t = synth::sequential(2000, 2, 0, 64, 0);
+        let orig = run_original(&t, cfg());
+        let sp = run_sp(&t, cfg(), SpParams::new(8, 8));
+        assert!(
+            sp.stats.main.total_misses < orig.stats.main.total_misses,
+            "SP must cut misses: {} vs {}",
+            sp.stats.main.total_misses,
+            orig.stats.main.total_misses
+        );
+        assert!(
+            sp.stats.main.partial_hits + sp.stats.main.total_hits
+                > orig.stats.main.partial_hits + orig.stats.main.total_hits
+        );
+    }
+
+    #[test]
+    fn helper_respects_the_sync_window() {
+        let t = synth::sequential(1000, 2, 0, 64, 50);
+        let r = run_sp(&t, cfg(), SpParams::new(2, 2));
+        // With a tight window on a slow main loop, the helper must block
+        // at least once.
+        assert!(r.helper_waits > 0, "helper should hit the window");
+    }
+
+    #[test]
+    fn sp_run_is_deterministic() {
+        let t = synth::random(300, 3, 0, 1 << 20, 17, 4);
+        let a = run_sp(&t, cfg(), SpParams::new(4, 4));
+        let b = run_sp(&t, cfg(), SpParams::new(4, 4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_trace_is_a_noop() {
+        let t = sp_trace::HotLoopTrace::new("empty");
+        let r = run_sp(&t, cfg(), SpParams::new(1, 1));
+        assert_eq!(r.runtime, 0);
+        assert_eq!(r.stats.main.demand_accesses(), 0);
+        let o = run_original(&t, cfg());
+        assert_eq!(o.runtime, 0);
+    }
+
+    #[test]
+    fn helper_never_issues_store_prefetches() {
+        let mut t = synth::sequential(100, 1, 0, 64, 0);
+        for it in t.iters.iter_mut() {
+            it.inner
+                .push(sp_trace::MemRef::store(0x99_0000, sp_trace::SiteId(7)));
+        }
+        let r = run_sp(&t, cfg(), SpParams::conventional());
+        // 100 loads prefetched, stores dropped; allow the engine's own
+        // issue accounting only.
+        assert_eq!(r.stats.prefetches_issued[0], 100);
+    }
+
+    #[test]
+    fn main_thread_timing_unaffected_by_helper_on_disjoint_streams() {
+        // Helper prefetches a stream disjoint from the main's; with an
+        // uncontended bus the main thread's class counts are unchanged.
+        let t = synth::sequential(64, 1, 0, 64, 0);
+        let orig = run_original(&t, cfg());
+        // Conventional helper on the same trace touches the same stream;
+        // instead check the degenerate case: distance so large the helper
+        // never gets to run past the window... simplest invariant: totals
+        // conserve.
+        let sp = run_sp(&t, cfg(), SpParams::new(1, 1));
+        assert_eq!(
+            sp.stats.main.demand_accesses(),
+            orig.stats.main.demand_accesses(),
+            "main thread executes the same references regardless of SP"
+        );
+    }
+
+    #[test]
+    fn multi_pass_executes_the_loop_repeatedly() {
+        let t = synth::random(100, 3, 0, 1 << 14, 5, 2);
+        let one = run_original(&t, cfg());
+        let three = run_original_passes(&t, cfg(), 3);
+        assert_eq!(three.outer_iters, 300);
+        assert_eq!(
+            three.stats.main.demand_accesses(),
+            3 * one.stats.main.demand_accesses()
+        );
+    }
+
+    #[test]
+    fn warm_passes_are_cheaper_when_the_footprint_fits() {
+        // Footprint ~64 blocks (fits the 16KB L2): pass 2+ mostly hits.
+        let t = synth::random(200, 2, 0, 64 * 64, 7, 0);
+        let one = run_original(&t, cfg());
+        let two = run_original_passes(&t, cfg(), 2);
+        assert!(
+            two.runtime < one.runtime * 2,
+            "second pass must be cheaper: {} vs 2x{}",
+            two.runtime,
+            one.runtime
+        );
+        assert!(two.stats.main.total_misses < one.stats.main.total_misses * 2);
+    }
+
+    #[test]
+    fn sp_multi_pass_helper_follows_across_passes() {
+        let t = synth::sequential(300, 2, 0, 64, 0);
+        let opts = EngineOptions {
+            passes: 3,
+            ..EngineOptions::default()
+        };
+        let r = run_sp_with(&t, cfg(), SpParams::new(4, 4), opts);
+        assert_eq!(r.outer_iters, 900);
+        // Helper keeps prefetching in later passes.
+        assert!(r.stats.prefetches_issued[0] > 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pass")]
+    fn zero_passes_rejected() {
+        let t = synth::sequential(10, 1, 0, 64, 0);
+        let _ = run_original_passes(&t, cfg(), 0);
+    }
+
+    #[test]
+    fn first_access_classification_is_total_miss() {
+        let mut mem = MemorySystem::new(cfg());
+        let res = mem.demand_access(Entity::Main, sp_trace::MemRef::anon(0x1234), 0);
+        assert_eq!(res.class, HitClass::TotalMiss);
+    }
+}

@@ -1,0 +1,82 @@
+//! # sp-core
+//!
+//! The paper's contribution: **Skip helper-threaded Prefetching (SP)**
+//! with a **Set-Affinity-bounded prefetch distance**.
+//!
+//! * [`params`] — `A_SKI` (prefetch distance), `A_PRE` (degree), and
+//!   `RP = A_PRE / (A_SKI + A_PRE)` (ratio).
+//! * [`calr`] — CALR profiling and the paper's RP-selection rule.
+//! * [`skip`] — the SP transformation: which outer iterations the helper
+//!   skips vs. pre-executes, and which loads become prefetches.
+//! * [`engine`] — two-core co-simulation of main + helper on the shared
+//!   memory system from `sp-cachesim`.
+//! * [`affinity`] — the Fig. 3 Set Affinity algorithm, Definitions 1–3,
+//!   and the `distance < min SA / 2` bound.
+//! * [`pollution`] — the paper's behaviour-change metric and pollution
+//!   summaries.
+//! * [`distance`] — the sweep harness behind Figures 2 and 4–6, and the
+//!   bound-driven distance controller.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sp_core::prelude::*;
+//! use sp_cachesim::CacheConfig;
+//! use sp_workloads::{Benchmark, Workload};
+//!
+//! // Build a (tiny) EM3D instance and profile its hot loop.
+//! let w = Workload::tiny(Benchmark::Em3d);
+//! let trace = w.trace();
+//! let cfg = CacheConfig::scaled_default();
+//!
+//! // The paper's pipeline: Set Affinity -> distance bound -> SP run.
+//! let rec = recommend_distance(&trace, &cfg);
+//! let d = controlled_distance(64, &rec); // clamp a requested distance
+//! let params = SpParams::from_distance_rp(d, 0.5);
+//! let baseline = run_original(&trace, cfg);
+//! let sp = run_sp(&trace, cfg, params);
+//! assert!(sp.stats.prefetches_issued[0] > 0);
+//! assert_eq!(baseline.outer_iters, sp.outer_iters);
+//! ```
+
+pub mod adaptive;
+pub mod affinity;
+pub mod calr;
+pub mod distance;
+pub mod engine;
+pub mod params;
+pub mod pollution;
+pub mod skip;
+
+pub use adaptive::{
+    run_sp_adaptive, AdaptivePolicy, AdaptiveRunResult, EpochFeedback, EpochRecord,
+    FeedbackController,
+};
+pub use affinity::{
+    helper_set_affinity, original_set_affinity, sampled_set_affinity, set_affinity_stream,
+    SetAffinityReport,
+};
+pub use calr::{estimate_calr, select_params, select_rp, CalrProfile};
+pub use distance::{
+    controlled_distance, recommend_distance, sweep_distances, DistanceRecommendation, Sweep,
+    SweepPoint,
+};
+pub use engine::{
+    run_original, run_original_passes, run_scheduled, run_sp, run_sp_with, EngineOptions,
+    HelperSchedule, RunResult, StaticSchedule,
+};
+pub use params::SpParams;
+pub use pollution::{BehaviorChange, PollutionSummary};
+pub use skip::{helper_refs, plan, summarize, HelperStep, PlanSummary};
+
+/// Everything a typical user needs.
+pub mod prelude {
+    pub use crate::affinity::{helper_set_affinity, original_set_affinity, SetAffinityReport};
+    pub use crate::calr::{estimate_calr, select_rp};
+    pub use crate::distance::{
+        controlled_distance, recommend_distance, sweep_distances, DistanceRecommendation,
+    };
+    pub use crate::engine::{run_original, run_sp, run_sp_with, EngineOptions, RunResult};
+    pub use crate::params::SpParams;
+    pub use crate::pollution::{BehaviorChange, PollutionSummary};
+}

@@ -1,0 +1,173 @@
+//! Native EM3D with a real SP helper thread.
+
+use crate::prefetch::prefetch_read;
+use crate::progress::ProgressWindow;
+use crate::NativeReport;
+use parking_lot::Mutex;
+use sp_core::skip::{plan, HelperStep};
+use sp_core::SpParams;
+use sp_workloads::Em3d;
+use std::time::Instant;
+
+/// A raw pointer the helper thread may carry across the spawn boundary.
+/// The helper only *prefetches* through it (no reads or writes), so no
+/// data race can arise from the main thread concurrently writing the
+/// pointee.
+#[derive(Clone, Copy)]
+struct PrefetchPtr(*const f64);
+// SAFETY: the wrapped pointer is never dereferenced, only passed to the
+// prefetch intrinsic, which performs no language-level memory access.
+unsafe impl Send for PrefetchPtr {}
+
+/// Run `passes` native `compute_nodes` passes over `graph`, optionally
+/// with an SP helper thread (`params = Some(..)`).
+///
+/// The helper follows the same skip/pre-execute plan as the simulator:
+/// on pre-executed iterations it prefetches the node's `from_values` and
+/// `coeffs` slices and the referenced remote values — the paper's
+/// delinquent loads — staying at most one round ahead of the main thread.
+pub fn run_em3d_native(graph: &mut Em3d, params: Option<SpParams>, passes: usize) -> NativeReport {
+    assert!(passes > 0, "need at least one pass");
+    let n = graph.config().nodes;
+    let d = graph.config().degree;
+    match params {
+        None => {
+            let start = Instant::now();
+            let mut checksum = 0.0;
+            for _ in 0..passes {
+                checksum = graph.compute_native();
+            }
+            NativeReport {
+                elapsed: start.elapsed(),
+                checksum,
+                helper_covered: 0,
+                helper_waits: 0,
+            }
+        }
+        Some(p) => {
+            let steps = plan(p, n);
+            let window = ProgressWindow::new(p.round_len() as u64);
+            let helper_stats = Mutex::new((0u64, 0u64)); // (covered, waits)
+                                                         // Split borrows: the helper reads topology/coefficients, the
+                                                         // main thread mutates only `values`. Reading `values` from
+                                                         // the helper is deliberately avoided so the run is race-free;
+                                                         // prefetching a line does not require reading it.
+            let from: &[u32] = &graph.from;
+            let coeffs_ptr: &[f64] = &graph.coeffs;
+            let mut checksum = 0.0;
+            let start = Instant::now();
+            std::thread::scope(|s| {
+                let values_base = PrefetchPtr(graph.values.as_ptr());
+                let win = &window;
+                let stats = &helper_stats;
+                let steps = &steps;
+                s.spawn(move || {
+                    win.signal_ready();
+                    // Rebind to capture the whole `PrefetchPtr` (edition
+                    // 2021 disjoint capture would otherwise capture only
+                    // the non-Send raw-pointer field).
+                    let values_base = values_base;
+                    let mut covered = 0u64;
+                    let mut waits = 0u64;
+                    for pass in 0..passes {
+                        let pass_base = (pass * n) as u64;
+                        for (i, step) in steps.iter().enumerate() {
+                            let (go, spins) = win.wait_for(pass_base + i as u64);
+                            waits += spins;
+                            if !go {
+                                let mut g = stats.lock();
+                                *g = (covered, waits);
+                                return;
+                            }
+                            if *step == HelperStep::Prefetch {
+                                covered += 1;
+                                let base = i * d;
+                                prefetch_read(&from[base]);
+                                prefetch_read(&coeffs_ptr[base]);
+                                for &o in &from[base..base + d] {
+                                    // SAFETY: o < n by construction; the
+                                    // pointer stays inside `values`. The
+                                    // helper only *prefetches* — it never
+                                    // reads or writes through the pointer.
+                                    prefetch_read(unsafe { values_base.0.add(o as usize) });
+                                }
+                            }
+                        }
+                    }
+                    let mut g = stats.lock();
+                    *g = (covered, waits);
+                });
+                // Main thread: the real computation, publishing progress.
+                window.await_ready();
+                for pass in 0..passes {
+                    let pass_base = (pass * n) as u64;
+                    let mut check = 0.0;
+                    for i in 0..n {
+                        let base = i * d;
+                        let mut acc = 0.0;
+                        for j in 0..d {
+                            let other = from[base + j] as usize;
+                            acc += coeffs_ptr[base + j] * graph.values[other];
+                        }
+                        graph.values[i] = acc;
+                        check += acc;
+                        window.publish(pass_base + i as u64);
+                    }
+                    checksum = check;
+                }
+                window.finish();
+            });
+            let (covered, waits) = *helper_stats.lock();
+            NativeReport {
+                elapsed: start.elapsed(),
+                checksum,
+                helper_covered: covered,
+                helper_waits: waits,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_workloads::Em3dConfig;
+
+    #[test]
+    fn helper_does_not_change_the_result() {
+        let mut a = Em3d::build(Em3dConfig::tiny());
+        let mut b = Em3d::build(Em3dConfig::tiny());
+        let ra = run_em3d_native(&mut a, None, 3);
+        let rb = run_em3d_native(&mut b, Some(SpParams::new(4, 4)), 3);
+        assert_eq!(
+            ra.checksum, rb.checksum,
+            "prefetching must be purely a hint"
+        );
+        assert!(rb.helper_covered > 0, "helper must have covered iterations");
+    }
+
+    #[test]
+    fn conventional_helper_also_preserves_results() {
+        let mut a = Em3d::build(Em3dConfig::tiny());
+        let mut b = Em3d::build(Em3dConfig::tiny());
+        let ra = run_em3d_native(&mut a, None, 2);
+        let rb = run_em3d_native(&mut b, Some(SpParams::conventional()), 2);
+        assert_eq!(ra.checksum, rb.checksum);
+    }
+
+    #[test]
+    fn multiple_passes_iterate_the_values() {
+        let mut a = Em3d::build(Em3dConfig::tiny());
+        let mut b = Em3d::build(Em3dConfig::tiny());
+        let r1 = run_em3d_native(&mut a, None, 1);
+        let r2 = run_em3d_native(&mut b, None, 2);
+        assert_ne!(r1.checksum, r2.checksum);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pass")]
+    fn zero_passes_rejected() {
+        let mut g = Em3d::build(Em3dConfig::tiny());
+        let _ = run_em3d_native(&mut g, None, 0);
+    }
+}

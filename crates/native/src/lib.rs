@@ -1,0 +1,43 @@
+//! # sp-native
+//!
+//! The end-to-end **hardware** demonstration of Skip helper-threaded
+//! Prefetching: a real `std::thread` helper running alongside the main
+//! computation, issuing `_mm_prefetch` instructions on x86-64 (a no-op
+//! shim elsewhere), synchronized through an atomic progress counter with
+//! the same `A_SKI`/`A_PRE` round structure as the simulator.
+//!
+//! This path exists because the reproduction hint for the paper is that
+//! "prefetch intrinsics and threads exist" — the mechanism itself runs on
+//! real silicon here, while the *figures* come from the deterministic
+//! simulator in `sp-core` (wall-clock speedups on an arbitrary dev
+//! machine are not reproducible measurements; see DESIGN.md §2).
+//!
+//! Correctness contract, enforced by tests: enabling the helper never
+//! changes any computational result — prefetching is purely a hint.
+
+pub mod em3d;
+pub mod mcf;
+pub mod mst;
+pub mod prefetch;
+pub mod progress;
+
+pub use em3d::run_em3d_native;
+pub use mcf::run_mcf_native;
+pub use mst::run_mst_native;
+pub use prefetch::{prefetch_read, prefetch_slice};
+pub use progress::ProgressWindow;
+
+use std::time::Duration;
+
+/// Outcome of one native run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NativeReport {
+    /// Wall-clock time of the main computation.
+    pub elapsed: Duration,
+    /// Workload checksum (identical with and without the helper).
+    pub checksum: f64,
+    /// Outer iterations the helper pre-executed (0 without a helper).
+    pub helper_covered: u64,
+    /// Times the helper spun on the synchronization window.
+    pub helper_waits: u64,
+}

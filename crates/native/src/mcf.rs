@@ -1,0 +1,123 @@
+//! Native MCF pricing with a real SP helper thread.
+
+use crate::prefetch::prefetch_read;
+use crate::progress::ProgressWindow;
+use crate::NativeReport;
+use parking_lot::Mutex;
+use sp_core::skip::{plan, HelperStep};
+use sp_core::SpParams;
+use sp_workloads::Mcf;
+use std::time::Instant;
+
+/// Run `passes` native pricing passes over `problem`, optionally with an
+/// SP helper thread.
+///
+/// The helper prefetches the arc record and the two endpoint potentials
+/// of every pre-executed arc — MCF's delinquent loads. Everything the
+/// helper touches is read-only here, so the run is trivially race-free.
+pub fn run_mcf_native(problem: &Mcf, params: Option<SpParams>, passes: usize) -> NativeReport {
+    assert!(passes > 0, "need at least one pass");
+    let n_arcs = problem.config().arcs;
+    let run_main = |window: Option<&ProgressWindow>| -> f64 {
+        let mut checksum = 0i64;
+        for pass in 0..passes {
+            let pass_base = (pass * n_arcs) as u64;
+            let mut check = 0i64;
+            for i in 0..n_arcs {
+                let (tail, head) = problem.endpoints[i];
+                let red_cost = problem.cost[i] - problem.potential[tail as usize]
+                    + problem.potential[head as usize];
+                if red_cost < 0 {
+                    check = check.wrapping_add(red_cost);
+                }
+                if let Some(w) = window {
+                    w.publish(pass_base + i as u64);
+                }
+            }
+            checksum = checksum.wrapping_add(check);
+        }
+        checksum as f64
+    };
+    match params {
+        None => {
+            let start = Instant::now();
+            let checksum = run_main(None);
+            NativeReport {
+                elapsed: start.elapsed(),
+                checksum,
+                helper_covered: 0,
+                helper_waits: 0,
+            }
+        }
+        Some(p) => {
+            let steps = plan(p, n_arcs);
+            let window = ProgressWindow::new(p.round_len() as u64);
+            let helper_stats = Mutex::new((0u64, 0u64));
+            let start = Instant::now();
+            let mut checksum = 0.0;
+            std::thread::scope(|s| {
+                let win = &window;
+                let stats = &helper_stats;
+                let steps = &steps;
+                s.spawn(move || {
+                    win.signal_ready();
+                    let mut covered = 0u64;
+                    let mut waits = 0u64;
+                    for pass in 0..passes {
+                        let pass_base = (pass * n_arcs) as u64;
+                        for (i, step) in steps.iter().enumerate() {
+                            let (go, spins) = win.wait_for(pass_base + i as u64);
+                            waits += spins;
+                            if !go {
+                                *stats.lock() = (covered, waits);
+                                return;
+                            }
+                            if *step == HelperStep::Prefetch {
+                                covered += 1;
+                                let (tail, head) = problem.endpoints[i];
+                                prefetch_read(&problem.cost[i]);
+                                prefetch_read(&problem.potential[tail as usize]);
+                                prefetch_read(&problem.potential[head as usize]);
+                            }
+                        }
+                    }
+                    *stats.lock() = (covered, waits);
+                });
+                window.await_ready();
+                checksum = run_main(Some(&window));
+                window.finish();
+            });
+            let (covered, waits) = *helper_stats.lock();
+            NativeReport {
+                elapsed: start.elapsed(),
+                checksum,
+                helper_covered: covered,
+                helper_waits: waits,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_workloads::McfConfig;
+
+    #[test]
+    fn helper_does_not_change_the_result() {
+        let m = Mcf::build(McfConfig::tiny());
+        let ra = run_mcf_native(&m, None, 3);
+        let rb = run_mcf_native(&m, Some(SpParams::new(8, 8)), 3);
+        assert_eq!(ra.checksum, rb.checksum);
+        assert!(rb.helper_covered > 0);
+    }
+
+    #[test]
+    fn baseline_is_deterministic() {
+        let m = Mcf::build(McfConfig::tiny());
+        assert_eq!(
+            run_mcf_native(&m, None, 2).checksum,
+            run_mcf_native(&m, None, 2).checksum
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Native MST (Prim's algorithm) with a real SP helper thread.
+//!
+//! The hot structure is the `weight` matrix: after a vertex `u` joins the
+//! tree, the update loop streams `weight[u*n..(u+1)*n]`. The helper
+//! cannot know the *next* `u` (that is the algorithm's output), but it
+//! can cover the paper's skip pattern over the scan itself: within the
+//! update scan of the current row, it prefetches `A_PRE` chunks out of
+//! every `A_SKI + A_PRE` ahead of the main thread's position.
+
+use crate::prefetch::prefetch_slice;
+use crate::progress::ProgressWindow;
+use crate::NativeReport;
+use parking_lot::Mutex;
+use sp_core::skip::{plan, HelperStep};
+use sp_core::SpParams;
+use sp_workloads::Mst;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Chunk of the weight row covered by one helper "iteration", in
+/// elements (one cache line of `u32`).
+const CHUNK: usize = 16;
+
+/// Run Prim's algorithm natively, optionally with an SP helper that
+/// prefetches weight-row chunks ahead of the update scan.
+pub fn run_mst_native(problem: &Mst, params: Option<SpParams>) -> NativeReport {
+    let n = problem.config().nodes;
+    let weight = &problem.weight;
+    let current_u = AtomicUsize::new(0);
+    let chunks_per_row = n.div_ceil(CHUNK);
+
+    let prim = |window: Option<&ProgressWindow>| -> u64 {
+        let mut in_tree = vec![false; n];
+        let mut best = vec![u32::MAX; n];
+        in_tree[0] = true;
+        best[1..n].copy_from_slice(&weight[1..n]);
+        let mut total = 0u64;
+        for round in 0..n - 1 {
+            let u = (0..n)
+                .filter(|&v| !in_tree[v])
+                .min_by_key(|&v| best[v])
+                .expect("graph is complete");
+            total += best[u] as u64;
+            in_tree[u] = true;
+            current_u.store(u, Ordering::Relaxed);
+            let row = &weight[u * n..(u + 1) * n];
+            let row_base = (round * chunks_per_row) as u64;
+            for (c, chunk) in row.chunks(CHUNK).enumerate() {
+                let lo = c * CHUNK;
+                for (k, &w) in chunk.iter().enumerate() {
+                    let v = lo + k;
+                    if !in_tree[v] && w < best[v] {
+                        best[v] = w;
+                    }
+                }
+                if let Some(win) = window {
+                    win.publish(row_base + c as u64);
+                }
+            }
+        }
+        total
+    };
+
+    match params {
+        None => {
+            let start = Instant::now();
+            let total = prim(None);
+            NativeReport {
+                elapsed: start.elapsed(),
+                checksum: total as f64,
+                helper_covered: 0,
+                helper_waits: 0,
+            }
+        }
+        Some(p) => {
+            let steps = plan(p, chunks_per_row);
+            let window = ProgressWindow::new(p.round_len() as u64);
+            let helper_stats = Mutex::new((0u64, 0u64));
+            let start = Instant::now();
+            let mut total = 0u64;
+            std::thread::scope(|s| {
+                let win = &window;
+                let stats = &helper_stats;
+                let steps = &steps;
+                let current_u = &current_u;
+                s.spawn(move || {
+                    win.signal_ready();
+                    let mut covered = 0u64;
+                    let mut waits = 0u64;
+                    for round in 0..n - 1 {
+                        let row_base = (round * chunks_per_row) as u64;
+                        for (c, step) in steps.iter().enumerate() {
+                            let (go, spins) = win.wait_for(row_base + c as u64);
+                            waits += spins;
+                            if !go {
+                                *stats.lock() = (covered, waits);
+                                return;
+                            }
+                            if *step == HelperStep::Prefetch {
+                                covered += 1;
+                                let u = current_u.load(Ordering::Relaxed);
+                                let lo = (u * n + c * CHUNK).min(weight.len());
+                                let hi = (lo + CHUNK).min(weight.len());
+                                prefetch_slice(&weight[lo..hi]);
+                            }
+                        }
+                    }
+                    *stats.lock() = (covered, waits);
+                });
+                window.await_ready();
+                total = prim(Some(&window));
+                window.finish();
+            });
+            let (covered, waits) = *helper_stats.lock();
+            NativeReport {
+                elapsed: start.elapsed(),
+                checksum: total as f64,
+                helper_covered: covered,
+                helper_waits: waits,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_workloads::MstConfig;
+
+    #[test]
+    fn helper_does_not_change_the_tree_weight() {
+        let m = Mst::build(MstConfig::tiny());
+        let ra = run_mst_native(&m, None);
+        let rb = run_mst_native(&m, Some(SpParams::new(2, 2)));
+        assert_eq!(ra.checksum, rb.checksum);
+        assert!(rb.helper_covered > 0);
+    }
+
+    #[test]
+    fn native_weight_matches_reference_implementation() {
+        let m = Mst::build(MstConfig::tiny());
+        let r = run_mst_native(&m, None);
+        assert_eq!(r.checksum, m.mst_weight_native() as f64);
+    }
+}

@@ -1,0 +1,55 @@
+//! Software-prefetch intrinsics with a portable fallback.
+
+/// Prefetch the cache line containing `p` for reading, into the L2/LLC
+/// (`_MM_HINT_T1` on x86-64 — the shared-cache level SP targets). On
+/// other architectures this is a no-op: prefetching is always only a
+/// hint, so the fallback is semantically identical.
+#[inline(always)]
+pub fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T1 }>(p as *const i8);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = p;
+    }
+}
+
+/// Prefetch every cache line covered by `slice` (64-byte stride).
+#[inline]
+pub fn prefetch_slice<T>(slice: &[T]) {
+    let bytes = std::mem::size_of_val(slice);
+    let base = slice.as_ptr() as *const u8;
+    let mut off = 0usize;
+    while off < bytes {
+        // SAFETY: `base + off` stays within the allocation backing
+        // `slice` because `off < bytes = size_of_val(slice)`.
+        prefetch_read(unsafe { base.add(off) });
+        off += 64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_is_harmless_on_valid_pointers() {
+        let v = vec![1u64; 1024];
+        prefetch_read(&v[0]);
+        prefetch_read(&v[1023]);
+        prefetch_slice(&v);
+        // Values untouched.
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn prefetch_slice_handles_empty_and_tiny_slices() {
+        let empty: [u8; 0] = [];
+        prefetch_slice(&empty);
+        let one = [42u8];
+        prefetch_slice(&one);
+        assert_eq!(one[0], 42);
+    }
+}

@@ -1,0 +1,145 @@
+//! The main↔helper synchronization window.
+//!
+//! A single atomic counter carries the main thread's outer-loop progress;
+//! the helper polls it to stay within one round (`A_SKI + A_PRE`
+//! iterations) of the main thread — the same policy as the simulator's
+//! engine. The counter is monotone, so `Relaxed` ordering suffices for a
+//! *hint* mechanism: a stale read only makes the helper slightly more or
+//! less aggressive, never incorrect.
+
+use crossbeam::utils::{Backoff, CachePadded};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared progress state between the main thread and the helper.
+///
+/// The counters are cache-padded: the main thread writes `main_iter` on
+/// every iteration while the helper polls it, and sharing a line with
+/// anything the helper writes would ping-pong the line between cores.
+#[derive(Debug)]
+pub struct ProgressWindow {
+    main_iter: CachePadded<AtomicU64>,
+    done: CachePadded<AtomicU64>,
+    ready: CachePadded<AtomicU64>,
+    window: u64,
+}
+
+impl ProgressWindow {
+    /// A window allowing the helper at most `window` iterations of lead.
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "window must be positive");
+        ProgressWindow {
+            main_iter: CachePadded::new(AtomicU64::new(0)),
+            done: CachePadded::new(AtomicU64::new(0)),
+            ready: CachePadded::new(AtomicU64::new(0)),
+            window,
+        }
+    }
+
+    /// Helper: announce it is running (before its first wait).
+    pub fn signal_ready(&self) {
+        self.ready.store(1, Ordering::Release);
+    }
+
+    /// Main thread: block until the helper announced itself, so tiny
+    /// workloads cannot finish before the helper even starts.
+    pub fn await_ready(&self) {
+        let backoff = Backoff::new();
+        while self.ready.load(Ordering::Acquire) == 0 {
+            backoff.snooze();
+        }
+    }
+
+    /// Main thread: publish that iteration `i` is complete.
+    #[inline]
+    pub fn publish(&self, i: u64) {
+        self.main_iter.store(i + 1, Ordering::Relaxed);
+    }
+
+    /// Main thread: signal completion (unblocks a spinning helper).
+    pub fn finish(&self) {
+        self.done.store(1, Ordering::Release);
+    }
+
+    /// `true` once the main thread has finished.
+    #[inline]
+    pub fn finished(&self) -> bool {
+        self.done.load(Ordering::Acquire) != 0
+    }
+
+    /// Current main-thread progress (completed iterations).
+    #[inline]
+    pub fn main_progress(&self) -> u64 {
+        self.main_iter.load(Ordering::Relaxed)
+    }
+
+    /// Helper: wait (spin with backoff) until iteration `target` is
+    /// within the window, or the main thread finished while the helper
+    /// would have had to wait. Returns whether to proceed, and the number
+    /// of spins waited.
+    ///
+    /// The window test comes first: targets already admitted proceed even
+    /// after the main thread finishes (prefetching them is harmless and
+    /// keeps `covered` deterministic for in-window work); the helper only
+    /// *stops* when it would otherwise block forever.
+    pub fn wait_for(&self, target: u64) -> (bool, u64) {
+        let mut spins = 0u64;
+        let backoff = Backoff::new();
+        loop {
+            if target < self.main_progress() + self.window {
+                return (true, spins);
+            }
+            if self.finished() {
+                return (false, spins);
+            }
+            spins += 1;
+            backoff.snooze();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn window_admits_near_targets_immediately() {
+        let w = ProgressWindow::new(8);
+        let (go, spins) = w.wait_for(0);
+        assert!(go);
+        assert_eq!(spins, 0);
+        let (go, _) = w.wait_for(7);
+        assert!(go);
+    }
+
+    #[test]
+    fn finish_releases_a_blocked_helper() {
+        let w = Arc::new(ProgressWindow::new(2));
+        let w2 = Arc::clone(&w);
+        let h = std::thread::spawn(move || w2.wait_for(1_000_000));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        w.finish();
+        let (go, _) = h.join().unwrap();
+        assert!(!go, "a finished run must stop the helper");
+    }
+
+    #[test]
+    fn publish_advances_the_window() {
+        let w = Arc::new(ProgressWindow::new(4));
+        let w2 = Arc::clone(&w);
+        let h = std::thread::spawn(move || w2.wait_for(10));
+        // 10 < main + 4 requires main >= 7.
+        for i in 0..7 {
+            w.publish(i);
+        }
+        let (go, _) = h.join().unwrap();
+        assert!(go);
+        assert_eq!(w.main_progress(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_rejected() {
+        let _ = ProgressWindow::new(0);
+    }
+}

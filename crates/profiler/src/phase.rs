@@ -1,0 +1,204 @@
+//! Access-phase detection over the outer hot loop.
+//!
+//! The paper's prior work (ref \[36\], cited in §IV.C) observed that the hot
+//! functions' data accesses show *phase behavior* — stretches of the
+//! outer loop with stable access characteristics, produced by repeated
+//! loop bodies or repeated calls to the hot function. The profiler first
+//! detects these phases, then samples within them.
+//!
+//! Detection here is feature-based: the trace is cut into fixed windows
+//! of outer iterations; each window's feature vector is (references per
+//! iteration, distinct blocks per iteration); consecutive windows whose
+//! features differ by less than a relative tolerance merge into a phase.
+
+use sp_trace::{HotLoopTrace, VAddr};
+use std::collections::HashSet;
+
+/// Phase-detection parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseConfig {
+    /// Outer iterations per analysis window.
+    pub window: usize,
+    /// Relative feature-difference tolerance for merging windows.
+    pub rel_tol: f64,
+    /// Cache line size used for the distinct-block feature.
+    pub line_size: u64,
+}
+
+impl Default for PhaseConfig {
+    fn default() -> Self {
+        PhaseConfig {
+            window: 64,
+            rel_tol: 0.25,
+            line_size: 64,
+        }
+    }
+}
+
+/// One detected phase of the hot loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// First outer iteration of the phase (inclusive).
+    pub start_iter: usize,
+    /// One past the last outer iteration of the phase.
+    pub end_iter: usize,
+    /// Mean references per iteration over the phase.
+    pub refs_per_iter: f64,
+    /// Mean distinct blocks touched per iteration over the phase.
+    pub blocks_per_iter: f64,
+}
+
+impl Phase {
+    /// Iterations covered by the phase.
+    pub fn len(&self) -> usize {
+        self.end_iter - self.start_iter
+    }
+
+    /// `true` if the phase covers no iterations.
+    pub fn is_empty(&self) -> bool {
+        self.end_iter == self.start_iter
+    }
+}
+
+fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    let denom = a.abs().max(b.abs()).max(1e-9);
+    (a - b).abs() / denom <= tol
+}
+
+/// Detect phases of `trace` under `cfg`.
+pub fn detect_phases(trace: &HotLoopTrace, cfg: PhaseConfig) -> Vec<Phase> {
+    assert!(cfg.window > 0, "window must be positive");
+    let n = trace.iters.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Per-window features.
+    struct Win {
+        start: usize,
+        end: usize,
+        refs: f64,
+        blocks: f64,
+    }
+    let mut wins = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let end = (i + cfg.window).min(n);
+        let mut refs = 0usize;
+        let mut blocks: HashSet<VAddr> = HashSet::new();
+        for it in &trace.iters[i..end] {
+            refs += it.len();
+            for r in it.refs() {
+                blocks.insert(r.block(cfg.line_size));
+            }
+        }
+        let iters = (end - i) as f64;
+        wins.push(Win {
+            start: i,
+            end,
+            refs: refs as f64 / iters,
+            blocks: blocks.len() as f64 / iters,
+        });
+        i = end;
+    }
+    // Merge consecutive similar windows.
+    let mut phases: Vec<Phase> = Vec::new();
+    for w in wins {
+        if let Some(last) = phases.last_mut() {
+            if rel_close(last.refs_per_iter, w.refs, cfg.rel_tol)
+                && rel_close(last.blocks_per_iter, w.blocks, cfg.rel_tol)
+            {
+                // Weighted merge.
+                let a = last.len() as f64;
+                let b = (w.end - w.start) as f64;
+                last.refs_per_iter = (last.refs_per_iter * a + w.refs * b) / (a + b);
+                last.blocks_per_iter = (last.blocks_per_iter * a + w.blocks * b) / (a + b);
+                last.end_iter = w.end;
+                continue;
+            }
+        }
+        phases.push(Phase {
+            start_iter: w.start,
+            end_iter: w.end,
+            refs_per_iter: w.refs,
+            blocks_per_iter: w.blocks,
+        });
+    }
+    phases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_trace::synth;
+    use sp_trace::{IterRecord, MemRef};
+
+    #[test]
+    fn uniform_trace_is_one_phase() {
+        let t = synth::sequential(512, 4, 0, 64, 0);
+        let phases = detect_phases(&t, PhaseConfig::default());
+        assert_eq!(phases.len(), 1);
+        let p = &phases[0];
+        assert_eq!((p.start_iter, p.end_iter), (0, 512));
+        assert!((p.refs_per_iter - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abrupt_intensity_change_splits_phases() {
+        // 256 iterations with 2 refs each, then 256 with 16 refs each.
+        let mut t = synth::sequential(256, 2, 0, 64, 0);
+        let heavy = synth::sequential(256, 16, 1 << 24, 64, 0);
+        t.iters.extend(heavy.iters);
+        let phases = detect_phases(&t, PhaseConfig::default());
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].end_iter, 256);
+        assert_eq!(phases[1].start_iter, 256);
+        assert!(phases[1].refs_per_iter > phases[0].refs_per_iter * 4.0);
+    }
+
+    #[test]
+    fn footprint_change_splits_phases_even_at_equal_intensity() {
+        // Same refs/iter, but first half re-touches one block while the
+        // second half streams new blocks.
+        let mut t = sp_trace::HotLoopTrace::new("t");
+        for _ in 0..256 {
+            t.iters.push(IterRecord {
+                backbone: Vec::new(),
+                inner: vec![MemRef::anon(0), MemRef::anon(8)],
+                compute_cycles: 0,
+            });
+        }
+        let stream = synth::sequential(256, 2, 1 << 24, 64, 0);
+        t.iters.extend(stream.iters);
+        let phases = detect_phases(&t, PhaseConfig::default());
+        assert_eq!(phases.len(), 2);
+        assert!(phases[1].blocks_per_iter > phases[0].blocks_per_iter * 10.0);
+    }
+
+    #[test]
+    fn empty_trace_yields_no_phases() {
+        let t = sp_trace::HotLoopTrace::new("empty");
+        assert!(detect_phases(&t, PhaseConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn phases_partition_the_trace() {
+        let mut t = synth::sequential(100, 2, 0, 64, 0);
+        t.iters
+            .extend(synth::sequential(300, 9, 1 << 24, 64, 0).iters);
+        t.iters
+            .extend(synth::sequential(77, 2, 1 << 30, 64, 0).iters);
+        let phases = detect_phases(&t, PhaseConfig::default());
+        assert_eq!(phases.first().unwrap().start_iter, 0);
+        assert_eq!(phases.last().unwrap().end_iter, 477);
+        for w in phases.windows(2) {
+            assert_eq!(w[0].end_iter, w[1].start_iter, "phases must be contiguous");
+        }
+    }
+
+    #[test]
+    fn short_tail_window_is_absorbed_or_kept_consistently() {
+        let t = synth::sequential(70, 3, 0, 64, 0); // window 64 + tail 6
+        let phases = detect_phases(&t, PhaseConfig::default());
+        assert_eq!(phases.last().unwrap().end_iter, 70);
+    }
+}

@@ -1,0 +1,138 @@
+//! Single memory-reference records.
+
+/// A simulated virtual address, in bytes.
+///
+/// Workloads allocate their data structures from `sp-workloads`' arena,
+/// which hands out stable addresses in a flat 64-bit space; the cache
+/// simulator only ever looks at block/set/tag projections of this value.
+pub type VAddr = u64;
+
+/// Identifies a static reference site (a load/store instruction in the hot
+/// loop, e.g. `other_node->from_length` in the paper's Fig. 1(a)).
+///
+/// Sites are small dense integers; [`HotLoopTrace`](crate::HotLoopTrace)
+/// carries a parallel `site_names` table for reporting. Delinquent-load
+/// ranking in `sp-profiler` is keyed by `SiteId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId(pub u32);
+
+impl SiteId {
+    /// Site used when the origin of a reference is irrelevant (synthetic
+    /// streams, tests).
+    pub const ANON: SiteId = SiteId(u32::MAX);
+}
+
+/// What kind of memory operation a reference is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A demand load.
+    Load,
+    /// A demand store. Stores allocate in cache like loads (write-allocate)
+    /// but are never issued by the helper thread.
+    Store,
+    /// A software prefetch (issued by the helper thread). Fills the shared
+    /// cache but does not stall the issuing core on a miss.
+    Prefetch,
+}
+
+impl AccessKind {
+    /// `true` for operations that the paper's helper thread replicates
+    /// (it executes "only the load's computation", paper §II.A).
+    pub fn helper_visible(self) -> bool {
+        matches!(self, AccessKind::Load)
+    }
+}
+
+/// One memory reference of the hot loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Simulated virtual address of the first byte touched.
+    pub vaddr: VAddr,
+    /// Static reference site this access came from.
+    pub site: SiteId,
+    /// Operation kind.
+    pub kind: AccessKind,
+}
+
+impl MemRef {
+    /// A demand load at `vaddr` from `site`.
+    pub fn load(vaddr: VAddr, site: SiteId) -> Self {
+        MemRef {
+            vaddr,
+            site,
+            kind: AccessKind::Load,
+        }
+    }
+
+    /// A demand store at `vaddr` from `site`.
+    pub fn store(vaddr: VAddr, site: SiteId) -> Self {
+        MemRef {
+            vaddr,
+            site,
+            kind: AccessKind::Store,
+        }
+    }
+
+    /// An anonymous load, for tests and synthetic streams.
+    pub fn anon(vaddr: VAddr) -> Self {
+        MemRef::load(vaddr, SiteId::ANON)
+    }
+
+    /// The same reference reissued as a software prefetch (what the helper
+    /// thread does with a delinquent load).
+    pub fn as_prefetch(self) -> Self {
+        MemRef {
+            kind: AccessKind::Prefetch,
+            ..self
+        }
+    }
+
+    /// Block-aligned address for a cache with `line_size` bytes per line.
+    /// `line_size` must be a power of two.
+    pub fn block(self, line_size: u64) -> VAddr {
+        debug_assert!(line_size.is_power_of_two());
+        self.vaddr & !(line_size - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_alignment_masks_low_bits() {
+        let r = MemRef::anon(0x1234_5678);
+        assert_eq!(r.block(64), 0x1234_5640);
+        assert_eq!(r.block(1), 0x1234_5678);
+        assert_eq!(r.block(4096), 0x1234_5000);
+    }
+
+    #[test]
+    fn block_of_aligned_address_is_identity() {
+        let r = MemRef::anon(0x40);
+        assert_eq!(r.block(64), 0x40);
+    }
+
+    #[test]
+    fn prefetch_conversion_keeps_address_and_site() {
+        let r = MemRef::load(0xdead_beef, SiteId(7));
+        let p = r.as_prefetch();
+        assert_eq!(p.vaddr, r.vaddr);
+        assert_eq!(p.site, r.site);
+        assert_eq!(p.kind, AccessKind::Prefetch);
+    }
+
+    #[test]
+    fn helper_visibility() {
+        assert!(AccessKind::Load.helper_visible());
+        assert!(!AccessKind::Store.helper_visible());
+        assert!(!AccessKind::Prefetch.helper_visible());
+    }
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(MemRef::load(1, SiteId(0)).kind, AccessKind::Load);
+        assert_eq!(MemRef::store(1, SiteId(0)).kind, AccessKind::Store);
+        assert_eq!(MemRef::anon(1).site, SiteId::ANON);
+    }
+}

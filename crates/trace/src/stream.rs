@@ -1,0 +1,224 @@
+//! Hot-loop traces: per-outer-iteration reference streams.
+
+use crate::record::{AccessKind, MemRef, VAddr};
+use std::collections::HashSet;
+
+/// The references and computation attributed to **one outer-loop
+/// iteration** of a hot loop.
+///
+/// The split between `backbone` and `inner` mirrors the structure the
+/// SP transformation needs (paper Fig. 1): in a *skipped* iteration the
+/// helper thread still executes the backbone (it must chase
+/// `curr_node->next` to advance), but omits the inner loop; in a
+/// *pre-executed* iteration it executes both.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IterRecord {
+    /// References required to advance the outer loop (the LDS pointer
+    /// chase through the node list).
+    pub backbone: Vec<MemRef>,
+    /// Inner-loop references — the delinquent loads the helper prefetches.
+    pub inner: Vec<MemRef>,
+    /// Pure computation cycles attributed to this iteration (arithmetic
+    /// between accesses). Together with the access latencies this defines
+    /// the loop's CALR (computation/access-latency ratio).
+    pub compute_cycles: u64,
+}
+
+impl IterRecord {
+    /// Number of references in this iteration.
+    pub fn len(&self) -> usize {
+        self.backbone.len() + self.inner.len()
+    }
+
+    /// `true` if the iteration issues no references at all.
+    pub fn is_empty(&self) -> bool {
+        self.backbone.is_empty() && self.inner.is_empty()
+    }
+
+    /// All references of the iteration, backbone first (program order).
+    pub fn refs(&self) -> impl Iterator<Item = &MemRef> {
+        self.backbone.iter().chain(self.inner.iter())
+    }
+}
+
+/// A profiled hot loop: one [`IterRecord`] per outer-loop iteration.
+#[derive(Debug, Clone, Default)]
+pub struct HotLoopTrace {
+    /// Human-readable name of the hot function (e.g. `"em3d::compute_nodes"`).
+    pub name: String,
+    /// Names of the static reference sites, indexed by
+    /// [`SiteId`](crate::SiteId) value.
+    pub site_names: Vec<String>,
+    /// The iterations of the outer hot loop, in program order.
+    pub iters: Vec<IterRecord>,
+}
+
+impl HotLoopTrace {
+    /// An empty trace with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        HotLoopTrace {
+            name: name.into(),
+            site_names: Vec::new(),
+            iters: Vec::new(),
+        }
+    }
+
+    /// Number of outer-loop iterations.
+    pub fn outer_iters(&self) -> usize {
+        self.iters.len()
+    }
+
+    /// Total number of references across all iterations.
+    pub fn total_refs(&self) -> usize {
+        self.iters.iter().map(IterRecord::len).sum()
+    }
+
+    /// Iterate over `(outer_iteration, reference)` pairs in program order.
+    ///
+    /// This is the flat stream the Set Affinity analysis (paper Fig. 3)
+    /// walks: each reference carries the iteration count of the outer hot
+    /// loop at which it was issued.
+    pub fn tagged_refs(&self) -> impl Iterator<Item = (u32, &MemRef)> {
+        self.iters
+            .iter()
+            .enumerate()
+            .flat_map(|(i, it)| it.refs().map(move |r| (i as u32, r)))
+    }
+
+    /// Summary statistics over the trace for a given cache line size.
+    pub fn stats(&self, line_size: u64) -> TraceStats {
+        let mut blocks: HashSet<VAddr> = HashSet::new();
+        let mut loads = 0usize;
+        let mut stores = 0usize;
+        let mut backbone_refs = 0usize;
+        let mut inner_refs = 0usize;
+        let mut compute_cycles = 0u64;
+        for it in &self.iters {
+            backbone_refs += it.backbone.len();
+            inner_refs += it.inner.len();
+            compute_cycles += it.compute_cycles;
+            for r in it.refs() {
+                blocks.insert(r.block(line_size));
+                match r.kind {
+                    AccessKind::Load | AccessKind::Prefetch => loads += 1,
+                    AccessKind::Store => stores += 1,
+                }
+            }
+        }
+        TraceStats {
+            outer_iters: self.iters.len(),
+            total_refs: backbone_refs + inner_refs,
+            backbone_refs,
+            inner_refs,
+            loads,
+            stores,
+            unique_blocks: blocks.len(),
+            footprint_bytes: blocks.len() as u64 * line_size,
+            compute_cycles,
+        }
+    }
+
+    /// Truncate the trace to the first `n` outer iterations (used by the
+    /// burst sampler and by tests). No-op if the trace is shorter.
+    pub fn truncated(&self, n: usize) -> HotLoopTrace {
+        HotLoopTrace {
+            name: self.name.clone(),
+            site_names: self.site_names.clone(),
+            iters: self.iters.iter().take(n).cloned().collect(),
+        }
+    }
+}
+
+/// Aggregate statistics of a [`HotLoopTrace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Number of outer-loop iterations.
+    pub outer_iters: usize,
+    /// Total references.
+    pub total_refs: usize,
+    /// References in outer-loop backbones.
+    pub backbone_refs: usize,
+    /// References in inner loops (delinquent-load candidates).
+    pub inner_refs: usize,
+    /// Load (and prefetch) references.
+    pub loads: usize,
+    /// Store references.
+    pub stores: usize,
+    /// Distinct cache blocks touched.
+    pub unique_blocks: usize,
+    /// `unique_blocks * line_size`.
+    pub footprint_bytes: u64,
+    /// Total pure-computation cycles in the trace.
+    pub compute_cycles: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::SiteId;
+
+    fn trace_2x2() -> HotLoopTrace {
+        let mut t = HotLoopTrace::new("t");
+        t.iters.push(IterRecord {
+            backbone: vec![MemRef::load(0, SiteId(0))],
+            inner: vec![MemRef::load(64, SiteId(1)), MemRef::store(128, SiteId(2))],
+            compute_cycles: 10,
+        });
+        t.iters.push(IterRecord {
+            backbone: vec![MemRef::load(256, SiteId(0))],
+            inner: vec![MemRef::load(64, SiteId(1))],
+            compute_cycles: 5,
+        });
+        t
+    }
+
+    #[test]
+    fn tagged_refs_preserve_program_order_and_iteration_tags() {
+        let t = trace_2x2();
+        let tags: Vec<(u32, VAddr)> = t.tagged_refs().map(|(i, r)| (i, r.vaddr)).collect();
+        assert_eq!(tags, vec![(0, 0), (0, 64), (0, 128), (1, 256), (1, 64)]);
+    }
+
+    #[test]
+    fn stats_count_unique_blocks_not_refs() {
+        let t = trace_2x2();
+        let s = t.stats(64);
+        assert_eq!(s.outer_iters, 2);
+        assert_eq!(s.total_refs, 5);
+        assert_eq!(s.backbone_refs, 2);
+        assert_eq!(s.inner_refs, 3);
+        assert_eq!(s.loads, 4);
+        assert_eq!(s.stores, 1);
+        // blocks: 0, 64, 128, 256 -> 4 (the second access to 64 dedups)
+        assert_eq!(s.unique_blocks, 4);
+        assert_eq!(s.footprint_bytes, 256);
+        assert_eq!(s.compute_cycles, 15);
+    }
+
+    #[test]
+    fn stats_respect_line_size() {
+        let t = trace_2x2();
+        // With 512-byte lines everything collapses into one block.
+        assert_eq!(t.stats(512).unique_blocks, 1);
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let t = trace_2x2();
+        let t1 = t.truncated(1);
+        assert_eq!(t1.outer_iters(), 1);
+        assert_eq!(t1.total_refs(), 3);
+        // Longer than the trace: no-op.
+        assert_eq!(t.truncated(10).outer_iters(), 2);
+    }
+
+    #[test]
+    fn iter_record_len_and_empty() {
+        let it = IterRecord::default();
+        assert!(it.is_empty());
+        assert_eq!(it.len(), 0);
+        let t = trace_2x2();
+        assert_eq!(t.iters[0].len(), 3);
+        assert!(!t.iters[0].is_empty());
+    }
+}

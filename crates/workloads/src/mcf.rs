@@ -1,0 +1,285 @@
+//! MCF (SPEC CPU2006 429.mcf) — network-simplex pricing kernel.
+//!
+//! The cycle-dominant hot loop of MCF is `primal_bea_mpp`: a linear scan
+//! over the arc array that, per arc, reads the arc record and dereferences
+//! the `tail` and `head` node structures to compute the reduced cost
+//! `red_cost = cost - tail->potential + head->potential`. The arc scan is
+//! sequential (streamer-friendly) but the node dereferences are irregular.
+//!
+//! Per outer iteration (one arc examined) only ~half a new block enters
+//! any cache set, so MCF's Set Affinity is large (paper Table 2:
+//! [3000, 46000]) and its tolerated prefetch distance correspondingly
+//! long (paper §V.A: < 1500).
+
+use crate::arena::Arena;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sp_trace::{HotLoopTrace, IterRecord, MemRef, VAddr};
+
+/// Reference-site ids used in MCF traces.
+pub mod sites {
+    use sp_trace::SiteId;
+    /// `arc = &arcs[i]` record read (sequential scan).
+    pub const ARC: SiteId = SiteId(0);
+    /// `arc->tail->potential`.
+    pub const TAIL_POT: SiteId = SiteId(1);
+    /// `arc->head->potential`.
+    pub const HEAD_POT: SiteId = SiteId(2);
+    /// Basket insert (write to the candidate-list entry).
+    pub const BASKET: SiteId = SiteId(3);
+}
+
+/// MCF build parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McfConfig {
+    /// Number of arcs scanned by one pricing pass.
+    pub arcs: usize,
+    /// Number of network nodes.
+    pub nodes: usize,
+    /// RNG seed for the network wiring.
+    pub seed: u64,
+    /// Computation cycles per arc (the reduced-cost arithmetic).
+    pub compute_per_arc: u64,
+    /// Fraction of arcs entering the basket, as 1-in-N (Olden-style
+    /// deterministic substitute for the pricing test).
+    pub basket_one_in: usize,
+}
+
+impl McfConfig {
+    /// Default scaled input matched to the scaled cache config.
+    pub fn scaled() -> Self {
+        McfConfig {
+            arcs: 40_000,
+            nodes: 2_560,
+            seed: 0x4CF,
+            compute_per_arc: 6,
+            basket_one_in: 16,
+        }
+    }
+
+    /// A rough stand-in for the `ref` input's pricing-pass size (the real
+    /// input has ~2.4M arcs; this keeps the same arcs:nodes ratio).
+    pub fn paper() -> Self {
+        McfConfig {
+            arcs: 2_400_000,
+            nodes: 150_000,
+            ..Self::scaled()
+        }
+    }
+
+    /// A small input for fast tests.
+    pub fn tiny() -> Self {
+        McfConfig {
+            arcs: 512,
+            nodes: 64,
+            ..Self::scaled()
+        }
+    }
+}
+
+/// A built MCF pricing problem.
+#[derive(Debug, Clone)]
+pub struct Mcf {
+    cfg: McfConfig,
+    /// Base simulated address of the arc array (32-byte records).
+    arc_base: VAddr,
+    /// Simulated address of each node structure (64-byte records).
+    node_addr: Vec<VAddr>,
+    /// Per-arc endpoints `(tail, head)`.
+    pub endpoints: Vec<(u32, u32)>,
+    /// Base simulated address of the basket (candidate list).
+    basket_base: VAddr,
+    /// Native per-node potentials.
+    pub potential: Vec<i64>,
+    /// Native per-arc costs.
+    pub cost: Vec<i64>,
+}
+
+/// Size of one simulated arc record, bytes (cost, endpoints, ident —
+/// mcf's `arc` struct packs to two per 64-byte line).
+pub const ARC_BYTES: u64 = 32;
+
+impl Mcf {
+    /// Build the network.
+    pub fn build(cfg: McfConfig) -> Self {
+        assert!(cfg.nodes >= 2 && cfg.arcs >= 1);
+        assert!(cfg.basket_one_in >= 1);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut arena = Arena::new(0x100_0000);
+        let arc_base = arena.alloc_array(cfg.arcs as u64, ARC_BYTES, 64);
+        let node_addr: Vec<VAddr> = (0..cfg.nodes).map(|_| arena.alloc(64, 64)).collect();
+        let basket_base = arena.alloc_array(cfg.arcs as u64 / 8 + 1, 16, 64);
+        let endpoints = (0..cfg.arcs)
+            .map(|_| {
+                let t = rng.gen_range(0..cfg.nodes as u32);
+                let mut h = rng.gen_range(0..cfg.nodes as u32);
+                if h == t {
+                    h = (h + 1) % cfg.nodes as u32;
+                }
+                (t, h)
+            })
+            .collect();
+        let potential = (0..cfg.nodes)
+            .map(|i| (i as i64 * 37) % 1000 - 500)
+            .collect();
+        let cost = (0..cfg.arcs)
+            .map(|i| (i as i64 * 13) % 2000 - 1000)
+            .collect();
+        Mcf {
+            cfg,
+            arc_base,
+            node_addr,
+            endpoints,
+            basket_base,
+            potential,
+            cost,
+        }
+    }
+
+    /// This problem's configuration.
+    pub fn config(&self) -> McfConfig {
+        self.cfg
+    }
+
+    /// Outer-hot-loop iterations of one pricing pass (= arcs scanned).
+    pub fn hot_iterations(&self) -> usize {
+        self.cfg.arcs
+    }
+
+    /// Emit the reference stream of one `primal_bea_mpp` pricing pass.
+    ///
+    /// The outer "backbone" is empty: the scan advances by array index,
+    /// so a skipping helper thread pays nothing for skipped arcs (unlike
+    /// EM3D's pointer chase).
+    pub fn trace(&self) -> HotLoopTrace {
+        let mut t = HotLoopTrace::new("mcf::primal_bea_mpp");
+        t.site_names = vec![
+            "arcs[i]".into(),
+            "arc->tail->potential".into(),
+            "arc->head->potential".into(),
+            "basket insert".into(),
+        ];
+        t.iters = self.iter_records().collect();
+        t
+    }
+
+    /// Stream the pricing pass's iterations without materializing the
+    /// whole trace (paper-scale MCF has millions of arcs).
+    pub fn iter_records(&self) -> impl Iterator<Item = IterRecord> + '_ {
+        (0..self.cfg.arcs).map(move |i| {
+            let (tail, head) = self.endpoints[i];
+            let mut inner = vec![
+                MemRef::load(self.arc_base + i as u64 * ARC_BYTES, sites::ARC),
+                MemRef::load(self.node_addr[tail as usize], sites::TAIL_POT),
+                MemRef::load(self.node_addr[head as usize], sites::HEAD_POT),
+            ];
+            if i % self.cfg.basket_one_in == 0 {
+                // Basket slot index: one entry per `basket_one_in` arcs.
+                let basket_len = (i / self.cfg.basket_one_in) as u64;
+                inner.push(MemRef::store(
+                    self.basket_base + basket_len * 16,
+                    sites::BASKET,
+                ));
+            }
+            IterRecord {
+                backbone: Vec::new(),
+                inner,
+                compute_cycles: self.cfg.compute_per_arc,
+            }
+        })
+    }
+
+    /// Stream `(outer_iteration, reference)` pairs.
+    pub fn ref_iter(&self) -> impl Iterator<Item = (u32, MemRef)> + '_ {
+        self.iter_records().enumerate().flat_map(|(i, it)| {
+            let refs: Vec<MemRef> = it.refs().copied().collect();
+            refs.into_iter().map(move |r| (i as u32, r))
+        })
+    }
+
+    /// Run one native pricing pass; returns the number of basket entries
+    /// and a cost checksum.
+    pub fn price_native(&self) -> (usize, i64) {
+        let mut basket = 0usize;
+        let mut check = 0i64;
+        for i in 0..self.cfg.arcs {
+            let (tail, head) = self.endpoints[i];
+            let red_cost =
+                self.cost[i] - self.potential[tail as usize] + self.potential[head as usize];
+            if red_cost < 0 || i % self.cfg.basket_one_in == 0 {
+                basket += 1;
+                check = check.wrapping_add(red_cost);
+            }
+        }
+        (basket, check)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = Mcf::build(McfConfig::tiny());
+        let b = Mcf::build(McfConfig::tiny());
+        assert_eq!(a.endpoints, b.endpoints);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let m = Mcf::build(McfConfig::tiny());
+        assert!(m.endpoints.iter().all(|&(t, h)| t != h));
+    }
+
+    #[test]
+    fn arc_scan_is_sequential() {
+        let m = Mcf::build(McfConfig::tiny());
+        let t = m.trace();
+        let arcs: Vec<u64> = t
+            .tagged_refs()
+            .filter(|(_, r)| r.site == sites::ARC)
+            .map(|(_, r)| r.vaddr)
+            .collect();
+        assert_eq!(arcs.len(), m.hot_iterations());
+        for w in arcs.windows(2) {
+            assert_eq!(w[1] - w[0], ARC_BYTES);
+        }
+    }
+
+    #[test]
+    fn backbone_is_empty_index_based_scan() {
+        let m = Mcf::build(McfConfig::tiny());
+        let t = m.trace();
+        assert!(t.iters.iter().all(|it| it.backbone.is_empty()));
+    }
+
+    #[test]
+    fn node_loads_point_at_node_records() {
+        let m = Mcf::build(McfConfig::tiny());
+        let t = m.trace();
+        for (i, it) in t.iters.iter().enumerate() {
+            let (tail, head) = m.endpoints[i];
+            assert_eq!(it.inner[1].vaddr, m.node_addr[tail as usize]);
+            assert_eq!(it.inner[2].vaddr, m.node_addr[head as usize]);
+        }
+    }
+
+    #[test]
+    fn basket_stores_are_periodic() {
+        let m = Mcf::build(McfConfig::tiny());
+        let t = m.trace();
+        let n_stores = t
+            .tagged_refs()
+            .filter(|(_, r)| r.site == sites::BASKET)
+            .count();
+        assert_eq!(n_stores, m.cfg.arcs.div_ceil(m.cfg.basket_one_in));
+    }
+
+    #[test]
+    fn native_pricing_is_deterministic() {
+        let m = Mcf::build(McfConfig::tiny());
+        assert_eq!(m.price_native(), m.price_native());
+        assert!(m.price_native().0 > 0);
+    }
+}

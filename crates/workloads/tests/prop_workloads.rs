@@ -1,0 +1,179 @@
+//! Property tests: workload construction invariants across input sizes.
+
+use proptest::prelude::*;
+use sp_workloads::{em3d, mcf, mst, Em3d, Em3dConfig, Mcf, McfConfig, Mst, MstConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// EM3D stays bipartite and its trace matches the configured shape
+    /// for arbitrary (small) sizes and seeds.
+    #[test]
+    fn em3d_shape(half in 2usize..40, degree in 1usize..8, seed in 0u64..100, frag in proptest::bool::ANY) {
+        let cfg = Em3dConfig {
+            nodes: half * 2,
+            degree,
+            seed,
+            fragmented: frag,
+            compute_per_edge: 2,
+            native: true,
+        };
+        let g = Em3d::build(cfg);
+        let t = g.trace();
+        prop_assert_eq!(t.outer_iters(), cfg.nodes);
+        for (i, it) in t.iters.iter().enumerate() {
+            prop_assert_eq!(it.backbone.len(), 1);
+            prop_assert_eq!(it.inner.len(), 3 * degree + 1);
+            for &o in g.neighbours(i) {
+                prop_assert_ne!(i < half, (o as usize) < half, "edge must cross partition");
+            }
+        }
+        // Node addresses are 64-byte aligned and distinct.
+        let mut seen = std::collections::HashSet::new();
+        for (_, r) in t.tagged_refs().filter(|(_, r)| r.site == em3d::sites::NEXT) {
+            prop_assert_eq!(r.vaddr % 64, 0);
+            seen.insert(r.vaddr);
+        }
+        prop_assert_eq!(seen.len(), cfg.nodes);
+    }
+
+    /// EM3D's native kernel is seed-deterministic and finite.
+    #[test]
+    fn em3d_native_deterministic(half in 2usize..20, seed in 0u64..50) {
+        let cfg = Em3dConfig {
+            nodes: half * 2,
+            degree: 3,
+            seed,
+            fragmented: true,
+            compute_per_edge: 1,
+            native: true,
+        };
+        let mut a = Em3d::build(cfg);
+        let mut b = Em3d::build(cfg);
+        let (ca, cb) = (a.compute_native(), b.compute_native());
+        prop_assert_eq!(ca, cb);
+        prop_assert!(ca.is_finite());
+    }
+
+    /// MCF: the arc scan is sequential, endpoints are valid and never
+    /// self-loops, and the trace has one iteration per arc.
+    #[test]
+    fn mcf_shape(arcs in 1usize..400, nodes in 2usize..64, seed in 0u64..100) {
+        let cfg = McfConfig { arcs, nodes, seed, compute_per_arc: 3, basket_one_in: 7 };
+        let m = Mcf::build(cfg);
+        let t = m.trace();
+        prop_assert_eq!(t.outer_iters(), arcs);
+        for &(tail, head) in &m.endpoints {
+            prop_assert!(tail != head);
+            prop_assert!((tail as usize) < nodes && (head as usize) < nodes);
+        }
+        let arcs_refs: Vec<u64> = t
+            .tagged_refs()
+            .filter(|(_, r)| r.site == mcf::sites::ARC)
+            .map(|(_, r)| r.vaddr)
+            .collect();
+        for w in arcs_refs.windows(2) {
+            prop_assert_eq!(w[1] - w[0], mcf::ARC_BYTES);
+        }
+        let (basket, _) = m.price_native();
+        prop_assert!(basket >= arcs.div_ceil(cfg.basket_one_in));
+    }
+
+    /// MST: the trace is triangular, weights symmetric, and Prim's tree
+    /// weight bounded by n-1 maximal edges.
+    #[test]
+    fn mst_shape(nodes in 3usize..24, seed in 0u64..100) {
+        let cfg = MstConfig { nodes, buckets: 8, seed, compute_per_visit: 2, native: true };
+        let m = Mst::build(cfg);
+        let t = m.trace();
+        prop_assert_eq!(t.outer_iters(), nodes * (nodes - 1) / 2);
+        for u in 0..nodes {
+            for v in 0..nodes {
+                prop_assert_eq!(m.weight[u * nodes + v], m.weight[v * nodes + u]);
+            }
+        }
+        let w = m.mst_weight_native();
+        prop_assert!(w >= (nodes as u64 - 1));
+        prop_assert!(w <= (nodes as u64 - 1) * 65_521);
+        // Every iteration probes exactly one bucket within bounds.
+        for (_, r) in t.tagged_refs().filter(|(_, r)| r.site == mst::sites::BUCKET) {
+            prop_assert_eq!(r.vaddr % 8, 0);
+        }
+    }
+
+    /// The arena never hands out overlapping allocations.
+    #[test]
+    fn arena_no_overlap(sizes in proptest::collection::vec(1u64..256, 1..60), gap in 0u64..128, seed in 0u64..50) {
+        let mut a = sp_workloads::Arena::fragmented(0x1000, gap, seed);
+        let mut regions: Vec<(u64, u64)> = Vec::new();
+        for s in sizes {
+            let p = a.alloc(s, 8);
+            prop_assert_eq!(p % 8, 0);
+            for &(q, len) in &regions {
+                prop_assert!(p >= q + len || p + s <= q, "overlap at {p:#x}");
+            }
+            regions.push((p, s));
+        }
+    }
+}
+
+mod streaming_equivalence {
+    use super::*;
+
+    /// The streaming iterators must produce exactly the materialized
+    /// trace for every workload (the paper-scale analyses rely on this).
+    #[test]
+    fn iter_records_equal_trace() {
+        let em3d = Em3d::build(Em3dConfig::tiny());
+        assert!(em3d.iter_records().eq(em3d.trace().iters.into_iter()));
+        let mcf = Mcf::build(McfConfig::tiny());
+        assert!(mcf.iter_records().eq(mcf.trace().iters.into_iter()));
+        let mst = Mst::build(MstConfig::tiny());
+        assert!(mst.iter_records().eq(mst.trace().iters.into_iter()));
+    }
+
+    #[test]
+    fn ref_iter_equals_tagged_refs() {
+        let em3d = Em3d::build(Em3dConfig::tiny());
+        let t = em3d.trace();
+        let a: Vec<(u32, sp_trace::MemRef)> = em3d.ref_iter().collect();
+        let b: Vec<(u32, sp_trace::MemRef)> = t.tagged_refs().map(|(i, r)| (i, *r)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn layout_only_builds_still_stream() {
+        // Paper-scale configs skip the native arrays but must still
+        // produce the full reference stream.
+        let cfg = Em3dConfig {
+            nodes: 64,
+            degree: 4,
+            native: false,
+            ..Em3dConfig::tiny()
+        };
+        let g = Em3d::build(cfg);
+        assert!(g.values.is_empty() && g.coeffs.is_empty());
+        assert_eq!(g.ref_iter().count(), g.trace().total_refs());
+        let mcfg = MstConfig {
+            nodes: 16,
+            native: false,
+            ..MstConfig::tiny()
+        };
+        let m = Mst::build(mcfg);
+        assert!(m.weight.is_empty());
+        assert!(m.iter_records().count() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "layout-only")]
+    fn native_kernel_rejected_on_layout_only_build() {
+        let cfg = Em3dConfig {
+            nodes: 8,
+            degree: 2,
+            native: false,
+            ..Em3dConfig::tiny()
+        };
+        let mut g = Em3d::build(cfg);
+        let _ = g.compute_native();
+    }
+}

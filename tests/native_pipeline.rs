@@ -1,0 +1,59 @@
+//! Cross-crate integration: the native (real-thread, `_mm_prefetch`)
+//! execution path agrees with the plain kernels, under parameters derived
+//! from the simulated pipeline.
+
+use sp_prefetch::cachesim::CacheConfig;
+use sp_prefetch::core::prelude::*;
+use sp_prefetch::native::{run_em3d_native, run_mcf_native, run_mst_native};
+use sp_prefetch::workloads::{Em3d, Em3dConfig, Mcf, McfConfig, Mst, MstConfig};
+
+/// Derive SP parameters for the native run the same way the simulator
+/// pipeline does: Set Affinity bound from the trace, RP from CALR.
+fn derived_params(trace: &sp_prefetch::trace::HotLoopTrace, cfg: &CacheConfig) -> SpParams {
+    let rec = recommend_distance(trace, cfg);
+    let d = controlled_distance(32, &rec).max(1);
+    SpParams::from_distance_rp(d, 0.5)
+}
+
+#[test]
+fn em3d_native_with_pipeline_derived_params() {
+    let cfg = CacheConfig::scaled_default();
+    let wl_cfg = Em3dConfig::tiny();
+    let graph = Em3d::build(wl_cfg);
+    let params = derived_params(&graph.trace(), &cfg);
+    let mut a = Em3d::build(wl_cfg);
+    let mut b = Em3d::build(wl_cfg);
+    let base = run_em3d_native(&mut a, None, 4);
+    let sp = run_em3d_native(&mut b, Some(params), 4);
+    assert_eq!(base.checksum, sp.checksum);
+    assert!(sp.helper_covered > 0);
+}
+
+#[test]
+fn mcf_native_with_pipeline_derived_params() {
+    let cfg = CacheConfig::scaled_default();
+    let m = Mcf::build(McfConfig::tiny());
+    let params = derived_params(&m.trace(), &cfg);
+    let base = run_mcf_native(&m, None, 4);
+    let sp = run_mcf_native(&m, Some(params), 4);
+    assert_eq!(base.checksum, sp.checksum);
+}
+
+#[test]
+fn mst_native_prefetching_preserves_the_tree() {
+    let m = Mst::build(MstConfig::tiny());
+    let base = run_mst_native(&m, None);
+    let sp = run_mst_native(&m, Some(SpParams::new(2, 2)));
+    assert_eq!(base.checksum, sp.checksum);
+    assert_eq!(base.checksum, m.mst_weight_native() as f64);
+}
+
+#[test]
+fn native_reports_are_internally_consistent() {
+    let mut g = Em3d::build(Em3dConfig::tiny());
+    let r = run_em3d_native(&mut g, Some(SpParams::new(4, 4)), 2);
+    // The helper can cover at most RP of all iterations across passes.
+    let total_iters = (g.config().nodes * 2) as u64;
+    assert!(r.helper_covered <= total_iters);
+    assert!(r.elapsed.as_nanos() > 0);
+}
