@@ -9,7 +9,7 @@
 //! * **dynamic+bound** — the same controller clamped by the
 //!   Set-Affinity bound (the hybrid).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sp_bench::harness::{criterion_group, criterion_main, Criterion};
 use sp_cachesim::CacheConfig;
 use sp_core::prelude::*;
 use sp_core::{run_sp_adaptive, FeedbackController};

@@ -11,7 +11,7 @@
 //! distances (it is never stalled) but pollutes just as badly past the
 //! bound — the distance bound matters under *either* helper model.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sp_cachesim::CacheConfig;
 use sp_core::prelude::*;
 use sp_core::run_sp_with;

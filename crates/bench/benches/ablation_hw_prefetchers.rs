@@ -7,7 +7,7 @@
 //! when the prefetchers are counted into the stream, and (b) how SP's
 //! gain and pollution change with the prefetchers on vs. off.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sp_cachesim::CacheConfig;
 use sp_core::{helper_set_affinity, original_set_affinity, run_original, run_sp, SpParams};
 use sp_workloads::{Benchmark, Workload};

@@ -7,7 +7,7 @@
 //! replacement instead — the bound still predicts the degradation knee
 //! under recency-based policies, while random replacement blurs it.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sp_cachesim::{CacheConfig, Policy};
 use sp_core::{run_original, run_sp, SpParams};
 use sp_workloads::{Benchmark, Workload};

@@ -7,7 +7,7 @@
 //! point for a helper that executes real loads: with RP = 1 the helper
 //! cannot outrun the main thread at all (it falls behind and jumps).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sp_cachesim::CacheConfig;
 use sp_core::{run_original, run_sp, SpParams};
 use sp_workloads::{Benchmark, Workload};

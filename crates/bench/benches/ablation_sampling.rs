@@ -7,7 +7,7 @@
 //! estimated minimum (and hence the distance bound) is exact once the
 //! burst length clears the true minimum SA.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sp_cachesim::CacheConfig;
 use sp_core::{original_set_affinity, sampled_set_affinity};
 use sp_profiler::BurstSampler;

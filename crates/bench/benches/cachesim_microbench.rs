@@ -3,7 +3,7 @@
 //! and end-to-end simulator throughput (accesses per second) — the
 //! numbers that bound how large a workload the reproduction can sweep.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sp_bench::harness::{criterion_group, criterion_main, Criterion, Throughput};
 use sp_cachesim::prefetcher::{DplPrefetcher, HwPrefetcher, StreamPrefetcher};
 use sp_cachesim::{
     CacheConfig, CacheGeometry, Entity, MemorySystem, MshrFile, Policy, SetAssocCache,

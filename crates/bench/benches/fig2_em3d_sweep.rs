@@ -4,8 +4,8 @@
 //! L2 misses — the paper's Fig. 2 curves), then times the underlying
 //! original and SP co-simulations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sp_bench::experiments::fig2;
+use sp_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sp_cachesim::CacheConfig;
 use sp_core::{run_original, run_sp, SpParams};
 use sp_workloads::{Benchmark, Workload};

@@ -6,8 +6,8 @@
 //! the runtime curve, then times the SP co-simulation below and above
 //! the Set-Affinity distance bound.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sp_bench::experiments::fig_behavior;
+use sp_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sp_cachesim::CacheConfig;
 use sp_core::{run_sp, SpParams};
 use sp_workloads::{Benchmark, Workload};

@@ -4,8 +4,8 @@
 //! Affinity ranges, distance bounds, CALR/RP), then times the Fig. 3
 //! Set Affinity analysis itself on each workload's hot-loop trace.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sp_bench::experiments::table2;
+use sp_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sp_cachesim::CacheConfig;
 use sp_core::original_set_affinity;
 use sp_workloads::{Benchmark, Workload};
@@ -29,7 +29,9 @@ fn bench_set_affinity(c: &mut Criterion) {
     g.sample_size(10);
     for b in Benchmark::ALL {
         let trace = Workload::scaled(b).trace();
-        g.throughput(criterion::Throughput::Elements(trace.total_refs() as u64));
+        g.throughput(sp_bench::harness::Throughput::Elements(
+            trace.total_refs() as u64
+        ));
         g.bench_with_input(BenchmarkId::from_parameter(b.name()), &trace, |bench, t| {
             bench.iter(|| original_set_affinity(t, cfg.l2))
         });

@@ -2,32 +2,58 @@
 //!
 //! ```text
 //! reproduce [table1|table2|fig2|fig4|fig5|fig6|all] [--out DIR]
+//!           [--jobs N] [--smoke]
 //! ```
 //!
 //! Prints aligned text tables (with the paper's reference values beside
 //! the measured ones) and writes one CSV per artifact under `--out`
 //! (default `results/`).
+//!
+//! `--jobs N` fans the independent simulations of each artifact out on
+//! up to `N` worker threads (default: all cores; `--jobs 1` is the
+//! serial reference). The output — stdout tables and CSV bytes — is
+//! identical whatever `N` is; a summary line at the end reports the
+//! realized parallel speedup. `--smoke` switches to the fast test-scale
+//! inputs (what CI runs).
 
 use sp_bench::experiments::{
-    self, fig2, fig_behavior, selection, table2, table2_paper, SELECTION_THRESHOLD,
+    fig2_at, fig_behavior_at, selection_jobs, table2_at, table2_paper_jobs, Scale,
+    SELECTION_THRESHOLD,
 };
 use sp_bench::plot::{line_chart, save_svg, ChartConfig, Series};
-use sp_bench::report::{render_table, write_csv};
+use sp_bench::report::{
+    render_runner_summary, render_table, sweep_rows, table2_rows, write_csv, SWEEP_HEADER,
+    TABLE2_HEADER,
+};
 use sp_cachesim::CacheConfig;
-use sp_core::Sweep;
+use sp_core::RunnerReport;
 use sp_workloads::Benchmark;
 use std::path::{Path, PathBuf};
+
+fn die(msg: &str) -> ! {
+    eprintln!("reproduce: {msg}");
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut what = "all".to_string();
     let mut out = PathBuf::from("results");
+    let mut jobs = 0usize; // 0 = all cores
+    let mut scale = Scale::Scaled;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--out" => {
-                out = PathBuf::from(it.next().expect("--out needs a directory"));
-            }
+            "--out" => match it.next() {
+                Some(dir) => out = PathBuf::from(dir),
+                None => die("--out needs a directory"),
+            },
+            "--jobs" => match it.next().map(|v| (v, v.parse())) {
+                Some((_, Ok(n))) => jobs = n,
+                Some((v, Err(_))) => die(&format!("--jobs: {v:?} is not a number")),
+                None => die("--jobs needs a count"),
+            },
+            "--smoke" => scale = Scale::Test,
             other if !other.starts_with('-') => what = other.to_string(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -37,21 +63,22 @@ fn main() {
     }
     let cfg = CacheConfig::scaled_default();
     let run_all = what == "all";
+    let mut total = RunnerReport::empty();
     if run_all || what == "table1" {
         print_table1(&cfg);
     }
     if run_all || what == "table2" {
-        print_table2(&cfg, &out);
+        total.absorb(&print_table2(&cfg, scale, jobs, &out));
     }
     if run_all || what == "selection" {
-        print_selection(&cfg, &out);
+        total.absorb(&print_selection(&cfg, jobs, &out));
     }
     if what == "table2paper" {
         // Not part of `all`: streams ~2x10^8 references (about a minute).
-        print_table2_paper(&out);
+        total.absorb(&print_table2_paper(jobs, &out));
     }
     if run_all || what == "fig2" {
-        print_fig2(cfg, &out);
+        total.absorb(&print_fig2(cfg, scale, jobs, &out));
     }
     for (name, b) in [
         ("fig4", Benchmark::Em3d),
@@ -59,7 +86,7 @@ fn main() {
         ("fig6", Benchmark::Mst),
     ] {
         if run_all || what == name {
-            print_fig_behavior(name, b, cfg, &out);
+            total.absorb(&print_fig_behavior(name, b, cfg, scale, jobs, &out));
         }
     }
     if !run_all
@@ -79,6 +106,9 @@ fn main() {
             "unknown artifact {what}; expected table1|table2|table2paper|selection|fig2|fig4|fig5|fig6|all"
         );
         std::process::exit(2);
+    }
+    if total.jobs > 0 {
+        println!("{}", render_runner_summary(&total));
     }
 }
 
@@ -148,56 +178,19 @@ fn print_table1(cfg: &CacheConfig) {
     );
 }
 
-fn print_table2(cfg: &CacheConfig, out: &Path) {
+fn print_table2(cfg: &CacheConfig, scale: Scale, jobs: usize, out: &Path) -> RunnerReport {
     println!("== Table 2: benchmark characteristics ==\n");
-    let paper_ranges = [
-        ("EM3D", "[40, 360]"),
-        ("MCF", "[3000, 46000]"),
-        ("MST", "[6300, 10000]"),
-    ];
-    let rows_data = table2(cfg);
-    let fmt_range = |r: Option<(u32, u32)>| match r {
-        Some((a, b)) => format!("[{a}, {b}]"),
-        None => "(no overflow)".into(),
-    };
-    let rows: Vec<Vec<String>> = rows_data
-        .iter()
-        .zip(paper_ranges)
-        .map(|(r, (_, paper_sa))| {
-            vec![
-                r.benchmark.to_string(),
-                r.input.clone(),
-                r.iterations.to_string(),
-                fmt_range(r.sa_range),
-                fmt_range(r.sa_sampled),
-                paper_sa.to_string(),
-                r.distance_bound
-                    .map(|d| d.to_string())
-                    .unwrap_or("-".into()),
-                format!("{:.3}", r.calr),
-                format!("{:.2}", r.rp),
-            ]
-        })
-        .collect();
-    let header = [
-        "benchmark",
-        "input (scaled)",
-        "outer iters",
-        "SA(L,Sx) full",
-        "SA(L,Sx) sampled",
-        "paper SA",
-        "dist bound",
-        "CALR",
-        "RP",
-    ];
-    println!("{}", render_table(&header, &rows));
-    write_csv(&out.join("table2.csv"), &header, &rows).expect("write table2.csv");
+    let (rows_data, report) = table2_at(cfg, scale, jobs);
+    let rows = table2_rows(&rows_data);
+    println!("{}", render_table(&TABLE2_HEADER, &rows));
+    write_csv(&out.join("table2.csv"), &TABLE2_HEADER, &rows).expect("write table2.csv");
+    report
 }
 
-fn print_table2_paper(out: &Path) {
+fn print_table2_paper(jobs: usize, out: &Path) -> RunnerReport {
     println!("== Table 2 at PAPER scale: paper inputs on the 4MB 16-way L2 ==");
     println!("   (streaming analysis; takes a minute)\n");
-    let rows_data = table2_paper(10_000);
+    let (rows_data, report) = table2_paper_jobs(10_000, jobs);
     let fmt = |r: Option<(u32, u32)>| match r {
         Some((a, b)) => format!("[{a}, {b}]"),
         None => "(no overflow)".into(),
@@ -227,9 +220,10 @@ fn print_table2_paper(out: &Path) {
         .collect();
     println!("{}", render_table(&header, &rows));
     write_csv(&out.join("table2_paper.csv"), &header, &rows).expect("write table2_paper.csv");
+    report
 }
 
-fn print_selection(cfg: &CacheConfig, out: &Path) {
+fn print_selection(cfg: &CacheConfig, jobs: usize, out: &Path) -> RunnerReport {
     println!(
         "== Benchmark selection (paper SIV.B): L2-miss cycle share, threshold {:.0}% ==\n",
         SELECTION_THRESHOLD * 100.0
@@ -242,7 +236,8 @@ fn print_selection(cfg: &CacheConfig, out: &Path) {
         "verdict",
         "paper",
     ];
-    let rows: Vec<Vec<String>> = selection(cfg)
+    let (selection_rows, report) = selection_jobs(cfg, jobs);
+    let rows: Vec<Vec<String>> = selection_rows
         .iter()
         .map(|r| {
             vec![
@@ -264,43 +259,13 @@ fn print_selection(cfg: &CacheConfig, out: &Path) {
         .collect();
     println!("{}", render_table(&header, &rows));
     write_csv(&out.join("selection.csv"), &header, &rows).expect("write selection.csv");
+    report
 }
 
-fn sweep_rows(s: &Sweep) -> Vec<Vec<String>> {
-    s.points
-        .iter()
-        .map(|p| {
-            vec![
-                p.distance.to_string(),
-                format!("{:.4}", p.runtime_norm),
-                format!("{:.4}", p.memory_accesses_norm),
-                format!("{:.4}", p.hot_misses_norm),
-                format!("{:.2}", p.behavior.totally_hit_pct),
-                format!("{:.2}", p.behavior.totally_miss_pct),
-                format!("{:.2}", p.behavior.partially_hit_pct),
-                p.pollution.stats.total().to_string(),
-                format!("{:.4}", p.pollution.dead_prefetch_rate),
-            ]
-        })
-        .collect()
-}
-
-const SWEEP_HEADER: [&str; 9] = [
-    "distance",
-    "runtime_norm",
-    "mem_accesses_norm",
-    "hot_misses_norm",
-    "d_totally_hit_pct",
-    "d_totally_miss_pct",
-    "d_partially_hit_pct",
-    "pollution_events",
-    "dead_prefetch_rate",
-];
-
-fn print_fig2(cfg: CacheConfig, out: &Path) {
+fn print_fig2(cfg: CacheConfig, scale: Scale, jobs: usize, out: &Path) -> RunnerReport {
     println!("== Figure 2: EM3D performance vs prefetch distance ==");
     println!("   (paper: all three normalized curves rise with distance)\n");
-    let s = fig2(cfg);
+    let (s, report) = fig2_at(cfg, scale, jobs);
     let rows = sweep_rows(&s);
     println!("{}", render_table(&SWEEP_HEADER, &rows));
     write_csv(&out.join("fig2_em3d.csv"), &SWEEP_HEADER, &rows).expect("write fig2 csv");
@@ -336,10 +301,18 @@ fn print_fig2(cfg: CacheConfig, out: &Path) {
         ChartConfig::default(),
     );
     save_svg(&out.join("fig2_em3d.svg"), &svg).expect("write fig2 svg");
+    report
 }
 
-fn print_fig_behavior(name: &str, b: Benchmark, cfg: CacheConfig, out: &Path) {
-    let series = fig_behavior(b, cfg);
+fn print_fig_behavior(
+    name: &str,
+    b: Benchmark,
+    cfg: CacheConfig,
+    scale: Scale,
+    jobs: usize,
+    out: &Path,
+) -> RunnerReport {
+    let (series, report) = fig_behavior_at(b, cfg, scale, jobs);
     println!(
         "== Figure {}: {} behaviour change vs prefetch distance (bound = {:?}) ==\n",
         &name[3..],
@@ -400,5 +373,5 @@ fn print_fig_behavior(name: &str, b: Benchmark, cfg: CacheConfig, out: &Path) {
         ChartConfig::default(),
     );
     save_svg(&out.join(format!("{stem}_runtime.svg")), &svg).expect("write runtime svg");
-    let _ = experiments::distances_for(b);
+    report
 }

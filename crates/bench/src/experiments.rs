@@ -1,10 +1,35 @@
 //! Drivers for every table and figure of the paper.
+//!
+//! Every driver has a `*_jobs` (or `*_at`) form that fans its
+//! independent simulations out on the `sp_runner` executor and returns
+//! the executor's timing report alongside the artifact; the plain forms
+//! are serial (`jobs = 1`) wrappers kept for callers that don't care.
 
 use sp_cachesim::CacheConfig;
 use sp_core::prelude::*;
-use sp_core::{estimate_calr, sampled_set_affinity, Sweep};
+use sp_core::{estimate_calr, map_jobs, run_jobs, sampled_set_affinity, RunnerReport, Sweep};
 use sp_profiler::{select_benchmarks, BurstSampler, SelectionRow};
 use sp_workloads::{Benchmark, Candidate, Workload};
+
+/// Which input sizes the drivers simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// `Workload::tiny` inputs — seconds-fast, used by the golden-output
+    /// tests and `reproduce --smoke`.
+    Test,
+    /// `Workload::scaled` inputs — the default reproduction scale.
+    Scaled,
+}
+
+impl Scale {
+    /// Build `b` at this scale.
+    pub fn workload(self, b: Benchmark) -> Workload {
+        match self {
+            Scale::Test => Workload::tiny(b),
+            Scale::Scaled => Workload::scaled(b),
+        }
+    }
+}
 
 /// Distance grid for the EM3D sweeps (Figures 2 and 4). The paper sweeps
 /// 2..22 around its bound of 20; our scaled bound is ~64, so the grid
@@ -52,10 +77,15 @@ pub struct Table2Row {
 
 /// Regenerate Table 2 on the given cache configuration.
 pub fn table2(cfg: &CacheConfig) -> Vec<Table2Row> {
-    Benchmark::ALL
-        .iter()
-        .map(|&b| {
-            let w = Workload::scaled(b);
+    table2_at(cfg, Scale::Scaled, 1).0
+}
+
+/// [`table2`] at an explicit scale, one fan-out job per benchmark.
+pub fn table2_at(cfg: &CacheConfig, scale: Scale, jobs: usize) -> (Vec<Table2Row>, RunnerReport) {
+    map_jobs(
+        Benchmark::ALL.to_vec(),
+        |b| {
+            let w = scale.workload(b);
             let trace = w.trace();
             let rec = recommend_distance(&trace, cfg);
             // Adaptive burst sampling: a burst can only observe Set
@@ -80,8 +110,9 @@ pub fn table2(cfg: &CacheConfig) -> Vec<Table2Row> {
                 calr,
                 rp: select_rp(calr),
             }
-        })
-        .collect()
+        },
+        jobs,
+    )
 }
 
 /// One row of the **paper-scale** Table 2: Set Affinity measured on the
@@ -109,51 +140,64 @@ pub struct Table2PaperRow {
 /// constant memory. `mst_nodes` lets callers shrink MST (its full trace
 /// is O(n^2) iterations); pass 10_000 for the paper's input.
 pub fn table2_paper(mst_nodes: usize) -> Vec<Table2PaperRow> {
+    table2_paper_jobs(mst_nodes, 1).0
+}
+
+/// [`table2_paper`] with the three benchmark streams fanned out as
+/// independent jobs — each builds its own layout and streams its own
+/// references, so the minute-long analysis parallelizes cleanly.
+pub fn table2_paper_jobs(mst_nodes: usize, jobs: usize) -> (Vec<Table2PaperRow>, RunnerReport) {
+    use sp_core::runner::Job;
     use sp_core::set_affinity_stream;
     use sp_workloads::{Em3d, Em3dConfig, Mcf, McfConfig, Mst, MstConfig};
     let l2 = CacheConfig::core2_q6600().l2;
-    let mut rows = Vec::new();
 
-    let em3d = Em3d::build(Em3dConfig::paper());
-    let r = set_affinity_stream(em3d.ref_iter().map(|(i, m)| (i, m.vaddr)), l2);
-    rows.push(Table2PaperRow {
-        benchmark: "EM3D",
-        input: format!(
-            "{} nodes, arity {}",
-            em3d.config().nodes,
-            em3d.config().degree
-        ),
-        sa_range: r.range(),
-        distance_bound: r.distance_bound(),
-        paper_range: "[40, 360]",
-        paper_bound: "< 20",
-    });
-
-    let mcf = Mcf::build(McfConfig::paper());
-    let r = set_affinity_stream(mcf.ref_iter().map(|(i, m)| (i, m.vaddr)), l2);
-    rows.push(Table2PaperRow {
-        benchmark: "MCF",
-        input: format!("{} arcs, {} nodes", mcf.config().arcs, mcf.config().nodes),
-        sa_range: r.range(),
-        distance_bound: r.distance_bound(),
-        paper_range: "[3000, 46000]",
-        paper_bound: "< 1500",
-    });
-
-    let mst = Mst::build(MstConfig {
-        nodes: mst_nodes,
-        ..MstConfig::paper()
-    });
-    let r = set_affinity_stream(mst.ref_iter().map(|(i, m)| (i, m.vaddr)), l2);
-    rows.push(Table2PaperRow {
-        benchmark: "MST",
-        input: format!("{} nodes", mst.config().nodes),
-        sa_range: r.range(),
-        distance_bound: r.distance_bound(),
-        paper_range: "[6300, 10000]",
-        paper_bound: "< 3150",
-    });
-    rows
+    let grid: Vec<Job<'static, Table2PaperRow>> = vec![
+        Box::new(move || {
+            let em3d = Em3d::build(Em3dConfig::paper());
+            let r = set_affinity_stream(em3d.ref_iter().map(|(i, m)| (i, m.vaddr)), l2);
+            Table2PaperRow {
+                benchmark: "EM3D",
+                input: format!(
+                    "{} nodes, arity {}",
+                    em3d.config().nodes,
+                    em3d.config().degree
+                ),
+                sa_range: r.range(),
+                distance_bound: r.distance_bound(),
+                paper_range: "[40, 360]",
+                paper_bound: "< 20",
+            }
+        }),
+        Box::new(move || {
+            let mcf = Mcf::build(McfConfig::paper());
+            let r = set_affinity_stream(mcf.ref_iter().map(|(i, m)| (i, m.vaddr)), l2);
+            Table2PaperRow {
+                benchmark: "MCF",
+                input: format!("{} arcs, {} nodes", mcf.config().arcs, mcf.config().nodes),
+                sa_range: r.range(),
+                distance_bound: r.distance_bound(),
+                paper_range: "[3000, 46000]",
+                paper_bound: "< 1500",
+            }
+        }),
+        Box::new(move || {
+            let mst = Mst::build(MstConfig {
+                nodes: mst_nodes,
+                ..MstConfig::paper()
+            });
+            let r = set_affinity_stream(mst.ref_iter().map(|(i, m)| (i, m.vaddr)), l2);
+            Table2PaperRow {
+                benchmark: "MST",
+                input: format!("{} nodes", mst.config().nodes),
+                sa_range: r.range(),
+                distance_bound: r.distance_bound(),
+                paper_range: "[6300, 10000]",
+                paper_bound: "< 3150",
+            }
+        }),
+    ];
+    run_jobs(grid, jobs)
 }
 
 /// The L2-miss cycle share above which a candidate is "memory intensive"
@@ -164,18 +208,33 @@ pub const SELECTION_THRESHOLD: f64 = 0.3;
 /// The paper's benchmark-selection screen (§IV.B) over the candidate
 /// pool: the three selected applications plus screened-out contrasts.
 pub fn selection(cfg: &CacheConfig) -> Vec<SelectionRow> {
-    let candidates: Vec<(String, sp_trace::HotLoopTrace)> = Candidate::ALL
-        .iter()
-        .map(|&c| (c.name().to_string(), c.trace_scaled()))
-        .collect();
-    select_benchmarks(&candidates, cfg, SELECTION_THRESHOLD)
+    selection_jobs(cfg, 1).0
+}
+
+/// [`selection`] with the candidate traces built in parallel (the
+/// expensive part; the screen itself is a cheap pass over the traces).
+pub fn selection_jobs(cfg: &CacheConfig, jobs: usize) -> (Vec<SelectionRow>, RunnerReport) {
+    let (candidates, report) = map_jobs(
+        Candidate::ALL.to_vec(),
+        |c| (c.name().to_string(), c.trace_scaled()),
+        jobs,
+    );
+    (
+        select_benchmarks(&candidates, cfg, SELECTION_THRESHOLD),
+        report,
+    )
 }
 
 /// Figure 2: EM3D's normalized hot-loop L2 misses, memory accesses, and
 /// runtime over the distance grid.
 pub fn fig2(cfg: CacheConfig) -> Sweep {
-    let w = Workload::scaled(Benchmark::Em3d);
-    sweep_distances(&w.trace(), cfg, 0.5, DISTANCES_EM3D)
+    fig2_at(cfg, Scale::Scaled, 1).0
+}
+
+/// [`fig2`] at an explicit scale, one fan-out job per grid point.
+pub fn fig2_at(cfg: CacheConfig, scale: Scale, jobs: usize) -> (Sweep, RunnerReport) {
+    let w = scale.workload(Benchmark::Em3d);
+    sweep_distances_jobs(&w.trace(), cfg, 0.5, distances_for(Benchmark::Em3d), jobs)
 }
 
 /// The behaviour series of Figures 4(a)/5(a)/6(a) plus the runtime curve
@@ -193,14 +252,28 @@ pub struct BehaviorSeries {
 
 /// Figures 4, 5, 6: full behaviour sweep for `b` (RP = 0.5, §V.B).
 pub fn fig_behavior(b: Benchmark, cfg: CacheConfig) -> BehaviorSeries {
-    let w = Workload::scaled(b);
+    fig_behavior_at(b, cfg, Scale::Scaled, 1).0
+}
+
+/// [`fig_behavior`] at an explicit scale, one fan-out job per grid point.
+pub fn fig_behavior_at(
+    b: Benchmark,
+    cfg: CacheConfig,
+    scale: Scale,
+    jobs: usize,
+) -> (BehaviorSeries, RunnerReport) {
+    let w = scale.workload(b);
     let trace = w.trace();
     let rec = recommend_distance(&trace, &cfg);
-    BehaviorSeries {
-        benchmark: b.name(),
-        sweep: sweep_distances(&trace, cfg, 0.5, distances_for(b)),
-        bound: rec.max_distance,
-    }
+    let (sweep, report) = sweep_distances_jobs(&trace, cfg, 0.5, distances_for(b), jobs);
+    (
+        BehaviorSeries {
+            benchmark: b.name(),
+            sweep,
+            bound: rec.max_distance,
+        },
+        report,
+    )
 }
 
 #[cfg(test)]
@@ -212,9 +285,9 @@ mod tests {
         let cfg = CacheConfig::scaled_default();
         for row in table2(&cfg) {
             let ds = match row.benchmark {
-                "EM3D" => DISTANCES_EM3D,
-                "MCF" => DISTANCES_MCF,
-                "MST" => DISTANCES_MST,
+                "EM3D" => distances_for(Benchmark::Em3d),
+                "MCF" => distances_for(Benchmark::Mcf),
+                "MST" => distances_for(Benchmark::Mst),
                 _ => unreachable!(),
             };
             let bound = row.distance_bound.expect("all three workloads overflow");
@@ -256,6 +329,20 @@ mod tests {
                 _ => {}
             }
         }
+    }
+
+    #[test]
+    fn parallel_drivers_match_serial_at_test_scale() {
+        let cfg = CacheConfig::scaled_default();
+        let serial = table2_at(&cfg, Scale::Test, 1).0;
+        let (parallel, rep) = table2_at(&cfg, Scale::Test, 4);
+        assert_eq!(parallel, serial);
+        assert_eq!(rep.jobs, Benchmark::ALL.len());
+
+        let fig_serial = fig2_at(cfg, Scale::Test, 1).0;
+        let (fig_parallel, rep) = fig2_at(cfg, Scale::Test, 4);
+        assert_eq!(fig_parallel, fig_serial);
+        assert_eq!(rep.jobs, distances_for(Benchmark::Em3d).len() + 1);
     }
 
     #[test]

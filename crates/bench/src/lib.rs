@@ -15,12 +15,16 @@
 //! text tables and writes CSV files under `results/`.
 
 pub mod experiments;
+pub mod harness;
 pub mod plot;
 pub mod report;
 
 pub use experiments::{
-    fig2, fig_behavior, table2, BehaviorSeries, Table2Row, DISTANCES_EM3D, DISTANCES_MCF,
-    DISTANCES_MST,
+    distances_for, fig2, fig2_at, fig_behavior, fig_behavior_at, table2, table2_at, BehaviorSeries,
+    Scale, Table2Row, DISTANCES_EM3D, DISTANCES_MCF, DISTANCES_MST,
 };
 pub use plot::{line_chart, save_svg, ChartConfig, Series};
-pub use report::{render_table, write_csv};
+pub use report::{
+    csv_string, render_runner_summary, render_table, sweep_rows, table2_rows, write_csv,
+    SWEEP_HEADER, TABLE2_HEADER,
+};

@@ -1,5 +1,8 @@
-//! Plain-text table rendering and CSV output for the `reproduce` binary.
+//! Plain-text table rendering, CSV output, and the parallel-execution
+//! summary for the `reproduce` binary.
 
+use crate::experiments::Table2Row;
+use sp_core::{RunnerReport, Sweep};
 use std::io::Write;
 use std::path::Path;
 
@@ -42,13 +45,11 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
-/// Write rows as CSV (naive quoting: fields containing commas or quotes
-/// are double-quoted). Creates parent directories as needed.
-pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir)?;
-    }
-    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+/// Render rows as CSV text (naive quoting: fields containing commas or
+/// quotes are double-quoted). The golden-output tests compare this
+/// string byte-for-byte against checked-in fixtures, so it must stay
+/// identical to what [`write_csv`] puts on disk.
+pub fn csv_string(header: &[&str], rows: &[Vec<String>]) -> String {
     let quote = |s: &str| {
         if s.contains(',') || s.contains('"') || s.contains('\n') {
             format!("\"{}\"", s.replace('"', "\"\""))
@@ -56,23 +57,131 @@ pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> std::io:
             s.to_string()
         }
     };
-    writeln!(
-        f,
-        "{}",
-        header
+    let mut out = String::new();
+    out.push_str(
+        &header
             .iter()
             .map(|h| quote(h))
             .collect::<Vec<_>>()
-            .join(",")
-    )?;
+            .join(","),
+    );
+    out.push('\n');
     for r in rows {
-        writeln!(
-            f,
-            "{}",
-            r.iter().map(|c| quote(c)).collect::<Vec<_>>().join(",")
-        )?;
+        out.push_str(&r.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
     }
+    out
+}
+
+/// Write rows as CSV ([`csv_string`]); creates parent directories.
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(csv_string(header, rows).as_bytes())?;
     f.flush()
+}
+
+/// The CSV/table header every distance-sweep artifact (Figure 2 and
+/// Figures 4–6) is reported under.
+pub const SWEEP_HEADER: [&str; 9] = [
+    "distance",
+    "runtime_norm",
+    "mem_accesses_norm",
+    "hot_misses_norm",
+    "d_totally_hit_pct",
+    "d_totally_miss_pct",
+    "d_partially_hit_pct",
+    "pollution_events",
+    "dead_prefetch_rate",
+];
+
+/// Format a sweep's points as [`SWEEP_HEADER`] rows — shared by the
+/// `reproduce` binary and the golden-output tests so the fixtures pin
+/// exactly what the binary writes.
+pub fn sweep_rows(s: &Sweep) -> Vec<Vec<String>> {
+    s.points
+        .iter()
+        .map(|p| {
+            vec![
+                p.distance.to_string(),
+                format!("{:.4}", p.runtime_norm),
+                format!("{:.4}", p.memory_accesses_norm),
+                format!("{:.4}", p.hot_misses_norm),
+                format!("{:.2}", p.behavior.totally_hit_pct),
+                format!("{:.2}", p.behavior.totally_miss_pct),
+                format!("{:.2}", p.behavior.partially_hit_pct),
+                p.pollution.stats.total().to_string(),
+                format!("{:.4}", p.pollution.dead_prefetch_rate),
+            ]
+        })
+        .collect()
+}
+
+/// The CSV/table header Table 2 is reported under.
+pub const TABLE2_HEADER: [&str; 9] = [
+    "benchmark",
+    "input (scaled)",
+    "outer iters",
+    "SA(L,Sx) full",
+    "SA(L,Sx) sampled",
+    "paper SA",
+    "dist bound",
+    "CALR",
+    "RP",
+];
+
+/// The paper's published `SA(L, Sx)` range for a benchmark (Table 2,
+/// column 4) — printed beside the measured one.
+pub fn paper_sa_range(benchmark: &str) -> &'static str {
+    match benchmark {
+        "EM3D" => "[40, 360]",
+        "MCF" => "[3000, 46000]",
+        "MST" => "[6300, 10000]",
+        _ => "-",
+    }
+}
+
+/// Format Table 2 rows under [`TABLE2_HEADER`] — shared by the
+/// `reproduce` binary and the golden-output tests so the fixtures pin
+/// exactly what the binary writes.
+pub fn table2_rows(rows: &[Table2Row]) -> Vec<Vec<String>> {
+    let fmt_range = |r: Option<(u32, u32)>| match r {
+        Some((a, b)) => format!("[{a}, {b}]"),
+        None => "(no overflow)".into(),
+    };
+    rows.iter()
+        .map(|r| {
+            vec![
+                r.benchmark.to_string(),
+                r.input.clone(),
+                r.iterations.to_string(),
+                fmt_range(r.sa_range),
+                fmt_range(r.sa_sampled),
+                paper_sa_range(r.benchmark).to_string(),
+                r.distance_bound
+                    .map(|d| d.to_string())
+                    .unwrap_or("-".into()),
+                format!("{:.3}", r.calr),
+                format!("{:.2}", r.rp),
+            ]
+        })
+        .collect()
+}
+
+/// One-line summary of a fan-out: how wide it ran and what it bought.
+/// `busy` is the serial-equivalent cost (sum of per-job wall times), so
+/// `busy / wall` is the realized speedup.
+pub fn render_runner_summary(r: &RunnerReport) -> String {
+    format!(
+        "parallel execution: {} jobs on {} workers; wall {:.2}s, serial-equivalent {:.2}s, speedup {:.2}x",
+        r.jobs,
+        r.workers,
+        r.wall.as_secs_f64(),
+        r.busy.as_secs_f64(),
+        r.speedup()
+    )
 }
 
 #[cfg(test)]
@@ -99,6 +208,14 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn ragged_rows_rejected() {
         let _ = render_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn runner_summary_reports_the_width_and_speedup() {
+        let (_, rep) = sp_core::map_jobs((0..6).collect::<Vec<u32>>(), |x| x + 1, 2);
+        let s = render_runner_summary(&rep);
+        assert!(s.contains("6 jobs on 2 workers"), "got: {s}");
+        assert!(s.contains("speedup"), "got: {s}");
     }
 
     #[test]

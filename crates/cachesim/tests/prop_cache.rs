@@ -1,56 +1,73 @@
 //! Property tests: set-associative cache, geometry, and MSHR invariants.
+//!
+//! Deterministic randomized cases via `sp_testkit::check` (std-only).
 
-use proptest::prelude::*;
 use sp_cachesim::mshr::InFlight;
 use sp_cachesim::{CacheGeometry, Entity, MshrFile, Policy, SetAssocCache};
+use sp_testkit::{check, gen_vec, SmallRng};
 
 fn small_geo() -> CacheGeometry {
     CacheGeometry::new(4 * 1024, 4, 64) // 16 sets x 4 ways
 }
 
-proptest! {
-    /// Occupancy of any set never exceeds the associativity, and total
-    /// occupancy never exceeds the line count, for arbitrary mixes of
-    /// fills, touches, and invalidations.
-    #[test]
-    fn occupancy_bounded(ops in proptest::collection::vec((0u8..3, 0u64..(1 << 18)), 1..400)) {
+/// Occupancy of any set never exceeds the associativity, and total
+/// occupancy never exceeds the line count, for arbitrary mixes of
+/// fills, touches, and invalidations.
+#[test]
+fn occupancy_bounded() {
+    check(64, |rng| {
+        let ops = gen_vec(rng, 1..400, |r| {
+            (r.gen_range(0u32..3), r.gen_range(0u64..(1 << 18)))
+        });
         let geo = small_geo();
         let mut c = SetAssocCache::new(geo, Policy::Lru);
         for (op, addr) in ops {
             match op {
-                0 => { c.fill(addr, Entity::Main, false); }
-                1 => { c.demand_touch(addr, false); }
-                _ => { c.invalidate(addr); }
+                0 => {
+                    c.fill(addr, Entity::Main, false);
+                }
+                1 => {
+                    c.demand_touch(addr, false);
+                }
+                _ => {
+                    c.invalidate(addr);
+                }
             }
-            prop_assert!(c.total_occupancy() as u64 <= geo.lines());
+            assert!(c.total_occupancy() as u64 <= geo.lines());
         }
         for set in 0..geo.sets() {
-            prop_assert!(c.occupancy(set) <= geo.ways as usize);
+            assert!(c.occupancy(set) <= geo.ways as usize);
         }
-    }
+    });
+}
 
-    /// A fill makes the block resident; a hit implies a prior fill.
-    #[test]
-    fn fill_then_contains(addrs in proptest::collection::vec(0u64..(1 << 18), 1..200)) {
+/// A fill makes the block resident; a hit implies a prior fill.
+#[test]
+fn fill_then_contains() {
+    check(64, |rng| {
+        let addrs = gen_vec(rng, 1..200, |r| r.gen_range(0u64..(1 << 18)));
         let mut c = SetAssocCache::new(small_geo(), Policy::Lru);
         let mut filled = std::collections::HashSet::new();
         for a in addrs {
             let block = small_geo().block_of(a);
             if c.demand_touch(a, false).is_some() {
                 // Hit: must have been filled at some point earlier.
-                prop_assert!(filled.contains(&block), "hit on never-filled {block:#x}");
+                assert!(filled.contains(&block), "hit on never-filled {block:#x}");
             } else {
                 c.fill(a, Entity::Main, false);
                 filled.insert(block);
-                prop_assert!(c.contains(a), "fill must make the block resident");
+                assert!(c.contains(a), "fill must make the block resident");
             }
         }
-    }
+    });
+}
 
-    /// Under LRU, the most recently touched block of a set survives the
-    /// next fill into that set.
-    #[test]
-    fn lru_mru_survives_one_fill(tags in proptest::collection::vec(0u64..32, 5..60)) {
+/// Under LRU, the most recently touched block of a set survives the
+/// next fill into that set.
+#[test]
+fn lru_mru_survives_one_fill() {
+    check(64, |rng| {
+        let tags = gen_vec(rng, 5..60, |r| r.gen_range(0u64..32));
         let geo = small_geo();
         let mut c = SetAssocCache::new(geo, Policy::Lru);
         let addr_of = |tag: u64| geo.block_from(3, tag); // everything in set 3
@@ -66,49 +83,59 @@ proptest! {
                 // just touched... unless it *is* that block.
                 fresh += 1;
                 c.fill(addr_of(fresh), Entity::Main, false);
-                prop_assert!(c.contains(addr_of(prev)) || prev == fresh);
+                assert!(c.contains(addr_of(prev)) || prev == fresh);
             }
             last = Some(tag);
         }
-    }
+    });
+}
 
-    /// Eviction metadata always names a block that was resident and that
-    /// is no longer resident afterwards.
-    #[test]
-    fn eviction_reports_real_victims(addrs in proptest::collection::vec(0u64..(1 << 16), 1..300)) {
+/// Eviction metadata always names a block that was resident and that
+/// is no longer resident afterwards.
+#[test]
+fn eviction_reports_real_victims() {
+    check(64, |rng| {
+        let addrs = gen_vec(rng, 1..300, |r| r.gen_range(0u64..(1 << 16)));
         let geo = small_geo();
         let mut c = SetAssocCache::new(geo, Policy::Lru);
         for a in addrs {
             let before: Vec<u64> = c.set_blocks(geo.set_of(a));
             if let Some(ev) = c.fill(a, Entity::Helper, true) {
-                prop_assert!(before.contains(&ev.block), "victim {:#x} was not resident", ev.block);
-                prop_assert!(!c.contains(ev.block), "victim still resident");
+                assert!(
+                    before.contains(&ev.block),
+                    "victim {:#x} was not resident",
+                    ev.block
+                );
+                assert!(!c.contains(ev.block), "victim still resident");
             }
         }
-    }
+    });
+}
 
-    /// Geometry roundtrip holds for arbitrary addresses and shapes.
-    #[test]
-    fn geometry_roundtrip(
-        addr in 0u64..(1 << 40),
-        size_log in 10u32..24,
-        ways_log in 0u32..5,
-        line_log in 5u32..8,
-    ) {
-        let size = 1u64 << size_log;
-        let ways = 1u32 << ways_log;
-        let line = 1u64 << line_log;
-        prop_assume!(size / line >= ways as u64);
+/// Geometry roundtrip holds for arbitrary addresses and shapes.
+#[test]
+fn geometry_roundtrip() {
+    check(256, |rng| {
+        let addr = rng.gen_range(0u64..(1 << 40));
+        let size = 1u64 << rng.gen_range(10u32..24);
+        let ways = 1u32 << rng.gen_range(0u32..5);
+        let line = 1u64 << rng.gen_range(5u32..8);
+        if size / line < ways as u64 {
+            return; // shape would have fewer lines than ways
+        }
         let g = CacheGeometry::new(size, ways, line);
         let block = g.block_of(addr);
-        prop_assert_eq!(g.block_from(g.set_of(addr), g.tag_of(addr)), block);
-        prop_assert!(g.set_of(addr) < g.sets());
-    }
+        assert_eq!(g.block_from(g.set_of(addr), g.tag_of(addr)), block);
+        assert!(g.set_of(addr) < g.sets());
+    });
+}
 
-    /// The MSHR file conserves entries: everything allocated is drained
-    /// exactly once, in ready order.
-    #[test]
-    fn mshr_conserves_entries(readies in proptest::collection::vec(1u64..1000, 1..40)) {
+/// The MSHR file conserves entries: everything allocated is drained
+/// exactly once, in ready order.
+#[test]
+fn mshr_conserves_entries() {
+    check(64, |rng| {
+        let readies = gen_vec(rng, 1..40, |r| r.gen_range(1u64..1000));
         let mut m = MshrFile::new(64);
         let mut blocks = Vec::new();
         for (i, r) in readies.iter().enumerate() {
@@ -123,22 +150,26 @@ proptest! {
             blocks.push(e.block);
         }
         let drained = m.drain_ready(u64::MAX);
-        prop_assert!(m.is_empty());
-        prop_assert_eq!(drained.len(), blocks.len());
+        assert!(m.is_empty());
+        assert_eq!(drained.len(), blocks.len());
         // Ready order.
         for w in drained.windows(2) {
-            prop_assert!(w[0].ready_at <= w[1].ready_at);
+            assert!(w[0].ready_at <= w[1].ready_at);
         }
         let mut got: Vec<u64> = drained.iter().map(|e| e.block).collect();
         got.sort_unstable();
         blocks.sort_unstable();
-        prop_assert_eq!(got, blocks);
-    }
+        assert_eq!(got, blocks);
+    });
+}
 
-    /// Partial drains never return entries that are not yet ready, and
-    /// never lose the rest.
-    #[test]
-    fn mshr_partial_drain(readies in proptest::collection::vec(1u64..1000, 1..40), cut in 1u64..1000) {
+/// Partial drains never return entries that are not yet ready, and
+/// never lose the rest.
+#[test]
+fn mshr_partial_drain() {
+    check(64, |rng| {
+        let readies = gen_vec(rng, 1..40, |r| r.gen_range(1u64..1000));
+        let cut = rng.gen_range(1u64..1000);
         let mut m = MshrFile::new(64);
         for (i, r) in readies.iter().enumerate() {
             m.allocate(InFlight {
@@ -147,14 +178,15 @@ proptest! {
                 requester: Entity::Helper,
                 prefetch: true,
                 store: false,
-            }).unwrap();
+            })
+            .unwrap();
         }
         let early = m.drain_ready(cut);
-        prop_assert!(early.iter().all(|e| e.ready_at <= cut));
+        assert!(early.iter().all(|e| e.ready_at <= cut));
         let late = m.drain_ready(u64::MAX);
-        prop_assert!(late.iter().all(|e| e.ready_at > cut));
-        prop_assert_eq!(early.len() + late.len(), readies.len());
-    }
+        assert!(late.iter().all(|e| e.ready_at > cut));
+        assert_eq!(early.len() + late.len(), readies.len());
+    });
 }
 
 mod reference_model {
@@ -193,14 +225,13 @@ mod reference_model {
         }
     }
 
-    proptest! {
-        /// `SetAssocCache` with LRU behaves identically to the reference
-        /// model on arbitrary demand streams (hit/miss per access AND
-        /// final contents).
-        #[test]
-        fn lru_matches_reference_model(
-            addrs in proptest::collection::vec(0u64..(1 << 16), 1..500)
-        ) {
+    /// `SetAssocCache` with LRU behaves identically to the reference
+    /// model on arbitrary demand streams (hit/miss per access AND
+    /// final contents).
+    #[test]
+    fn lru_matches_reference_model() {
+        check(64, |rng: &mut SmallRng| {
+            let addrs = gen_vec(rng, 1..500, |r| r.gen_range(0u64..(1 << 16)));
             let geo = small_geo();
             let mut real = SetAssocCache::new(geo, Policy::Lru);
             let mut reference = RefLru::new(geo);
@@ -210,17 +241,16 @@ mod reference_model {
                     real.fill(a, Entity::Main, false);
                 }
                 let ref_hit = reference.access(a);
-                prop_assert_eq!(real_hit, ref_hit, "divergence at {:#x}", a);
+                assert_eq!(real_hit, ref_hit, "divergence at {a:#x}");
             }
             // Final contents agree set by set.
             for set in 0..geo.sets() {
                 let mut a: Vec<u64> = real.set_blocks(set);
-                let mut b: Vec<u64> =
-                    reference.sets.get(&set).cloned().unwrap_or_default();
+                let mut b: Vec<u64> = reference.sets.get(&set).cloned().unwrap_or_default();
                 a.sort_unstable();
                 b.sort_unstable();
-                prop_assert_eq!(a, b, "contents diverge in set {}", set);
+                assert_eq!(a, b, "contents diverge in set {set}");
             }
-        }
+        });
     }
 }

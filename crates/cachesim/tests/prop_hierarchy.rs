@@ -1,8 +1,10 @@
 //! Property tests: whole-memory-system invariants under arbitrary
 //! access interleavings.
+//!
+//! Deterministic randomized cases via `sp_testkit::check` (std-only).
 
-use proptest::prelude::*;
 use sp_cachesim::{CacheConfig, CacheGeometry, Entity, HitClass, MemorySystem};
+use sp_testkit::{check, gen_vec, SmallRng};
 use sp_trace::MemRef;
 
 fn tiny_cfg(hw: bool) -> CacheConfig {
@@ -17,35 +19,60 @@ fn tiny_cfg(hw: bool) -> CacheConfig {
 }
 
 /// An access script: (who, address, gap to next access).
-fn script() -> impl Strategy<Value = Vec<(u8, u64, u64)>> {
-    proptest::collection::vec((0u8..3, 0u64..(1 << 14), 0u64..64), 1..250)
+fn script(rng: &mut SmallRng) -> Vec<(u8, u64, u64)> {
+    gen_vec(rng, 1..250, |r| {
+        (
+            r.gen_range(0u32..3) as u8,
+            r.gen_range(0u64..(1 << 14)),
+            r.gen_range(0u64..64),
+        )
+    })
 }
 
-proptest! {
-    /// Hit classes partition demand accesses; stats never lose an access.
-    #[test]
-    fn classes_partition_accesses(ops in script(), hw in proptest::bool::ANY) {
+/// Hit classes partition demand accesses; stats never lose an access.
+#[test]
+fn classes_partition_accesses() {
+    check(64, |rng| {
+        let ops = script(rng);
+        let hw = rng.gen_bool(0.5);
         let mut m = MemorySystem::new(tiny_cfg(hw));
         let mut t = 0u64;
         let (mut n_main, mut n_helper, mut n_pref) = (0u64, 0u64, 0u64);
         for (who, addr, gap) in ops {
             match who {
-                0 => { t = m.demand_access(Entity::Main, MemRef::anon(addr), t).complete_at; n_main += 1; }
-                1 => { t = m.helper_load(MemRef::anon(addr), t).complete_at; n_helper += 1; n_pref += 1; }
-                _ => { t = m.prefetch_access(MemRef::anon(addr).as_prefetch(), t).complete_at; n_pref += 1; }
+                0 => {
+                    t = m
+                        .demand_access(Entity::Main, MemRef::anon(addr), t)
+                        .complete_at;
+                    n_main += 1;
+                }
+                1 => {
+                    t = m.helper_load(MemRef::anon(addr), t).complete_at;
+                    n_helper += 1;
+                    n_pref += 1;
+                }
+                _ => {
+                    t = m
+                        .prefetch_access(MemRef::anon(addr).as_prefetch(), t)
+                        .complete_at;
+                    n_pref += 1;
+                }
             }
             t += gap;
         }
         let s = m.finish();
-        prop_assert_eq!(s.main.demand_accesses(), n_main);
-        prop_assert_eq!(s.helper.demand_accesses(), n_helper);
-        prop_assert_eq!(s.prefetches_issued[0], n_pref);
-    }
+        assert_eq!(s.main.demand_accesses(), n_main);
+        assert_eq!(s.helper.demand_accesses(), n_helper);
+        assert_eq!(s.prefetches_issued[0], n_pref);
+    });
+}
 
-    /// Completion times never precede issue times, and demand misses pay
-    /// at least the unloaded memory latency.
-    #[test]
-    fn latency_lower_bounds(ops in script()) {
+/// Completion times never precede issue times, and demand misses pay
+/// at least the unloaded memory latency.
+#[test]
+fn latency_lower_bounds() {
+    check(64, |rng| {
+        let ops = script(rng);
         let cfg = tiny_cfg(false);
         let mut m = MemorySystem::new(cfg);
         let mut t = 0u64;
@@ -55,20 +82,24 @@ proptest! {
                 1 => m.helper_load(MemRef::anon(addr), t),
                 _ => m.prefetch_access(MemRef::anon(addr).as_prefetch(), t),
             };
-            prop_assert!(r.complete_at >= t);
+            assert!(r.complete_at >= t);
             if who == 0 && r.class == HitClass::TotalMiss {
-                prop_assert!(r.complete_at - t >= cfg.latency.full_miss());
+                assert!(r.complete_at - t >= cfg.latency.full_miss());
             }
             if who == 0 && r.class == HitClass::L1Hit {
-                prop_assert_eq!(r.complete_at - t, cfg.latency.l1_hit);
+                assert_eq!(r.complete_at - t, cfg.latency.l1_hit);
             }
             t = r.complete_at + gap;
         }
-    }
+    });
+}
 
-    /// Identical scripts produce identical statistics (determinism).
-    #[test]
-    fn deterministic(ops in script(), hw in proptest::bool::ANY) {
+/// Identical scripts produce identical statistics (determinism).
+#[test]
+fn deterministic() {
+    check(64, |rng| {
+        let ops = script(rng);
+        let hw = rng.gen_bool(0.5);
         let run = || {
             let mut m = MemorySystem::new(tiny_cfg(hw));
             let mut t = 0u64;
@@ -82,14 +113,17 @@ proptest! {
             }
             m.finish()
         };
-        prop_assert_eq!(run(), run());
-    }
+        assert_eq!(run(), run());
+    });
+}
 
-    /// Useful prefetches never exceed issued prefetches, fills never
-    /// exceed what could have been requested, and pollution counters stay
-    /// consistent with the eviction count.
-    #[test]
-    fn counter_sanity(ops in script()) {
+/// Useful prefetches never exceed issued prefetches, fills never
+/// exceed what could have been requested, and pollution counters stay
+/// consistent with the eviction count.
+#[test]
+fn counter_sanity() {
+    check(64, |rng| {
+        let ops = script(rng);
         let mut m = MemorySystem::new(tiny_cfg(true));
         let mut t = 0u64;
         for (who, addr, gap) in ops {
@@ -102,24 +136,35 @@ proptest! {
         }
         let s = m.finish();
         for cls in 0..3 {
-            prop_assert!(s.prefetches_useful[cls] <= s.prefetches_issued[cls],
-                "class {cls}: useful {} > issued {}", s.prefetches_useful[cls], s.prefetches_issued[cls]);
+            assert!(
+                s.prefetches_useful[cls] <= s.prefetches_issued[cls],
+                "class {cls}: useful {} > issued {}",
+                s.prefetches_useful[cls],
+                s.prefetches_issued[cls]
+            );
         }
-        prop_assert!(s.l2_evictions <= s.l2_fills);
-        prop_assert!(s.pollution.unused_helper_evictions + s.pollution.unused_hw_evictions
-            <= s.pollution.dead_prefetches);
-    }
+        assert!(s.l2_evictions <= s.l2_fills);
+        assert!(
+            s.pollution.unused_helper_evictions + s.pollution.unused_hw_evictions
+                <= s.pollution.dead_prefetches
+        );
+    });
+}
 
-    /// Immediately re-demanding a just-missed block is never *worse*
-    /// than a partial hit (the fill is in flight or complete).
-    #[test]
-    fn refetch_is_at_least_partial(addr in 0u64..(1 << 14)) {
+/// Immediately re-demanding a just-missed block is never *worse*
+/// than a partial hit (the fill is in flight or complete).
+#[test]
+fn refetch_is_at_least_partial() {
+    check(64, |rng| {
+        let addr = rng.gen_range(0u64..(1 << 14));
         let mut m = MemorySystem::new(tiny_cfg(false));
         let r1 = m.demand_access(Entity::Main, MemRef::anon(addr), 0);
-        prop_assert_eq!(r1.class, HitClass::TotalMiss);
+        assert_eq!(r1.class, HitClass::TotalMiss);
         let r2 = m.demand_access(Entity::Main, MemRef::anon(addr), 1);
-        prop_assert!(matches!(r2.class, HitClass::PartialHit));
-        prop_assert!(r2.complete_at <= r1.complete_at + 64,
-            "merged access cannot finish much later than the fill");
-    }
+        assert!(matches!(r2.class, HitClass::PartialHit));
+        assert!(
+            r2.complete_at <= r1.complete_at + 64,
+            "merged access cannot finish much later than the fill"
+        );
+    });
 }

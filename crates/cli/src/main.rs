@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! spt affinity   [--bench B] [--size S] [--l2-kb N --ways N --line N]
-//! spt sweep      [--bench B] [--rp R] [--distances d1,d2,...] [--svg F]
+//! spt sweep      [--bench B] [--rp R] [--distances d1,d2,...] [--jobs N] [--svg F]
 //! spt delinquent [--bench B]
 //! spt phases     [--bench B]
 //! spt reuse      [--bench B]
@@ -54,7 +54,9 @@ USAGE:
 
 COMMANDS:
   affinity     Set Affinity report + prefetch-distance bound
-  sweep        distance sweep (normalized runtime/misses/behaviour)
+  sweep        distance sweep (normalized runtime/misses/behaviour);
+               --jobs N fans distances out on N threads (default all
+               cores; output is identical whatever N is)
   delinquent   rank reference sites by L2 misses
   phases       access-phase detection
   reuse        LRU stack-distance histogram + miss ratio vs associativity
@@ -125,7 +127,8 @@ fn sweep(a: &Args) -> Result<(), String> {
         .collect();
     let ds = a.distances(&default)?;
     let rp: f64 = a.get_or("rp", 0.5)?;
-    let s = sweep_distances(&trace, cfg, rp, &ds);
+    let jobs: usize = a.get_or("jobs", 0)?; // 0 = all cores
+    let (s, rep) = sweep_distances_jobs(&trace, cfg, rp, &ds, jobs);
     println!("bound = {bound}; RP = {rp}");
     if let Some(svg_path) = a.get("svg") {
         use sp_bench::plot::{line_chart, save_svg, ChartConfig, Series};
@@ -172,6 +175,7 @@ fn sweep(a: &Args) -> Result<(), String> {
             p.pollution.stats.total(),
         );
     }
+    println!("{}", sp_bench::render_runner_summary(&rep));
     Ok(())
 }
 

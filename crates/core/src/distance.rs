@@ -6,6 +6,7 @@ use crate::engine::{run_original, run_sp, RunResult};
 use crate::params::SpParams;
 use crate::pollution::{BehaviorChange, PollutionSummary};
 use sp_cachesim::CacheConfig;
+use sp_runner::{run_jobs, Job, RunnerReport};
 use sp_trace::HotLoopTrace;
 
 /// One point of a prefetch-distance sweep.
@@ -63,28 +64,51 @@ pub fn sweep_distances(
     rp: f64,
     distances: &[u32],
 ) -> Sweep {
-    let baseline = run_original(trace, cache_cfg);
+    sweep_distances_jobs(trace, cache_cfg, rp, distances, 1).0
+}
+
+/// [`sweep_distances`] fanned out on up to `jobs` worker threads
+/// (`0` = all cores), plus the executor's timing report.
+///
+/// Every grid point (the baseline and each distance) owns its
+/// `MemorySystem` and shares nothing, so the jobs are independent; the
+/// runner returns them in submission order, making the assembled
+/// `Sweep` **identical** to the serial one whatever `jobs` is (see
+/// `tests/parallel_determinism.rs`).
+pub fn sweep_distances_jobs(
+    trace: &HotLoopTrace,
+    cache_cfg: CacheConfig,
+    rp: f64,
+    distances: &[u32],
+    jobs: usize,
+) -> (Sweep, RunnerReport) {
+    let mut grid: Vec<Job<'_, RunResult>> = Vec::with_capacity(distances.len() + 1);
+    grid.push(Box::new(move || run_original(trace, cache_cfg)));
+    for &d in distances {
+        let params = SpParams::from_distance_rp(d, rp);
+        grid.push(Box::new(move || run_sp(trace, cache_cfg, params)));
+    }
+    let (mut results, report) = run_jobs(grid, jobs);
+
+    let baseline = results.remove(0);
     let base_rt = baseline.runtime.max(1) as f64;
     let base_ma = baseline.stats.main.memory_accesses().max(1) as f64;
     let base_miss = baseline.stats.main.total_misses.max(1) as f64;
     let points = distances
         .iter()
-        .map(|&d| {
-            let params = SpParams::from_distance_rp(d, rp);
-            let run = run_sp(trace, cache_cfg, params);
-            SweepPoint {
-                distance: d,
-                params,
-                runtime_norm: run.runtime as f64 / base_rt,
-                memory_accesses_norm: run.stats.main.memory_accesses() as f64 / base_ma,
-                hot_misses_norm: run.stats.main.total_misses as f64 / base_miss,
-                behavior: BehaviorChange::between(&baseline, &run),
-                pollution: PollutionSummary::from_run(&run),
-                run,
-            }
+        .zip(results)
+        .map(|(&d, run)| SweepPoint {
+            distance: d,
+            params: SpParams::from_distance_rp(d, rp),
+            runtime_norm: run.runtime as f64 / base_rt,
+            memory_accesses_norm: run.stats.main.memory_accesses() as f64 / base_ma,
+            hot_misses_norm: run.stats.main.total_misses as f64 / base_miss,
+            behavior: BehaviorChange::between(&baseline, &run),
+            pollution: PollutionSummary::from_run(&run),
+            run,
         })
         .collect();
-    Sweep { baseline, points }
+    (Sweep { baseline, points }, report)
 }
 
 /// The full distance-control pipeline of the paper:
@@ -189,5 +213,17 @@ mod tests {
         let a = sweep_distances(&t, cfg(), 0.5, &[2, 8]);
         let b = sweep_distances(&t, cfg(), 0.5, &[2, 8]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_and_reports_every_job() {
+        let t = synth::random(300, 3, 0, 1 << 20, 23, 2);
+        let serial = sweep_distances(&t, cfg(), 0.5, &[1, 4, 16, 64]);
+        for jobs in [2usize, 4] {
+            let (par, rep) = sweep_distances_jobs(&t, cfg(), 0.5, &[1, 4, 16, 64], jobs);
+            assert_eq!(par, serial);
+            assert_eq!(rep.jobs, 5, "baseline + one job per distance");
+            assert!(rep.workers <= jobs);
+        }
     }
 }

@@ -58,8 +58,8 @@ pub use affinity::{
 };
 pub use calr::{estimate_calr, select_params, select_rp, CalrProfile};
 pub use distance::{
-    controlled_distance, recommend_distance, sweep_distances, DistanceRecommendation, Sweep,
-    SweepPoint,
+    controlled_distance, recommend_distance, sweep_distances, sweep_distances_jobs,
+    DistanceRecommendation, Sweep, SweepPoint,
 };
 pub use engine::{
     run_original, run_original_passes, run_scheduled, run_sp, run_sp_with, EngineOptions,
@@ -69,12 +69,18 @@ pub use params::SpParams;
 pub use pollution::{BehaviorChange, PollutionSummary};
 pub use skip::{helper_refs, plan, summarize, HelperStep, PlanSummary};
 
+/// The deterministic fan-out executor the sweep harness runs on,
+/// re-exported so downstream drivers can submit their own job grids.
+pub use sp_runner as runner;
+pub use sp_runner::{map_jobs, resolve_jobs, run_jobs, JobMetric, RunnerReport};
+
 /// Everything a typical user needs.
 pub mod prelude {
     pub use crate::affinity::{helper_set_affinity, original_set_affinity, SetAffinityReport};
     pub use crate::calr::{estimate_calr, select_rp};
     pub use crate::distance::{
-        controlled_distance, recommend_distance, sweep_distances, DistanceRecommendation,
+        controlled_distance, recommend_distance, sweep_distances, sweep_distances_jobs,
+        DistanceRecommendation,
     };
     pub use crate::engine::{run_original, run_sp, run_sp_with, EngineOptions, RunResult};
     pub use crate::params::SpParams;

@@ -1,10 +1,12 @@
 //! Property tests: SP plan tiling, Set Affinity laws, and engine
 //! conservation invariants.
+//!
+//! Deterministic randomized cases via `sp_testkit::check` (std-only).
 
-use proptest::prelude::*;
 use sp_cachesim::{CacheConfig, CacheGeometry};
 use sp_core::prelude::*;
 use sp_core::{plan, set_affinity_stream, HelperStep};
+use sp_testkit::{check, gen_vec, SmallRng};
 use sp_trace::{synth, HotLoopTrace, IterRecord, MemRef};
 
 fn tiny_cfg() -> CacheConfig {
@@ -18,125 +20,164 @@ fn tiny_cfg() -> CacheConfig {
     }
 }
 
-fn arb_trace() -> impl Strategy<Value = HotLoopTrace> {
-    proptest::collection::vec(
-        (
-            proptest::collection::vec(0u64..(1 << 16), 0..2),
-            proptest::collection::vec(0u64..(1 << 16), 0..6),
-            0u64..30,
-        ),
-        1..60,
-    )
-    .prop_map(|iters| {
-        let mut t = HotLoopTrace::new("arb");
-        for (bb, inner, compute) in iters {
-            t.iters.push(IterRecord {
-                backbone: bb.into_iter().map(MemRef::anon).collect(),
-                inner: inner.into_iter().map(MemRef::anon).collect(),
-                compute_cycles: compute,
-            });
-        }
-        t
-    })
+fn arb_trace(rng: &mut SmallRng) -> HotLoopTrace {
+    let mut t = HotLoopTrace::new("arb");
+    let iters = rng.gen_range(1usize..60);
+    for _ in 0..iters {
+        let backbone = gen_vec(rng, 0..2, |r| MemRef::anon(r.gen_range(0u64..(1 << 16))));
+        let inner = gen_vec(rng, 0..6, |r| MemRef::anon(r.gen_range(0u64..(1 << 16))));
+        t.iters.push(IterRecord {
+            backbone,
+            inner,
+            compute_cycles: rng.gen_range(0u64..30),
+        });
+    }
+    t
 }
 
-proptest! {
-    /// Every full round of the plan contains exactly `a_ski` chases then
-    /// `a_pre` prefetches, in that order.
-    #[test]
-    fn plan_round_tiling(a_ski in 0u32..10, a_pre in 1u32..10, rounds in 1usize..10) {
+/// Every full round of the plan contains exactly `a_ski` chases then
+/// `a_pre` prefetches, in that order.
+#[test]
+fn plan_round_tiling() {
+    check(64, |rng| {
+        let a_ski = rng.gen_range(0u32..10);
+        let a_pre = rng.gen_range(1u32..10);
+        let rounds = rng.gen_range(1usize..10);
         let p = SpParams::new(a_ski, a_pre);
         let n = rounds * p.round_len() as usize;
         let steps = plan(p, n);
         for r in 0..rounds {
             let base = r * p.round_len() as usize;
             for k in 0..p.round_len() as usize {
-                let expect = if (k as u32) < a_ski { HelperStep::Chase } else { HelperStep::Prefetch };
-                prop_assert_eq!(steps[base + k], expect, "round {}, offset {}", r, k);
+                let expect = if (k as u32) < a_ski {
+                    HelperStep::Chase
+                } else {
+                    HelperStep::Prefetch
+                };
+                assert_eq!(steps[base + k], expect, "round {r}, offset {k}");
             }
         }
         // Coverage over full rounds is exactly RP.
         let covered = steps.iter().filter(|s| **s == HelperStep::Prefetch).count();
-        prop_assert_eq!(covered, rounds * a_pre as usize);
-    }
+        assert_eq!(covered, rounds * a_pre as usize);
+    });
+}
 
-    /// `from_distance_rp` honours the requested ratio within integer
-    /// rounding: |achieved - requested| <= 1/(a_ski + a_pre).
-    #[test]
-    fn rp_roundtrip(d in 1u32..2000, rp_pct in 5u32..96) {
-        let rp = rp_pct as f64 / 100.0;
+/// `from_distance_rp` honours the requested ratio within integer
+/// rounding: |achieved - requested| <= 1/(a_ski + a_pre).
+#[test]
+fn rp_roundtrip() {
+    check(64, |rng| {
+        let d = rng.gen_range(1u32..2000);
+        let rp = rng.gen_range(5u32..96) as f64 / 100.0;
         let p = SpParams::from_distance_rp(d, rp);
-        prop_assert_eq!(p.a_ski, d);
+        assert_eq!(p.a_ski, d);
         let tol = 1.0 / p.round_len() as f64;
-        prop_assert!((p.rp() - rp).abs() <= tol, "rp {} vs requested {}", p.rp(), rp);
-    }
+        assert!(
+            (p.rp() - rp).abs() <= tol,
+            "rp {} vs requested {}",
+            p.rp(),
+            rp
+        );
+    });
+}
 
-    /// Set Affinity never decreases when associativity grows (same sets).
-    #[test]
-    fn affinity_monotone_in_ways(seed in 0u64..500) {
+/// Set Affinity never decreases when associativity grows (same sets).
+#[test]
+fn affinity_monotone_in_ways() {
+    check(64, |rng| {
+        let seed = rng.gen_range(0u64..500);
         let small = CacheGeometry::new(4 * 1024, 4, 64); // 16 sets
-        let big = CacheGeometry::new(8 * 1024, 8, 64);   // 16 sets, 8 ways
+        let big = CacheGeometry::new(8 * 1024, 8, 64); // 16 sets, 8 ways
         let t = synth::random(120, 6, 0, 1 << 16, seed, 0);
         let rs = original_set_affinity(&t, small);
         let rb = original_set_affinity(&t, big);
         for (set, sa_big) in &rb.per_set {
-            let sa_small = rs.per_set.get(set).expect("8-way overflow implies 4-way overflow");
-            prop_assert!(sa_small <= sa_big);
+            let sa_small = rs
+                .per_set
+                .get(set)
+                .expect("8-way overflow implies 4-way overflow");
+            assert!(sa_small <= sa_big);
         }
-    }
+    });
+}
 
-    /// Extending a stream never changes the affinity recorded on its
-    /// prefix (first-overflow is a prefix property).
-    #[test]
-    fn affinity_is_prefix_stable(t in arb_trace(), extra in arb_trace()) {
+/// Extending a stream never changes the affinity recorded on its
+/// prefix (first-overflow is a prefix property).
+#[test]
+fn affinity_is_prefix_stable() {
+    check(64, |rng| {
+        let t = arb_trace(rng);
+        let extra = arb_trace(rng);
         let geo = CacheGeometry::new(2 * 1024, 2, 64);
         let r1 = original_set_affinity(&t, geo);
         let mut combined = t.clone();
         combined.iters.extend(extra.iters);
         let r2 = original_set_affinity(&combined, geo);
         for (set, sa) in &r1.per_set {
-            prop_assert_eq!(r2.per_set.get(set), Some(sa), "set {} changed", set);
+            assert_eq!(r2.per_set.get(set), Some(sa), "set {set} changed");
         }
-        prop_assert!(r2.per_set.len() >= r1.per_set.len());
-    }
+        assert!(r2.per_set.len() >= r1.per_set.len());
+    });
+}
 
-    /// The generic stream analyzer agrees with the trace wrapper.
-    #[test]
-    fn stream_and_trace_agree(t in arb_trace()) {
+/// The generic stream analyzer agrees with the trace wrapper.
+#[test]
+fn stream_and_trace_agree() {
+    check(64, |rng| {
+        let t = arb_trace(rng);
         let geo = CacheGeometry::new(2 * 1024, 2, 64);
         let a = original_set_affinity(&t, geo);
         let b = set_affinity_stream(t.tagged_refs().map(|(i, r)| (i, r.vaddr)), geo);
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    /// Engine conservation: the main thread executes exactly the trace,
-    /// original and SP runs agree on that count, and runtime covers the
-    /// compute cycles.
-    #[test]
-    fn engine_conservation(t in arb_trace(), a_ski in 0u32..8, a_pre in 1u32..8) {
+/// Engine conservation: the main thread executes exactly the trace,
+/// original and SP runs agree on that count, and runtime covers the
+/// compute cycles.
+#[test]
+fn engine_conservation() {
+    check(64, |rng| {
+        let t = arb_trace(rng);
+        let a_ski = rng.gen_range(0u32..8);
+        let a_pre = rng.gen_range(1u32..8);
         let cfg = tiny_cfg();
         let orig = run_original(&t, cfg);
         let sp = run_sp(&t, cfg, SpParams::new(a_ski, a_pre));
         let refs = t.total_refs() as u64;
-        prop_assert_eq!(orig.stats.main.demand_accesses(), refs);
-        prop_assert_eq!(sp.stats.main.demand_accesses(), refs);
+        assert_eq!(orig.stats.main.demand_accesses(), refs);
+        assert_eq!(sp.stats.main.demand_accesses(), refs);
         let compute: u64 = t.iters.iter().map(|it| it.compute_cycles).sum();
-        prop_assert!(orig.runtime >= compute);
-        prop_assert!(sp.runtime >= compute);
-    }
+        assert!(orig.runtime >= compute);
+        assert!(sp.runtime >= compute);
+    });
+}
 
-    /// SP runs are deterministic for arbitrary traces and parameters.
-    #[test]
-    fn engine_deterministic(t in arb_trace(), a_ski in 0u32..6, a_pre in 1u32..6) {
+/// SP runs are deterministic for arbitrary traces and parameters.
+#[test]
+fn engine_deterministic() {
+    check(64, |rng| {
+        let t = arb_trace(rng);
+        let a_ski = rng.gen_range(0u32..6);
+        let a_pre = rng.gen_range(1u32..6);
         let cfg = tiny_cfg();
         let p = SpParams::new(a_ski, a_pre);
-        prop_assert_eq!(run_sp(&t, cfg, p), run_sp(&t, cfg, p));
-    }
+        assert_eq!(run_sp(&t, cfg, p), run_sp(&t, cfg, p));
+    });
+}
 
-    /// The distance controller never exceeds the bound and is the
-    /// identity below it.
-    #[test]
-    fn controller_clamps(requested in 0u32..10_000, bound in proptest::option::of(1u32..5000)) {
+/// The distance controller never exceeds the bound and is the
+/// identity below it.
+#[test]
+fn controller_clamps() {
+    check(64, |rng| {
+        let requested = rng.gen_range(0u32..10_000);
+        let bound = if rng.gen_bool(0.5) {
+            Some(rng.gen_range(1u32..5000))
+        } else {
+            None
+        };
         let rec = DistanceRecommendation {
             affinity: SetAffinityReport::default(),
             max_distance: bound,
@@ -144,10 +185,12 @@ proptest! {
         let d = controlled_distance(requested, &rec);
         match bound {
             Some(b) => {
-                prop_assert!(d <= b);
-                if requested <= b { prop_assert_eq!(d, requested); }
+                assert!(d <= b);
+                if requested <= b {
+                    assert_eq!(d, requested);
+                }
             }
-            None => prop_assert_eq!(d, requested),
+            None => assert_eq!(d, requested),
         }
-    }
+    });
 }

@@ -2,8 +2,8 @@
 
 use crate::prefetch::prefetch_read;
 use crate::progress::ProgressWindow;
+use crate::sync::Mutex;
 use crate::NativeReport;
-use parking_lot::Mutex;
 use sp_core::skip::{plan, HelperStep};
 use sp_core::SpParams;
 use sp_workloads::Em3d;

@@ -20,6 +20,7 @@ pub mod mcf;
 pub mod mst;
 pub mod prefetch;
 pub mod progress;
+pub mod sync;
 
 pub use em3d::run_em3d_native;
 pub use mcf::run_mcf_native;

@@ -7,7 +7,7 @@
 //! *hint* mechanism: a stale read only makes the helper slightly more or
 //! less aggressive, never incorrect.
 
-use crossbeam::utils::{Backoff, CachePadded};
+use crate::sync::{Backoff, CachePadded};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Shared progress state between the main thread and the helper.
@@ -43,7 +43,7 @@ impl ProgressWindow {
     /// Main thread: block until the helper announced itself, so tiny
     /// workloads cannot finish before the helper even starts.
     pub fn await_ready(&self) {
-        let backoff = Backoff::new();
+        let mut backoff = Backoff::new();
         while self.ready.load(Ordering::Acquire) == 0 {
             backoff.snooze();
         }
@@ -83,7 +83,7 @@ impl ProgressWindow {
     /// *stops* when it would otherwise block forever.
     pub fn wait_for(&self, target: u64) -> (bool, u64) {
         let mut spins = 0u64;
-        let backoff = Backoff::new();
+        let mut backoff = Backoff::new();
         loop {
             if target < self.main_progress() + self.window {
                 return (true, spins);

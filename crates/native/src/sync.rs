@@ -1,0 +1,141 @@
+//! Minimal std-only synchronization primitives.
+//!
+//! The workspace builds offline with no external crates, so the few
+//! conveniences previously imported from `crossbeam`/`parking_lot` live
+//! here: a polling [`Backoff`], a false-sharing guard [`CachePadded`],
+//! and a poison-ignoring [`Mutex`] whose `lock()` returns the guard
+//! directly.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::MutexGuard;
+
+/// Exponential backoff for spin loops: brief `spin_loop` hints first,
+/// then OS-level yields once the wait is clearly not momentary.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Spin threshold below which we burn cycles instead of yielding.
+    const SPIN_LIMIT: u32 = 6;
+
+    /// A fresh backoff at the tightest spin level.
+    pub fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// Wait a little longer than last time: `2^step` spin hints while the
+    /// wait is short, a scheduler yield once it is not.
+    pub fn snooze(&mut self) {
+        if self.step <= Self::SPIN_LIMIT {
+            for _ in 0..(1u32 << self.step) {
+                std::hint::spin_loop();
+            }
+            self.step += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Pads and aligns its contents to 128 bytes so two `CachePadded` values
+/// never share a cache line (128 covers adjacent-line prefetching on
+/// modern x86 and the 128-byte lines of some ARM parts).
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pad `value`.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+/// `std::sync::Mutex` with the `parking_lot` calling convention:
+/// `lock()` returns the guard, treating a poisoned lock as still usable
+/// (our critical sections only store plain counters, so there is no
+/// invariant a panicking holder could have broken).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// A new mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquire the lock, ignoring poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn backoff_makes_progress() {
+        let flag = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                flag.store(true, Ordering::Release);
+            });
+            let mut b = Backoff::new();
+            while !flag.load(Ordering::Acquire) {
+                b.snooze();
+            }
+        });
+    }
+
+    #[test]
+    fn cache_padded_values_are_line_separated() {
+        assert!(std::mem::align_of::<CachePadded<u64>>() >= 128);
+        let pair = [CachePadded::new(0u64), CachePadded::new(1u64)];
+        let a = &*pair[0] as *const u64 as usize;
+        let b = &*pair[1] as *const u64 as usize;
+        assert!(b - a >= 128);
+        assert_eq!(*pair[1], 1);
+    }
+
+    #[test]
+    fn mutex_locks_and_survives_poison() {
+        let m = Mutex::new(7u32);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 8);
+        let m = std::sync::Arc::new(Mutex::new(0u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*m.lock(), 0, "poisoned lock still readable");
+    }
+}

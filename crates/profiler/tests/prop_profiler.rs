@@ -1,115 +1,132 @@
 //! Property tests: burst sampling, phase detection, and delinquent-load
 //! ranking invariants.
+//!
+//! Deterministic randomized cases via `sp_testkit::check` (std-only).
 
-use proptest::prelude::*;
 use sp_cachesim::{CacheGeometry, Policy};
 use sp_profiler::{detect_phases, rank_delinquent_loads, BurstSampler, PhaseConfig};
+use sp_testkit::{check, gen_vec, SmallRng};
 use sp_trace::{synth, HotLoopTrace, IterRecord, MemRef, SiteId};
 
-fn arb_trace() -> impl Strategy<Value = HotLoopTrace> {
-    proptest::collection::vec(
-        (
-            proptest::collection::vec((0u64..(1 << 16), 0u32..5), 0..6),
-            0u64..20,
-        ),
-        0..80,
-    )
-    .prop_map(|iters| {
-        let mut t = HotLoopTrace::new("arb");
-        for (inner, compute) in iters {
-            t.iters.push(IterRecord {
-                backbone: Vec::new(),
-                inner: inner
-                    .into_iter()
-                    .map(|(a, s)| MemRef::load(a, SiteId(s)))
-                    .collect(),
-                compute_cycles: compute,
-            });
-        }
-        t
-    })
+fn arb_trace(rng: &mut SmallRng) -> HotLoopTrace {
+    let mut t = HotLoopTrace::new("arb");
+    let iters = rng.gen_range(0usize..80);
+    for _ in 0..iters {
+        let inner = gen_vec(rng, 0..6, |r| {
+            MemRef::load(r.gen_range(0u64..(1 << 16)), SiteId(r.gen_range(0u32..5)))
+        });
+        t.iters.push(IterRecord {
+            backbone: Vec::new(),
+            inner,
+            compute_cycles: rng.gen_range(0u64..20),
+        });
+    }
+    t
 }
 
-proptest! {
-    /// Bursts are disjoint, ordered, within bounds, and exactly tile the
-    /// on/off schedule.
-    #[test]
-    fn bursts_are_well_formed(t in arb_trace(), on in 1usize..20, off in 0usize..20) {
+/// Bursts are disjoint, ordered, within bounds, and exactly tile the
+/// on/off schedule.
+#[test]
+fn bursts_are_well_formed() {
+    check(64, |rng| {
+        let t = arb_trace(rng);
+        let on = rng.gen_range(1usize..20);
+        let off = rng.gen_range(0usize..20);
         let s = BurstSampler::new(on, off);
         let bursts = s.sample(&t);
         let mut prev_end = 0usize;
         for (i, b) in bursts.iter().enumerate() {
-            prop_assert!(b.len() <= on);
-            prop_assert!(b.start_iter + b.len() <= t.outer_iters());
+            assert!(b.len() <= on);
+            assert!(b.start_iter + b.len() <= t.outer_iters());
             if i > 0 {
-                prop_assert_eq!(b.start_iter, prev_end + off);
+                assert_eq!(b.start_iter, prev_end + off);
             } else {
-                prop_assert_eq!(b.start_iter, 0);
+                assert_eq!(b.start_iter, 0);
             }
             prev_end = b.start_iter + b.len();
             // Burst contents match the trace window exactly.
             for (k, it) in b.iters.iter().enumerate() {
-                prop_assert_eq!(it, &t.iters[b.start_iter + k]);
+                assert_eq!(it, &t.iters[b.start_iter + k]);
             }
         }
-        prop_assert_eq!(s.recorded_iters(&t), bursts.iter().map(|b| b.len()).sum::<usize>());
-    }
+        assert_eq!(
+            s.recorded_iters(&t),
+            bursts.iter().map(|b| b.len()).sum::<usize>()
+        );
+    });
+}
 
-    /// With off = 0 the sampler records the entire trace.
-    #[test]
-    fn zero_off_records_everything(t in arb_trace(), on in 1usize..20) {
+/// With off = 0 the sampler records the entire trace.
+#[test]
+fn zero_off_records_everything() {
+    check(64, |rng| {
+        let t = arb_trace(rng);
+        let on = rng.gen_range(1usize..20);
         let s = BurstSampler::new(on, 0);
-        prop_assert_eq!(s.recorded_iters(&t), t.outer_iters());
-    }
+        assert_eq!(s.recorded_iters(&t), t.outer_iters());
+    });
+}
 
-    /// Phases partition the trace contiguously from 0 to the end.
-    #[test]
-    fn phases_partition(t in arb_trace(), window in 1usize..32) {
-        let cfg = PhaseConfig { window, ..PhaseConfig::default() };
+/// Phases partition the trace contiguously from 0 to the end.
+#[test]
+fn phases_partition() {
+    check(64, |rng| {
+        let t = arb_trace(rng);
+        let window = rng.gen_range(1usize..32);
+        let cfg = PhaseConfig {
+            window,
+            ..PhaseConfig::default()
+        };
         let phases = detect_phases(&t, cfg);
         if t.outer_iters() == 0 {
-            prop_assert!(phases.is_empty());
+            assert!(phases.is_empty());
         } else {
-            prop_assert_eq!(phases.first().unwrap().start_iter, 0);
-            prop_assert_eq!(phases.last().unwrap().end_iter, t.outer_iters());
+            assert_eq!(phases.first().unwrap().start_iter, 0);
+            assert_eq!(phases.last().unwrap().end_iter, t.outer_iters());
             for w in phases.windows(2) {
-                prop_assert_eq!(w[0].end_iter, w[1].start_iter);
+                assert_eq!(w[0].end_iter, w[1].start_iter);
             }
             for p in &phases {
-                prop_assert!(!p.is_empty());
-                prop_assert!(p.refs_per_iter >= 0.0);
-                prop_assert!(p.blocks_per_iter <= p.refs_per_iter + 1e-9);
+                assert!(!p.is_empty());
+                assert!(p.refs_per_iter >= 0.0);
+                assert!(p.blocks_per_iter <= p.refs_per_iter + 1e-9);
             }
         }
-    }
+    });
+}
 
-    /// Delinquent ranking conserves references, bounds misses, and is
-    /// sorted by miss count.
-    #[test]
-    fn ranking_invariants(t in arb_trace()) {
+/// Delinquent ranking conserves references, bounds misses, and is
+/// sorted by miss count.
+#[test]
+fn ranking_invariants() {
+    check(64, |rng| {
+        let t = arb_trace(rng);
         let ranked = rank_delinquent_loads(&t, CacheGeometry::new(2048, 2, 64), Policy::Lru);
         let total: u64 = ranked.iter().map(|s| s.refs).sum();
-        prop_assert_eq!(total, t.total_refs() as u64);
+        assert_eq!(total, t.total_refs() as u64);
         for s in &ranked {
-            prop_assert!(s.misses <= s.refs);
+            assert!(s.misses <= s.refs);
         }
         for w in ranked.windows(2) {
-            prop_assert!(w[0].misses >= w[1].misses);
+            assert!(w[0].misses >= w[1].misses);
         }
-    }
+    });
+}
 
-    /// A strictly streaming trace misses on every distinct block exactly
-    /// once per eviction cycle; the ranking's total misses equal at least
-    /// the distinct blocks beyond the cache capacity.
-    #[test]
-    fn streaming_trace_misses(iters in 1usize..100) {
+/// A strictly streaming trace misses on every distinct block exactly
+/// once per eviction cycle; the ranking's total misses equal at least
+/// the distinct blocks beyond the cache capacity.
+#[test]
+fn streaming_trace_misses() {
+    check(64, |rng| {
+        let iters = rng.gen_range(1usize..100);
         let t = synth::sequential(iters, 4, 0, 64, 0);
         let geo = CacheGeometry::new(2048, 2, 64);
         let ranked = rank_delinquent_loads(&t, geo, Policy::Lru);
         let misses: u64 = ranked.iter().map(|s| s.misses).sum();
         // Pure streaming with distinct blocks: every ref is a miss.
-        prop_assert_eq!(misses, t.total_refs() as u64);
-    }
+        assert_eq!(misses, t.total_refs() as u64);
+    });
 }
 
 mod reuse_props {
@@ -135,29 +152,33 @@ mod reuse_props {
         misses
     }
 
-    proptest! {
-        /// Mattson's one-pass histogram predicts the simulator's LRU miss
-        /// count exactly, for arbitrary traces and associativities — a
-        /// differential test between two independent implementations.
-        #[test]
-        fn mattson_equals_simulation(t in arb_trace(), ways_log in 0u32..4) {
-            let ways = 1u32 << ways_log;
+    /// Mattson's one-pass histogram predicts the simulator's LRU miss
+    /// count exactly, for arbitrary traces and associativities — a
+    /// differential test between two independent implementations.
+    #[test]
+    fn mattson_equals_simulation() {
+        check(64, |rng| {
+            let t = arb_trace(rng);
+            let ways = 1u32 << rng.gen_range(0u32..4);
             let h = reuse_histogram(&t, geo());
-            prop_assert_eq!(h.miss_count(ways), simulated_misses(&t, ways));
-        }
+            assert_eq!(h.miss_count(ways), simulated_misses(&t, ways));
+        });
+    }
 
-        /// Histogram counts partition the accesses; miss counts are
-        /// monotone in associativity (the inclusion property).
-        #[test]
-        fn histogram_invariants(t in arb_trace()) {
+    /// Histogram counts partition the accesses; miss counts are
+    /// monotone in associativity (the inclusion property).
+    #[test]
+    fn histogram_invariants() {
+        check(64, |rng| {
+            let t = arb_trace(rng);
             let h = reuse_histogram(&t, geo());
             let in_hist: u64 = h.histogram.iter().sum();
-            prop_assert_eq!(in_hist + h.cold, h.total);
+            assert_eq!(in_hist + h.cold, h.total);
             for w in 1..12u32 {
-                prop_assert!(h.miss_count(w + 1) <= h.miss_count(w));
+                assert!(h.miss_count(w + 1) <= h.miss_count(w));
             }
             // Cold misses are a floor at any associativity.
-            prop_assert!(h.miss_count(64) >= h.cold.min(h.total));
-        }
+            assert!(h.miss_count(64) >= h.cold.min(h.total));
+        });
     }
 }

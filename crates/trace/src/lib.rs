@@ -23,9 +23,11 @@
 
 pub mod codec;
 pub mod record;
+pub mod rng;
 pub mod stream;
 pub mod synth;
 
 pub use codec::{load as load_trace, save as save_trace};
 pub use record::{AccessKind, MemRef, SiteId, VAddr};
+pub use rng::SmallRng;
 pub use stream::{HotLoopTrace, IterRecord, TraceStats};

@@ -6,9 +6,8 @@
 //! has an exactly computable Set Affinity.
 
 use crate::record::{MemRef, SiteId};
+use crate::rng::SmallRng;
 use crate::stream::{HotLoopTrace, IterRecord};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A block-sequential scan: iteration `i` touches `refs_per_iter`
 /// consecutive blocks starting at `base + i * refs_per_iter * stride`.
@@ -63,7 +62,7 @@ pub fn random(
     compute_cycles: u64,
 ) -> HotLoopTrace {
     assert!(span > 0, "address span must be non-empty");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut t = HotLoopTrace::new("synth::random");
     for _ in 0..outer_iters {
         let inner = (0..refs_per_iter)
@@ -85,7 +84,7 @@ pub fn random(
 pub fn pointer_chase(nodes: usize, node_size: u64, seed: u64, compute_cycles: u64) -> HotLoopTrace {
     let mut perm: Vec<u64> = (0..nodes as u64).collect();
     // Fisher–Yates with a seeded RNG.
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     for i in (1..perm.len()).rev() {
         let j = rng.gen_range(0..=i);
         perm.swap(i, j);

@@ -1,142 +1,161 @@
 //! Property tests: trace statistics and synthetic-stream guarantees.
+//!
+//! Deterministic randomized cases via `sp_testkit::check` (std-only; see
+//! that crate for the replay workflow).
 
-use proptest::prelude::*;
+use sp_testkit::{check, gen_vec, SmallRng};
 use sp_trace::{synth, HotLoopTrace, IterRecord, MemRef};
 use std::collections::HashSet;
 
-fn arb_trace() -> impl Strategy<Value = HotLoopTrace> {
-    proptest::collection::vec(
-        (
-            proptest::collection::vec(0u64..(1 << 20), 0..4), // backbone addrs
-            proptest::collection::vec(0u64..(1 << 20), 0..8), // inner addrs
-            0u64..100,                                        // compute
-        ),
-        0..50,
-    )
-    .prop_map(|iters| {
-        let mut t = HotLoopTrace::new("arb");
-        for (bb, inner, compute) in iters {
-            t.iters.push(IterRecord {
-                backbone: bb.into_iter().map(MemRef::anon).collect(),
-                inner: inner.into_iter().map(MemRef::anon).collect(),
-                compute_cycles: compute,
-            });
-        }
-        t
-    })
+fn arb_trace(rng: &mut SmallRng) -> HotLoopTrace {
+    let mut t = HotLoopTrace::new("arb");
+    let iters = rng.gen_range(0usize..50);
+    for _ in 0..iters {
+        let backbone = gen_vec(rng, 0..4, |r| MemRef::anon(r.gen_range(0u64..(1 << 20))));
+        let inner = gen_vec(rng, 0..8, |r| MemRef::anon(r.gen_range(0u64..(1 << 20))));
+        t.iters.push(IterRecord {
+            backbone,
+            inner,
+            compute_cycles: rng.gen_range(0u64..100),
+        });
+    }
+    t
 }
 
-proptest! {
-    /// Stats are internally consistent for arbitrary traces.
-    #[test]
-    fn stats_consistency(t in arb_trace(), line_log in 5u32..9) {
-        let line = 1u64 << line_log;
+/// Stats are internally consistent for arbitrary traces.
+#[test]
+fn stats_consistency() {
+    check(64, |rng| {
+        let t = arb_trace(rng);
+        let line = 1u64 << rng.gen_range(5u32..9);
         let s = t.stats(line);
-        prop_assert_eq!(s.total_refs, t.total_refs());
-        prop_assert_eq!(s.backbone_refs + s.inner_refs, s.total_refs);
-        prop_assert_eq!(s.loads + s.stores, s.total_refs);
-        prop_assert!(s.unique_blocks <= s.total_refs);
-        prop_assert_eq!(s.footprint_bytes, s.unique_blocks as u64 * line);
-        prop_assert_eq!(s.outer_iters, t.outer_iters());
-    }
+        assert_eq!(s.total_refs, t.total_refs());
+        assert_eq!(s.backbone_refs + s.inner_refs, s.total_refs);
+        assert_eq!(s.loads + s.stores, s.total_refs);
+        assert!(s.unique_blocks <= s.total_refs);
+        assert_eq!(s.footprint_bytes, s.unique_blocks as u64 * line);
+        assert_eq!(s.outer_iters, t.outer_iters());
+    });
+}
 
-    /// Coarser lines never increase the distinct-block count.
-    #[test]
-    fn coarser_lines_merge_blocks(t in arb_trace()) {
+/// Coarser lines never increase the distinct-block count.
+#[test]
+fn coarser_lines_merge_blocks() {
+    check(64, |rng| {
+        let t = arb_trace(rng);
         let fine = t.stats(64).unique_blocks;
         let coarse = t.stats(256).unique_blocks;
-        prop_assert!(coarse <= fine);
-    }
+        assert!(coarse <= fine);
+    });
+}
 
-    /// `tagged_refs` yields exactly the trace's references in iteration
-    /// order with non-decreasing tags.
-    #[test]
-    fn tagged_refs_in_order(t in arb_trace()) {
+/// `tagged_refs` yields exactly the trace's references in iteration
+/// order with non-decreasing tags.
+#[test]
+fn tagged_refs_in_order() {
+    check(64, |rng| {
+        let t = arb_trace(rng);
         let mut count = 0usize;
         let mut last_tag = 0u32;
         for (tag, _) in t.tagged_refs() {
-            prop_assert!(tag >= last_tag);
-            prop_assert!((tag as usize) < t.outer_iters());
+            assert!(tag >= last_tag);
+            assert!((tag as usize) < t.outer_iters());
             last_tag = tag;
             count += 1;
         }
-        prop_assert_eq!(count, t.total_refs());
-    }
+        assert_eq!(count, t.total_refs());
+    });
+}
 
-    /// Truncation takes an exact prefix.
-    #[test]
-    fn truncation_is_prefix(t in arb_trace(), n in 0usize..60) {
+/// Truncation takes an exact prefix.
+#[test]
+fn truncation_is_prefix() {
+    check(64, |rng| {
+        let t = arb_trace(rng);
+        let n = rng.gen_range(0usize..60);
         let p = t.truncated(n);
-        prop_assert_eq!(p.outer_iters(), n.min(t.outer_iters()));
+        assert_eq!(p.outer_iters(), n.min(t.outer_iters()));
         for (a, b) in p.iters.iter().zip(&t.iters) {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
-    }
+    });
+}
 
-    /// `set_hammer` delivers exactly `iters * blocks_per_iter` distinct
-    /// blocks, all mapped to the requested set.
-    #[test]
-    fn set_hammer_guarantees(
-        iters in 1usize..40,
-        bpi in 1usize..6,
-        set_log in 0u32..8,
-        sets_log in 3u32..9,
-    ) {
-        let sets = 1u64 << sets_log;
-        let set = (1u64 << set_log).min(sets - 1);
+/// `set_hammer` delivers exactly `iters * blocks_per_iter` distinct
+/// blocks, all mapped to the requested set.
+#[test]
+fn set_hammer_guarantees() {
+    check(64, |rng| {
+        let iters = rng.gen_range(1usize..40);
+        let bpi = rng.gen_range(1usize..6);
+        let sets = 1u64 << rng.gen_range(3u32..9);
+        let set = (1u64 << rng.gen_range(0u32..8)).min(sets - 1);
         let t = synth::set_hammer(iters, bpi, set, sets, 64);
         let mut blocks = HashSet::new();
         for (_, r) in t.tagged_refs() {
-            prop_assert_eq!((r.block(64) / 64) % sets, set);
-            prop_assert!(blocks.insert(r.block(64)));
+            assert_eq!((r.block(64) / 64) % sets, set);
+            assert!(blocks.insert(r.block(64)));
         }
-        prop_assert_eq!(blocks.len(), iters * bpi);
-    }
+        assert_eq!(blocks.len(), iters * bpi);
+    });
+}
 
-    /// `pointer_chase` visits each node exactly once, whatever the seed.
-    #[test]
-    fn pointer_chase_is_a_permutation(n in 1usize..200, seed in 0u64..1000) {
+/// `pointer_chase` visits each node exactly once, whatever the seed.
+#[test]
+fn pointer_chase_is_a_permutation() {
+    check(64, |rng| {
+        let n = rng.gen_range(1usize..200);
+        let seed = rng.gen_range(0u64..1000);
         let t = synth::pointer_chase(n, 64, seed, 0);
         let mut seen = HashSet::new();
         for (_, r) in t.tagged_refs() {
-            prop_assert!(r.vaddr % 64 == 0);
-            prop_assert!(seen.insert(r.vaddr / 64));
+            assert!(r.vaddr % 64 == 0);
+            assert!(seen.insert(r.vaddr / 64));
         }
-        prop_assert_eq!(seen.len(), n);
-    }
+        assert_eq!(seen.len(), n);
+    });
+}
 
-    /// `sequential` produces strictly increasing addresses at the stride.
-    #[test]
-    fn sequential_is_monotone(iters in 1usize..50, rpi in 1usize..8, stride_log in 3u32..8) {
-        let stride = 1u64 << stride_log;
+/// `sequential` produces strictly increasing addresses at the stride.
+#[test]
+fn sequential_is_monotone() {
+    check(64, |rng| {
+        let iters = rng.gen_range(1usize..50);
+        let rpi = rng.gen_range(1usize..8);
+        let stride = 1u64 << rng.gen_range(3u32..8);
         let t = synth::sequential(iters, rpi, 1 << 30, stride, 0);
         let addrs: Vec<u64> = t.tagged_refs().map(|(_, r)| r.vaddr).collect();
         for w in addrs.windows(2) {
-            prop_assert_eq!(w[1] - w[0], stride);
+            assert_eq!(w[1] - w[0], stride);
         }
-    }
+    });
 }
 
 mod codec_props {
     use super::*;
     use sp_trace::codec::{read_trace, write_trace};
 
-    proptest! {
-        /// Serialization roundtrips exactly for arbitrary traces.
-        #[test]
-        fn codec_roundtrip(t in arb_trace()) {
+    /// Serialization roundtrips exactly for arbitrary traces.
+    #[test]
+    fn codec_roundtrip() {
+        check(64, |rng| {
+            let t = arb_trace(rng);
             let mut buf = Vec::new();
             write_trace(&t, &mut buf).unwrap();
             let back = read_trace(&mut buf.as_slice()).unwrap();
-            prop_assert_eq!(back.iters, t.iters);
-            prop_assert_eq!(back.name, t.name);
-        }
+            assert_eq!(back.iters, t.iters);
+            assert_eq!(back.name, t.name);
+        });
+    }
 
-        /// Corrupting any single byte never panics — it either still
-        /// parses (the flipped bit may land in an address delta) or
-        /// errors cleanly.
-        #[test]
-        fn corruption_never_panics(t in arb_trace(), pos_seed in 0usize..10_000, flip in 1u8..255) {
+    /// Corrupting any single byte never panics — it either still parses
+    /// (the flipped bit may land in an address delta) or errors cleanly.
+    #[test]
+    fn corruption_never_panics() {
+        check(64, |rng| {
+            let t = arb_trace(rng);
+            let pos_seed = rng.gen_range(0usize..10_000);
+            let flip = rng.gen_range(1u32..255) as u8;
             let mut buf = Vec::new();
             write_trace(&t, &mut buf).unwrap();
             if buf.len() > 5 {
@@ -144,6 +163,6 @@ mod codec_props {
                 buf[pos] ^= flip;
                 let _ = read_trace(&mut buf.as_slice()); // must not panic
             }
-        }
+        });
     }
 }

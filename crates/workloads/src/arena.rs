@@ -8,15 +8,14 @@
 //! programs rarely enjoy perfectly contiguous node placement — Olden's
 //! allocators intersperse graph nodes with adjacency arrays).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sp_trace::SmallRng;
 use sp_trace::VAddr;
 
 /// A bump allocator over a simulated virtual address space.
 #[derive(Debug)]
 pub struct Arena {
     cursor: VAddr,
-    rng: Option<StdRng>,
+    rng: Option<SmallRng>,
     max_gap: u64,
     allocated: u64,
 }
@@ -38,7 +37,7 @@ impl Arena {
     pub fn fragmented(base: VAddr, max_gap: u64, seed: u64) -> Self {
         Arena {
             cursor: base,
-            rng: Some(StdRng::seed_from_u64(seed)),
+            rng: Some(SmallRng::seed_from_u64(seed)),
             max_gap,
             allocated: 0,
         }

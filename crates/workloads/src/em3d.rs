@@ -9,8 +9,7 @@
 //! and `coeffs` arrays, and `degree` scattered remote nodes).
 
 use crate::arena::Arena;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sp_trace::SmallRng;
 use sp_trace::{HotLoopTrace, IterRecord, MemRef, VAddr};
 
 /// Reference-site ids used in EM3D traces.
@@ -111,7 +110,7 @@ impl Em3d {
             "need an even node count >= 2"
         );
         assert!(cfg.degree >= 1);
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let mut arena = if cfg.fragmented {
             Arena::fragmented(0x10_0000, 192, cfg.seed ^ 0x5EED)
         } else {

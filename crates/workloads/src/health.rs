@@ -13,8 +13,7 @@
 //! step (the body of Olden's `sim` loop).
 
 use crate::arena::Arena;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sp_trace::SmallRng;
 use sp_trace::{HotLoopTrace, IterRecord, MemRef, VAddr};
 use std::collections::VecDeque;
 
@@ -139,7 +138,7 @@ impl Health {
     pub fn simulate(&self) -> (HotLoopTrace, u64) {
         let cfg = self.cfg;
         let n = self.villages();
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x51);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x51);
         let mut waiting: Vec<VecDeque<u64>> = vec![VecDeque::new(); n];
         let mut next_patient = 0u64;
         let mut processed = 0u64;

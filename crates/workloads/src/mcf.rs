@@ -12,8 +12,7 @@
 //! long (paper §V.A: < 1500).
 
 use crate::arena::Arena;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sp_trace::SmallRng;
 use sp_trace::{HotLoopTrace, IterRecord, MemRef, VAddr};
 
 /// Reference-site ids used in MCF traces.
@@ -104,7 +103,7 @@ impl Mcf {
     pub fn build(cfg: McfConfig) -> Self {
         assert!(cfg.nodes >= 2 && cfg.arcs >= 1);
         assert!(cfg.basket_one_in >= 1);
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let mut arena = Arena::new(0x100_0000);
         let arc_base = arena.alloc_array(cfg.arcs as u64, ARC_BYTES, 64);
         let node_addr: Vec<VAddr> = (0..cfg.nodes).map(|_| arena.alloc(64, 64)).collect();

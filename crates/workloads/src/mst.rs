@@ -15,8 +15,7 @@
 //! one vertex visited inside one BlueRule call.
 
 use crate::arena::Arena;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sp_trace::SmallRng;
 use sp_trace::{HotLoopTrace, IterRecord, MemRef, VAddr};
 
 /// Reference-site ids used in MST traces.
@@ -106,7 +105,7 @@ impl Mst {
             cfg.buckets.is_power_of_two(),
             "bucket count must be a power of two"
         );
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let mut arena = Arena::fragmented(0x800_0000, 128, cfg.seed ^ 0xA11);
         let n = cfg.nodes;
         let mut vertex_addr = Vec::with_capacity(n);

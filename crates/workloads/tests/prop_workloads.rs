@@ -1,15 +1,19 @@
 //! Property tests: workload construction invariants across input sizes.
+//!
+//! Deterministic randomized cases via `sp_testkit::check` (std-only).
 
-use proptest::prelude::*;
+use sp_testkit::{check, gen_vec};
 use sp_workloads::{em3d, mcf, mst, Em3d, Em3dConfig, Mcf, McfConfig, Mst, MstConfig};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// EM3D stays bipartite and its trace matches the configured shape
-    /// for arbitrary (small) sizes and seeds.
-    #[test]
-    fn em3d_shape(half in 2usize..40, degree in 1usize..8, seed in 0u64..100, frag in proptest::bool::ANY) {
+/// EM3D stays bipartite and its trace matches the configured shape
+/// for arbitrary (small) sizes and seeds.
+#[test]
+fn em3d_shape() {
+    check(32, |rng| {
+        let half = rng.gen_range(2usize..40);
+        let degree = rng.gen_range(1usize..8);
+        let seed = rng.gen_range(0u64..100);
+        let frag = rng.gen_bool(0.5);
         let cfg = Em3dConfig {
             nodes: half * 2,
             degree,
@@ -20,26 +24,30 @@ proptest! {
         };
         let g = Em3d::build(cfg);
         let t = g.trace();
-        prop_assert_eq!(t.outer_iters(), cfg.nodes);
+        assert_eq!(t.outer_iters(), cfg.nodes);
         for (i, it) in t.iters.iter().enumerate() {
-            prop_assert_eq!(it.backbone.len(), 1);
-            prop_assert_eq!(it.inner.len(), 3 * degree + 1);
+            assert_eq!(it.backbone.len(), 1);
+            assert_eq!(it.inner.len(), 3 * degree + 1);
             for &o in g.neighbours(i) {
-                prop_assert_ne!(i < half, (o as usize) < half, "edge must cross partition");
+                assert_ne!(i < half, (o as usize) < half, "edge must cross partition");
             }
         }
         // Node addresses are 64-byte aligned and distinct.
         let mut seen = std::collections::HashSet::new();
         for (_, r) in t.tagged_refs().filter(|(_, r)| r.site == em3d::sites::NEXT) {
-            prop_assert_eq!(r.vaddr % 64, 0);
+            assert_eq!(r.vaddr % 64, 0);
             seen.insert(r.vaddr);
         }
-        prop_assert_eq!(seen.len(), cfg.nodes);
-    }
+        assert_eq!(seen.len(), cfg.nodes);
+    });
+}
 
-    /// EM3D's native kernel is seed-deterministic and finite.
-    #[test]
-    fn em3d_native_deterministic(half in 2usize..20, seed in 0u64..50) {
+/// EM3D's native kernel is seed-deterministic and finite.
+#[test]
+fn em3d_native_deterministic() {
+    check(32, |rng| {
+        let half = rng.gen_range(2usize..20);
+        let seed = rng.gen_range(0u64..50);
         let cfg = Em3dConfig {
             nodes: half * 2,
             degree: 3,
@@ -51,21 +59,32 @@ proptest! {
         let mut a = Em3d::build(cfg);
         let mut b = Em3d::build(cfg);
         let (ca, cb) = (a.compute_native(), b.compute_native());
-        prop_assert_eq!(ca, cb);
-        prop_assert!(ca.is_finite());
-    }
+        assert_eq!(ca, cb);
+        assert!(ca.is_finite());
+    });
+}
 
-    /// MCF: the arc scan is sequential, endpoints are valid and never
-    /// self-loops, and the trace has one iteration per arc.
-    #[test]
-    fn mcf_shape(arcs in 1usize..400, nodes in 2usize..64, seed in 0u64..100) {
-        let cfg = McfConfig { arcs, nodes, seed, compute_per_arc: 3, basket_one_in: 7 };
+/// MCF: the arc scan is sequential, endpoints are valid and never
+/// self-loops, and the trace has one iteration per arc.
+#[test]
+fn mcf_shape() {
+    check(32, |rng| {
+        let arcs = rng.gen_range(1usize..400);
+        let nodes = rng.gen_range(2usize..64);
+        let seed = rng.gen_range(0u64..100);
+        let cfg = McfConfig {
+            arcs,
+            nodes,
+            seed,
+            compute_per_arc: 3,
+            basket_one_in: 7,
+        };
         let m = Mcf::build(cfg);
         let t = m.trace();
-        prop_assert_eq!(t.outer_iters(), arcs);
+        assert_eq!(t.outer_iters(), arcs);
         for &(tail, head) in &m.endpoints {
-            prop_assert!(tail != head);
-            prop_assert!((tail as usize) < nodes && (head as usize) < nodes);
+            assert!(tail != head);
+            assert!((tail as usize) < nodes && (head as usize) < nodes);
         }
         let arcs_refs: Vec<u64> = t
             .tagged_refs()
@@ -73,48 +92,66 @@ proptest! {
             .map(|(_, r)| r.vaddr)
             .collect();
         for w in arcs_refs.windows(2) {
-            prop_assert_eq!(w[1] - w[0], mcf::ARC_BYTES);
+            assert_eq!(w[1] - w[0], mcf::ARC_BYTES);
         }
         let (basket, _) = m.price_native();
-        prop_assert!(basket >= arcs.div_ceil(cfg.basket_one_in));
-    }
+        assert!(basket >= arcs.div_ceil(cfg.basket_one_in));
+    });
+}
 
-    /// MST: the trace is triangular, weights symmetric, and Prim's tree
-    /// weight bounded by n-1 maximal edges.
-    #[test]
-    fn mst_shape(nodes in 3usize..24, seed in 0u64..100) {
-        let cfg = MstConfig { nodes, buckets: 8, seed, compute_per_visit: 2, native: true };
+/// MST: the trace is triangular, weights symmetric, and Prim's tree
+/// weight bounded by n-1 maximal edges.
+#[test]
+fn mst_shape() {
+    check(32, |rng| {
+        let nodes = rng.gen_range(3usize..24);
+        let seed = rng.gen_range(0u64..100);
+        let cfg = MstConfig {
+            nodes,
+            buckets: 8,
+            seed,
+            compute_per_visit: 2,
+            native: true,
+        };
         let m = Mst::build(cfg);
         let t = m.trace();
-        prop_assert_eq!(t.outer_iters(), nodes * (nodes - 1) / 2);
+        assert_eq!(t.outer_iters(), nodes * (nodes - 1) / 2);
         for u in 0..nodes {
             for v in 0..nodes {
-                prop_assert_eq!(m.weight[u * nodes + v], m.weight[v * nodes + u]);
+                assert_eq!(m.weight[u * nodes + v], m.weight[v * nodes + u]);
             }
         }
         let w = m.mst_weight_native();
-        prop_assert!(w >= (nodes as u64 - 1));
-        prop_assert!(w <= (nodes as u64 - 1) * 65_521);
+        assert!(w >= (nodes as u64 - 1));
+        assert!(w <= (nodes as u64 - 1) * 65_521);
         // Every iteration probes exactly one bucket within bounds.
-        for (_, r) in t.tagged_refs().filter(|(_, r)| r.site == mst::sites::BUCKET) {
-            prop_assert_eq!(r.vaddr % 8, 0);
+        for (_, r) in t
+            .tagged_refs()
+            .filter(|(_, r)| r.site == mst::sites::BUCKET)
+        {
+            assert_eq!(r.vaddr % 8, 0);
         }
-    }
+    });
+}
 
-    /// The arena never hands out overlapping allocations.
-    #[test]
-    fn arena_no_overlap(sizes in proptest::collection::vec(1u64..256, 1..60), gap in 0u64..128, seed in 0u64..50) {
+/// The arena never hands out overlapping allocations.
+#[test]
+fn arena_no_overlap() {
+    check(32, |rng| {
+        let sizes = gen_vec(rng, 1..60, |r| r.gen_range(1u64..256));
+        let gap = rng.gen_range(0u64..128);
+        let seed = rng.gen_range(0u64..50);
         let mut a = sp_workloads::Arena::fragmented(0x1000, gap, seed);
         let mut regions: Vec<(u64, u64)> = Vec::new();
         for s in sizes {
             let p = a.alloc(s, 8);
-            prop_assert_eq!(p % 8, 0);
+            assert_eq!(p % 8, 0);
             for &(q, len) in &regions {
-                prop_assert!(p >= q + len || p + s <= q, "overlap at {p:#x}");
+                assert!(p >= q + len || p + s <= q, "overlap at {p:#x}");
             }
             regions.push((p, s));
         }
-    }
+    });
 }
 
 mod streaming_equivalence {
