@@ -80,39 +80,40 @@ pub fn table2(cfg: &CacheConfig) -> Vec<Table2Row> {
     table2_at(cfg, Scale::Scaled, 1).0
 }
 
+/// One benchmark's Table 2 row: the full profile → Set Affinity →
+/// distance-bound pipeline. Shared by [`table2_at`] (which fans the
+/// three benchmarks out) and the sp-serve `affinity` request handler.
+pub fn table2_row(cfg: &CacheConfig, scale: Scale, b: Benchmark) -> Table2Row {
+    let w = scale.workload(b);
+    let trace = w.trace();
+    let rec = recommend_distance(&trace, cfg);
+    // Adaptive burst sampling: a burst can only observe Set
+    // Affinities shorter than itself, so double the burst length
+    // (at a fixed 50% duty cycle) until overflow is observed.
+    let mut sampled = sp_core::SetAffinityReport::default();
+    for on in [512usize, 2048, 8192, 32768, 131_072] {
+        let bursts = BurstSampler::new(on, on).sample(&trace);
+        sampled = sampled_set_affinity(&bursts, cfg.l2);
+        if sampled.range().is_some() {
+            break;
+        }
+    }
+    let calr = estimate_calr(&trace, cfg.l1, cfg.l2, cfg.policy, cfg.latency).calr;
+    Table2Row {
+        benchmark: b.name(),
+        input: w.input_description(),
+        iterations: w.hot_iterations(),
+        sa_range: rec.affinity.range(),
+        sa_sampled: sampled.range(),
+        distance_bound: rec.max_distance,
+        calr,
+        rp: select_rp(calr),
+    }
+}
+
 /// [`table2`] at an explicit scale, one fan-out job per benchmark.
 pub fn table2_at(cfg: &CacheConfig, scale: Scale, jobs: usize) -> (Vec<Table2Row>, RunnerReport) {
-    map_jobs(
-        Benchmark::ALL.to_vec(),
-        |b| {
-            let w = scale.workload(b);
-            let trace = w.trace();
-            let rec = recommend_distance(&trace, cfg);
-            // Adaptive burst sampling: a burst can only observe Set
-            // Affinities shorter than itself, so double the burst length
-            // (at a fixed 50% duty cycle) until overflow is observed.
-            let mut sampled = sp_core::SetAffinityReport::default();
-            for on in [512usize, 2048, 8192, 32768, 131_072] {
-                let bursts = BurstSampler::new(on, on).sample(&trace);
-                sampled = sampled_set_affinity(&bursts, cfg.l2);
-                if sampled.range().is_some() {
-                    break;
-                }
-            }
-            let calr = estimate_calr(&trace, cfg.l1, cfg.l2, cfg.policy, cfg.latency).calr;
-            Table2Row {
-                benchmark: b.name(),
-                input: w.input_description(),
-                iterations: w.hot_iterations(),
-                sa_range: rec.affinity.range(),
-                sa_sampled: sampled.range(),
-                distance_bound: rec.max_distance,
-                calr,
-                rp: select_rp(calr),
-            }
-        },
-        jobs,
-    )
+    map_jobs(Benchmark::ALL.to_vec(), |b| table2_row(cfg, scale, b), jobs)
 }
 
 /// One row of the **paper-scale** Table 2: Set Affinity measured on the

@@ -73,14 +73,35 @@ pub fn csv_string(header: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
-/// Write rows as CSV ([`csv_string`]); creates parent directories.
+/// Write rows as CSV ([`csv_string`]), atomically: the bytes go to a
+/// temp file beside the target which is then renamed over it, so a
+/// crashed or interrupted run can never leave a truncated artifact.
+/// Missing parent directories are created.
 pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir)?;
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
     }
-    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-    f.write_all(csv_string(header, rows).as_bytes())?;
-    f.flush()
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other(format!("{} has no file name", path.display())))?;
+    let tmp = path.with_file_name(format!(
+        ".{}.tmp-{}",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+    let write = (|| {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        f.write_all(csv_string(header, rows).as_bytes())?;
+        f.flush()?;
+        f.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if write.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    write
 }
 
 /// The CSV/table header every distance-sweep artifact (Figure 2 and
@@ -170,18 +191,36 @@ pub fn table2_rows(rows: &[Table2Row]) -> Vec<Vec<String>> {
         .collect()
 }
 
-/// One-line summary of a fan-out: how wide it ran and what it bought.
-/// `busy` is the serial-equivalent cost (sum of per-job wall times), so
-/// `busy / wall` is the realized speedup.
+/// Summary of a fan-out (or a live pool snapshot): how wide it ran and
+/// what it bought. `busy` is the serial-equivalent cost (sum of per-job
+/// wall times), so `busy / wall` is the realized speedup. The second
+/// line renders the queue depth and per-worker utilization the sp-serve
+/// `stats` reply reports, so both surfaces share this one source of
+/// truth.
 pub fn render_runner_summary(r: &RunnerReport) -> String {
-    format!(
+    let mut out = format!(
         "parallel execution: {} jobs on {} workers; wall {:.2}s, serial-equivalent {:.2}s, speedup {:.2}x",
         r.jobs,
         r.workers,
         r.wall.as_secs_f64(),
         r.busy.as_secs_f64(),
         r.speedup()
-    )
+    );
+    if !r.per_worker.is_empty() {
+        out.push_str(&format!(
+            "\n  queue depth {}; utilization {:.0}%; per-worker",
+            r.queue_depth,
+            r.utilization() * 100.0
+        ));
+        for (w, stat) in r.per_worker.iter().enumerate() {
+            out.push_str(&format!(
+                " w{w}:{}j/{:.2}s",
+                stat.jobs,
+                stat.busy.as_secs_f64()
+            ));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -216,6 +255,10 @@ mod tests {
         let s = render_runner_summary(&rep);
         assert!(s.contains("6 jobs on 2 workers"), "got: {s}");
         assert!(s.contains("speedup"), "got: {s}");
+        assert!(s.contains("queue depth 0"), "got: {s}");
+        assert!(s.contains("utilization"), "got: {s}");
+        assert!(s.contains("w0:"), "per-worker lane missing: {s}");
+        assert!(s.contains("w1:"), "per-worker lane missing: {s}");
     }
 
     #[test]
@@ -233,6 +276,28 @@ mod tests {
         .unwrap();
         let s = std::fs::read_to_string(&path).unwrap();
         assert_eq!(s, "a,b\n\"x,y\",plain\n\"q\"\"q\",2\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_csv_is_atomic_and_overwrites_cleanly() {
+        let dir = std::env::temp_dir().join("sp_bench_csv_atomic_test");
+        let path = dir.join("nested").join("t.csv");
+        write_csv(&path, &["a"], &[vec!["1".into()]]).unwrap();
+        // Overwriting an existing (e.g. longer) artifact replaces it
+        // wholesale — rename semantics, never an in-place truncate.
+        write_csv(&path, &["a"], &[vec!["22".into()], vec!["3".into()]]).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a\n22\n3\n");
+        // No temp-file droppings beside the artifact.
+        let leftovers: Vec<_> = std::fs::read_dir(path.parent().unwrap())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains("tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

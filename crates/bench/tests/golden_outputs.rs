@@ -12,9 +12,10 @@
 //! SP_BLESS=1 cargo test -p sp-bench --test golden_outputs
 //! ```
 
-use sp_bench::experiments::{fig2_at, table2_at, Scale};
+use sp_bench::experiments::{fig2_at, fig_behavior_at, table2_at, Scale};
 use sp_bench::report::{csv_string, sweep_rows, table2_rows, SWEEP_HEADER, TABLE2_HEADER};
 use sp_cachesim::CacheConfig;
+use sp_workloads::Benchmark;
 use std::path::PathBuf;
 
 fn fixture(name: &str) -> PathBuf {
@@ -58,6 +59,34 @@ fn fig2_rows_match_fixture() {
     check_golden(
         "fig2_em3d_test_scale.csv",
         &csv_string(&SWEEP_HEADER, &sweep_rows(&sweep)),
+    );
+}
+
+#[test]
+fn fig5_mcf_rows_match_fixture() {
+    let (series, _) = fig_behavior_at(
+        Benchmark::Mcf,
+        CacheConfig::scaled_default(),
+        Scale::Test,
+        1,
+    );
+    check_golden(
+        "fig5_mcf_test_scale.csv",
+        &csv_string(&SWEEP_HEADER, &sweep_rows(&series.sweep)),
+    );
+}
+
+#[test]
+fn fig6_mst_rows_match_fixture() {
+    let (series, _) = fig_behavior_at(
+        Benchmark::Mst,
+        CacheConfig::scaled_default(),
+        Scale::Test,
+        1,
+    );
+    check_golden(
+        "fig6_mst_test_scale.csv",
+        &csv_string(&SWEEP_HEADER, &sweep_rows(&series.sweep)),
     );
 }
 

@@ -1,0 +1,147 @@
+//! Per-command `--help` pages. One page per subcommand; the snapshot
+//! test (`tests/help_snapshot.rs`) pins every page plus the top-level
+//! usage, so flag changes must update the fixture deliberately.
+
+/// Every `spt` subcommand, in the order the top-level usage lists them.
+pub const COMMANDS: [&str; 10] = [
+    "affinity",
+    "sweep",
+    "delinquent",
+    "phases",
+    "reuse",
+    "adaptive",
+    "selection",
+    "dump",
+    "serve",
+    "loadgen",
+];
+
+const COMMON: &str = "\
+COMMON FLAGS:
+  --bench em3d|mcf|mst|treeadd|health|matmul  workload (default em3d)
+  --size scaled|tiny         input size (default scaled)
+  --trace FILE               replay a trace recorded with `spt dump`
+  --cache scaled|core2       geometry preset (default scaled)
+  --l2-kb N                  L2 capacity override, KiB
+  --ways N                   L2 associativity override
+  --line N                   L2 line size override, bytes
+  --hw-prefetch on|off       hardware prefetchers (default on)
+";
+
+/// The help page for `cmd`, or `None` if it is not a command.
+pub fn command_help(cmd: &str) -> Option<String> {
+    let (synopsis, body): (&str, &str) = match cmd {
+        "affinity" => (
+            "spt affinity [flags]",
+            "Report the hot loop's Set Affinity — sets touched, overflowed\n\
+             sets, the SA(L,Sx) range — and the derived prefetch-distance\n\
+             bound (min SA / 2), plus the burst-sampled estimate.\n",
+        ),
+        "sweep" => (
+            "spt sweep [flags]",
+            "Sweep prefetch distance and print normalized runtime, hot\n\
+             misses, behaviour deltas, and pollution per distance.\n\
+             Distances past the Set-Affinity bound are marked with `!`.\n\
+             \n\
+             FLAGS:\n  \
+             --rp R                   prefetch ratio (default 0.5)\n  \
+             --distances d1,d2,...    grid (default brackets the bound)\n  \
+             --jobs N                 fan out on N threads (0 = all cores;\n                           \
+             output identical whatever N is)\n  \
+             --svg FILE               also write an SVG chart\n",
+        ),
+        "delinquent" => (
+            "spt delinquent [flags]",
+            "Rank the hot loop's reference sites by L2 misses (the\n\
+             delinquent-load screen used to pick prefetch targets).\n",
+        ),
+        "phases" => (
+            "spt phases [flags]",
+            "Detect access phases of the hot loop (refs/iteration and new\n\
+             blocks/iteration per phase).\n",
+        ),
+        "reuse" => (
+            "spt reuse [flags]",
+            "LRU stack-distance histogram of the hot loop, and the miss\n\
+             ratio the loop would see at each associativity.\n",
+        ),
+        "adaptive" => (
+            "spt adaptive [flags]",
+            "Run the FDP-style dynamic distance controller and print the\n\
+             per-epoch feedback trail.\n\
+             \n\
+             FLAGS:\n  \
+             --start D                initial distance (default 4x bound)\n  \
+             --epoch N                iterations per epoch (default 128)\n  \
+             --bounded on|off         clamp to the SA bound (default on)\n  \
+             --rp R                   prefetch ratio (default 0.5)\n",
+        ),
+        "selection" => (
+            "spt selection [flags]",
+            "Screen candidate workloads by L2-miss cycle share and report\n\
+             which pass the paper's selection threshold.\n\
+             \n\
+             FLAGS:\n  \
+             --threshold F            minimum miss-cycle share (default 0.3)\n",
+        ),
+        "dump" => (
+            "spt dump --out FILE [flags]",
+            "Record a workload's hot-loop trace to FILE for later replay\n\
+             with --trace.\n\
+             \n\
+             FLAGS:\n  \
+             --out FILE               destination path (required)\n",
+        ),
+        "serve" => (
+            "spt serve [flags]",
+            "Run the sp-serve simulation daemon: accepts sweep / point /\n\
+             affinity requests as newline-delimited JSON over TCP, answers\n\
+             repeats from an LRU result cache, sheds load with `busy`\n\
+             replies when the admission queue is full, and drains cleanly\n\
+             on a shutdown request, SIGINT, or SIGTERM.\n\
+             \n\
+             FLAGS:\n  \
+             --addr HOST:PORT         listen address (default 127.0.0.1:7077)\n  \
+             --workers N              pool workers (default 0 = all cores)\n  \
+             --queue N                admission-queue slots (default 64)\n  \
+             --cache-entries N        result-cache entries (default 256)\n  \
+             --shards N               result-cache shards (default 8)\n  \
+             --timeout-ms N           default request deadline (default 30000)\n",
+        ),
+        "loadgen" => (
+            "spt loadgen [flags]",
+            "Closed-loop load generator: replay a seeded request mix\n\
+             against a running daemon and print throughput, latency\n\
+             percentiles, and an order-independent result digest (stable\n\
+             across runs with the same seed).\n\
+             \n\
+             FLAGS:\n  \
+             --addr HOST:PORT         daemon address (default 127.0.0.1:7077)\n  \
+             --requests N             total requests (default 50)\n  \
+             --concurrency N          parallel closed-loop clients (default 4)\n  \
+             --seed N                 mix seed (default 1)\n  \
+             --shutdown on|off        drain the daemon afterwards (default off)\n",
+        ),
+        _ => return None,
+    };
+    let common = match cmd {
+        "serve" | "loadgen" | "selection" => "",
+        _ => COMMON,
+    };
+    Some(format!("USAGE:\n  {synopsis}\n\n{body}{common}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_command_has_a_page_and_unknowns_do_not() {
+        for cmd in COMMANDS {
+            let page = command_help(cmd).unwrap_or_else(|| panic!("no help for {cmd}"));
+            assert!(page.starts_with("USAGE:\n  spt "), "{cmd}: {page}");
+            assert!(page.contains(cmd), "{cmd} page names itself");
+        }
+        assert!(command_help("warp").is_none());
+    }
+}

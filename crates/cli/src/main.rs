@@ -19,6 +19,8 @@
 //! `--l2-kb/--ways/--line` geometry overrides.
 
 mod args;
+mod help;
+mod serve_cmd;
 
 use args::Args;
 use sp_cachesim::CacheConfig;
@@ -34,6 +36,18 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() || argv[0] == "--help" || argv[0] == "help" {
         print!("{}", USAGE);
+        return;
+    }
+    // `spt <command> --help` prints the command's own page (handled
+    // before Args::parse, which requires every `--flag` to have a value).
+    if argv.iter().skip(1).any(|a| a == "--help" || a == "help") {
+        match help::command_help(&argv[0]) {
+            Some(page) => print!("{page}"),
+            None => {
+                eprintln!("spt: unknown command {}", argv[0]);
+                std::process::exit(2);
+            }
+        }
         return;
     }
     match Args::parse(argv).and_then(run) {
@@ -63,6 +77,8 @@ COMMANDS:
   adaptive     run the FDP-style dynamic distance controller
   selection    benchmark screen by L2-miss cycle share (paper SIV.B)
   dump         record a workload's hot-loop trace to a file (--out F)
+  serve        run the simulation service daemon (NDJSON over TCP)
+  loadgen      replay a seeded request mix against a running daemon
 
 COMMON FLAGS:
   --bench em3d|mcf|mst|treeadd|health|matmul  workload (default em3d)
@@ -70,6 +86,8 @@ COMMON FLAGS:
   --cache scaled|core2                  geometry preset (default scaled)
   --l2-kb N / --ways N / --line N       L2 geometry overrides
   --hw-prefetch on|off                  hardware prefetchers
+
+Run `spt <command> --help` for a command's full flag reference.
 ";
 
 fn run(a: Args) -> Result<(), String> {
@@ -82,7 +100,12 @@ fn run(a: Args) -> Result<(), String> {
         "adaptive" => adaptive(&a),
         "selection" => selection_cmd(&a),
         "dump" => dump(&a),
-        other => Err(format!("unknown command {other}")),
+        "serve" => serve_cmd::serve(&a),
+        "loadgen" => serve_cmd::loadgen(&a),
+        other => Err(format!(
+            "unknown command {other}; expected one of {}",
+            help::COMMANDS.join("|")
+        )),
     }
 }
 

@@ -1,0 +1,219 @@
+//! `spt serve` — run the sp-serve daemon — and `spt loadgen` — replay a
+//! seeded request mix against one at a target concurrency and report
+//! throughput/latency percentiles.
+
+use crate::args::Args;
+use sp_serve::{fnv1a64, Json, Server, ServerConfig};
+use sp_trace::rng::SmallRng;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// `spt serve`: bind, print the resolved address, serve until drained.
+pub fn serve(a: &Args) -> Result<(), String> {
+    let cfg = ServerConfig {
+        addr: a.get("addr").unwrap_or("127.0.0.1:7077").to_string(),
+        workers: a.get_or("workers", 0)?,
+        queue: a.get_or("queue", 64)?,
+        cache_entries: a.get_or("cache-entries", 256)?,
+        shards: a.get_or("shards", 8)?,
+        default_timeout_ms: a.get_or("timeout-ms", 30_000)?,
+    };
+    let server = Server::bind(&cfg).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+    println!(
+        "sp-serve listening on {} ({} workers, queue {}, cache {} entries)",
+        server.local_addr(),
+        server.workers(),
+        cfg.queue,
+        cfg.cache_entries
+    );
+    println!("drain with a {{\"type\":\"shutdown\"}} request, SIGINT, or SIGTERM");
+    server.run().map_err(|e| format!("serve: {e}"))
+}
+
+/// The seeded request mix. Deterministic for a given seed: two loadgen
+/// runs with the same `--seed` issue byte-identical request lines.
+fn request_mix(seed: u64, requests: usize) -> Vec<String> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let benches = ["em3d", "mcf", "mst"];
+    let distances = [2u32, 4, 8, 16, 32];
+    (0..requests)
+        .map(|id| {
+            let bench = benches[rng.gen_range(0..benches.len())];
+            match rng.gen_range(0..10u32) {
+                // Weighted toward point runs: small keyspace, so repeats
+                // exercise the result cache.
+                0..=5 => {
+                    let d = distances[rng.gen_range(0..distances.len())];
+                    format!(
+                        "{{\"id\":{id},\"type\":\"point\",\"bench\":\"{bench}\",\
+                         \"scale\":\"test\",\"distance\":{d}}}"
+                    )
+                }
+                6..=7 => format!(
+                    "{{\"id\":{id},\"type\":\"sweep\",\"bench\":\"{bench}\",\
+                     \"scale\":\"test\",\"distances\":[2,4]}}"
+                ),
+                8 => format!(
+                    "{{\"id\":{id},\"type\":\"affinity\",\"bench\":\"{bench}\",\
+                     \"scale\":\"test\"}}"
+                ),
+                _ => format!("{{\"id\":{id},\"type\":\"ping\"}}"),
+            }
+        })
+        .collect()
+}
+
+#[derive(Default)]
+struct WorkerTally {
+    ok: u64,
+    cached: u64,
+    busy: u64,
+    timeouts: u64,
+    errors: u64,
+    /// XOR of per-request `fnv1a64("{id}:{result}")` — order-independent,
+    /// so the combined digest is stable however threads interleave.
+    digest: u64,
+    latencies_us: Vec<u64>,
+}
+
+fn run_client(addr: &str, lines: Vec<String>) -> Result<WorkerTally, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let mut tally = WorkerTally::default();
+    let mut reply = String::new();
+    for line in lines {
+        let sent = Instant::now();
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .map_err(|e| format!("send: {e}"))?;
+        reply.clear();
+        reader
+            .read_line(&mut reply)
+            .map_err(|e| format!("recv: {e}"))?;
+        tally.latencies_us.push(sent.elapsed().as_micros() as u64);
+        let v = Json::parse(reply.trim()).map_err(|e| format!("bad reply {reply:?}: {e}"))?;
+        if v.get("ok").and_then(Json::as_bool) == Some(true) {
+            tally.ok += 1;
+            if v.get("cached").and_then(Json::as_bool) == Some(true) {
+                tally.cached += 1;
+            }
+            let id = v.get("id").and_then(Json::as_u64).unwrap_or(0);
+            let result = v.get("result").map(Json::encode).unwrap_or_default();
+            tally.digest ^= fnv1a64(format!("{id}:{result}").as_bytes());
+        } else {
+            match v.get("error").and_then(Json::as_str) {
+                Some("busy") => tally.busy += 1,
+                Some("timeout") => tally.timeouts += 1,
+                _ => tally.errors += 1,
+            }
+        }
+    }
+    Ok(tally)
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+/// `spt loadgen`: closed-loop clients replaying the seeded mix.
+pub fn loadgen(a: &Args) -> Result<(), String> {
+    let addr = a.get("addr").unwrap_or("127.0.0.1:7077").to_string();
+    let requests: usize = a.get_or("requests", 50)?;
+    let concurrency: usize = a.get_or("concurrency", 4)?;
+    let seed: u64 = a.get_or("seed", 1)?;
+    let shutdown = match a.get("shutdown") {
+        None | Some("off") => false,
+        Some("on") => true,
+        Some(other) => return Err(format!("--shutdown: expected on|off, got {other}")),
+    };
+    if requests == 0 || concurrency == 0 {
+        return Err("--requests and --concurrency must be positive".into());
+    }
+    let mix = request_mix(seed, requests);
+    let mix_digest = mix
+        .iter()
+        .fold(0u64, |acc, line| acc ^ fnv1a64(line.as_bytes()));
+
+    // Deal requests round-robin so every closed-loop client sees an
+    // interleaved slice of the mix.
+    let clients = concurrency.min(requests);
+    let mut slices: Vec<Vec<String>> = vec![Vec::new(); clients];
+    for (i, line) in mix.into_iter().enumerate() {
+        slices[i % clients].push(line);
+    }
+    let started = Instant::now();
+    let handles: Vec<_> = slices
+        .into_iter()
+        .map(|lines| {
+            let addr = addr.clone();
+            std::thread::spawn(move || run_client(&addr, lines))
+        })
+        .collect();
+    let mut total = WorkerTally::default();
+    for h in handles {
+        let t = h.join().map_err(|_| "client thread panicked")??;
+        total.ok += t.ok;
+        total.cached += t.cached;
+        total.busy += t.busy;
+        total.timeouts += t.timeouts;
+        total.errors += t.errors;
+        total.digest ^= t.digest;
+        total.latencies_us.extend(t.latencies_us);
+    }
+    let wall = started.elapsed().as_secs_f64().max(1e-9);
+    total.latencies_us.sort_unstable();
+
+    println!("loadgen: {requests} requests, concurrency {concurrency}, seed {seed}");
+    println!(
+        "  ok {} (cached {}), busy {}, timeouts {}, errors {}",
+        total.ok, total.cached, total.busy, total.timeouts, total.errors
+    );
+    println!(
+        "  throughput {:.1} req/s over {:.2}s",
+        requests as f64 / wall,
+        wall
+    );
+    println!(
+        "  latency_us p50 {} p90 {} p99 {} max {}",
+        percentile(&total.latencies_us, 0.50),
+        percentile(&total.latencies_us, 0.90),
+        percentile(&total.latencies_us, 0.99),
+        total.latencies_us.last().copied().unwrap_or(0)
+    );
+    println!(
+        "  mix_digest {mix_digest:016x}  result_digest {:016x}",
+        total.digest
+    );
+
+    if shutdown {
+        let mut c = run_shutdown(&addr)?;
+        println!("  drain acknowledged: {}", c.remove(0));
+    }
+    if total.errors > 0 {
+        return Err(format!("{} protocol errors", total.errors));
+    }
+    Ok(())
+}
+
+fn run_shutdown(addr: &str) -> Result<Vec<String>, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    writer
+        .write_all(b"{\"type\":\"shutdown\"}\n")
+        .map_err(|e| format!("send shutdown: {e}"))?;
+    let mut reply = String::new();
+    reader
+        .read_line(&mut reply)
+        .map_err(|e| format!("recv shutdown ack: {e}"))?;
+    Ok(vec![reply.trim().to_string()])
+}

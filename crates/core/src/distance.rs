@@ -2,7 +2,7 @@
 //! 4–6, and the bound-driven distance recommendation.
 
 use crate::affinity::{original_set_affinity, SetAffinityReport};
-use crate::engine::{run_original, run_sp, RunResult};
+use crate::engine::{run_original_passes, run_sp_with, EngineOptions, RunResult};
 use crate::params::SpParams;
 use crate::pollution::{BehaviorChange, PollutionSummary};
 use sp_cachesim::CacheConfig;
@@ -82,11 +82,37 @@ pub fn sweep_distances_jobs(
     distances: &[u32],
     jobs: usize,
 ) -> (Sweep, RunnerReport) {
+    sweep_distances_jobs_with(
+        trace,
+        cache_cfg,
+        rp,
+        distances,
+        EngineOptions::default(),
+        jobs,
+    )
+}
+
+/// [`sweep_distances_jobs`] with explicit [`EngineOptions`] — the form
+/// sp-serve executes, where a request may select the idealized helper
+/// model or multi-pass runs. Baseline and SP points share the same
+/// `opts.passes`, so the normalizations stay apples-to-apples.
+pub fn sweep_distances_jobs_with(
+    trace: &HotLoopTrace,
+    cache_cfg: CacheConfig,
+    rp: f64,
+    distances: &[u32],
+    opts: EngineOptions,
+    jobs: usize,
+) -> (Sweep, RunnerReport) {
     let mut grid: Vec<Job<'_, RunResult>> = Vec::with_capacity(distances.len() + 1);
-    grid.push(Box::new(move || run_original(trace, cache_cfg)));
+    grid.push(Box::new(move || {
+        run_original_passes(trace, cache_cfg, opts.passes)
+    }));
     for &d in distances {
         let params = SpParams::from_distance_rp(d, rp);
-        grid.push(Box::new(move || run_sp(trace, cache_cfg, params)));
+        grid.push(Box::new(move || {
+            run_sp_with(trace, cache_cfg, params, opts)
+        }));
     }
     let (mut results, report) = run_jobs(grid, jobs);
 
@@ -213,6 +239,25 @@ mod tests {
         let a = sweep_distances(&t, cfg(), 0.5, &[2, 8]);
         let b = sweep_distances(&t, cfg(), 0.5, &[2, 8]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sweep_with_default_options_equals_plain_sweep() {
+        let t = synth::sequential(600, 2, 0, 64, 0);
+        let plain = sweep_distances(&t, cfg(), 0.5, &[2, 8]);
+        let (with, _) =
+            sweep_distances_jobs_with(&t, cfg(), 0.5, &[2, 8], EngineOptions::default(), 1);
+        assert_eq!(plain, with);
+        // Non-default options change the simulation (multi-pass baseline
+        // warms the cache), but the point count and normalization basis
+        // stay consistent.
+        let opts = EngineOptions {
+            passes: 2,
+            ..EngineOptions::default()
+        };
+        let (multi, _) = sweep_distances_jobs_with(&t, cfg(), 0.5, &[2, 8], opts, 1);
+        assert_eq!(multi.points.len(), 2);
+        assert!(multi.baseline.runtime > plain.baseline.runtime);
     }
 
     #[test]

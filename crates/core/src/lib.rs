@@ -59,7 +59,7 @@ pub use affinity::{
 pub use calr::{estimate_calr, select_params, select_rp, CalrProfile};
 pub use distance::{
     controlled_distance, recommend_distance, sweep_distances, sweep_distances_jobs,
-    DistanceRecommendation, Sweep, SweepPoint,
+    sweep_distances_jobs_with, DistanceRecommendation, Sweep, SweepPoint,
 };
 pub use engine::{
     run_original, run_original_passes, run_scheduled, run_sp, run_sp_with, EngineOptions,
@@ -72,7 +72,9 @@ pub use skip::{helper_refs, plan, summarize, HelperStep, PlanSummary};
 /// The deterministic fan-out executor the sweep harness runs on,
 /// re-exported so downstream drivers can submit their own job grids.
 pub use sp_runner as runner;
-pub use sp_runner::{map_jobs, resolve_jobs, run_jobs, JobMetric, RunnerReport};
+pub use sp_runner::{
+    map_jobs, resolve_jobs, run_jobs, JobMetric, RunnerReport, SubmitError, WorkerPool, WorkerStat,
+};
 
 /// Everything a typical user needs.
 pub mod prelude {

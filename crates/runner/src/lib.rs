@@ -21,6 +21,10 @@
 //!
 //! No external dependencies; `std::thread::scope` only.
 
+pub mod pool;
+
+pub use pool::{SubmitError, WorkerPool};
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -39,8 +43,21 @@ pub struct JobMetric {
     pub wall: Duration,
 }
 
-/// What one [`run_jobs`] call did: how wide it ran and where the time
-/// went. `speedup()` is the figure the `reproduce` summary prints.
+/// Cumulative work done by one worker, indexed by worker id. Batch
+/// fan-outs derive these from `per_job`; a live [`WorkerPool`] snapshot
+/// reports its running totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStat {
+    /// Jobs this worker has executed.
+    pub jobs: usize,
+    /// Total time this worker spent inside jobs.
+    pub busy: Duration,
+}
+
+/// What one [`run_jobs`] call (or one [`WorkerPool`] snapshot) did: how
+/// wide it ran and where the time went. `speedup()` is the figure the
+/// `reproduce` summary prints; `queue_depth` and `per_worker` feed the
+/// sp-serve `stats` reply, so both surfaces share one source of truth.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunnerReport {
     /// Number of jobs executed.
@@ -53,6 +70,12 @@ pub struct RunnerReport {
     pub busy: Duration,
     /// Per-job metrics, in submission order.
     pub per_job: Vec<JobMetric>,
+    /// Jobs admitted but not yet executing when the report was taken.
+    /// Always 0 for a completed batch fan-out; a live [`WorkerPool`]
+    /// snapshot reports its current admission-queue depth.
+    pub queue_depth: usize,
+    /// Per-worker utilization totals, indexed by worker id.
+    pub per_worker: Vec<WorkerStat>,
 }
 
 impl RunnerReport {
@@ -66,6 +89,17 @@ impl RunnerReport {
         }
     }
 
+    /// Mean worker utilization over the whole fan-out: busy time over
+    /// `workers x wall`, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        let denom = self.workers as f64 * self.wall.as_secs_f64();
+        if denom <= 0.0 {
+            0.0
+        } else {
+            (self.busy.as_secs_f64() / denom).min(1.0)
+        }
+    }
+
     /// Merge another fan-out into this one (summing costs; `workers`
     /// keeps the maximum width). Used by drivers that issue several
     /// grids per artifact but print one summary.
@@ -75,6 +109,15 @@ impl RunnerReport {
         self.wall += other.wall;
         self.busy += other.busy;
         self.per_job.extend(other.per_job.iter().copied());
+        self.queue_depth = self.queue_depth.max(other.queue_depth);
+        if self.per_worker.len() < other.per_worker.len() {
+            self.per_worker
+                .resize(other.per_worker.len(), WorkerStat::default());
+        }
+        for (mine, theirs) in self.per_worker.iter_mut().zip(&other.per_worker) {
+            mine.jobs += theirs.jobs;
+            mine.busy += theirs.busy;
+        }
     }
 
     /// An empty report to [`absorb`](Self::absorb) into.
@@ -85,6 +128,8 @@ impl RunnerReport {
             wall: Duration::ZERO,
             busy: Duration::ZERO,
             per_job: Vec::new(),
+            queue_depth: 0,
+            per_worker: Vec::new(),
         }
     }
 }
@@ -187,12 +232,19 @@ pub fn run_jobs<T: Send>(jobs: Vec<Job<'_, T>>, jobs_n: usize) -> (Vec<T>, Runne
         .map(|m| m.expect("every job ran"))
         .collect();
     let busy = per_job.iter().map(|m| m.wall).sum();
+    let mut per_worker = vec![WorkerStat::default(); workers];
+    for m in &per_job {
+        per_worker[m.worker].jobs += 1;
+        per_worker[m.worker].busy += m.wall;
+    }
     let report = RunnerReport {
         jobs: n,
         workers,
         wall: started.elapsed(),
         busy,
         per_job,
+        queue_depth: 0,
+        per_worker,
     };
     let results = slots
         .into_iter()
@@ -262,6 +314,18 @@ mod tests {
     }
 
     #[test]
+    fn per_worker_totals_reconcile_with_per_job() {
+        let (_, rep) = run_jobs(boxed_squares(64), 4);
+        assert_eq!(rep.per_worker.len(), rep.workers);
+        assert_eq!(rep.queue_depth, 0, "finished batches have empty queues");
+        assert_eq!(rep.per_worker.iter().map(|w| w.jobs).sum::<usize>(), 64);
+        let busy: Duration = rep.per_worker.iter().map(|w| w.busy).sum();
+        assert_eq!(busy, rep.busy);
+        let u = rep.utilization();
+        assert!((0.0..=1.0).contains(&u), "utilization {u} out of range");
+    }
+
+    #[test]
     fn queue_fans_out_across_all_workers() {
         // The first `workers` jobs rendezvous on a barrier, so each must
         // be claimed by a distinct worker (a single worker blocking in
@@ -323,6 +387,8 @@ mod tests {
         assert_eq!(total.per_job.len(), 16);
         assert_eq!(total.busy, a.busy + b.busy);
         assert!(total.speedup() >= 0.0);
+        assert_eq!(total.per_worker.len(), 2, "absorb keeps the widest lane");
+        assert_eq!(total.per_worker.iter().map(|w| w.jobs).sum::<usize>(), 16);
     }
 
     #[test]

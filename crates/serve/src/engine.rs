@@ -1,0 +1,230 @@
+//! Request execution: turn a parsed [`Command`] into the encoded
+//! `result` payload the daemon caches and returns.
+//!
+//! The engine is shared by every pool worker. Workload traces are
+//! memoized per `(benchmark, scale)` — trace synthesis is deterministic,
+//! so regenerating one per request would only burn time; the handful of
+//! distinct traces is far smaller than the result cache.
+
+use crate::json::Json;
+use crate::protocol::{scale_name, Command, SimSpec};
+use sp_bench::{table2_row, Scale};
+use sp_core::{recommend_distance, sweep_distances_jobs_with, Sweep};
+use sp_native::sync::Mutex;
+use sp_trace::HotLoopTrace;
+use sp_workloads::Benchmark;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn bench_index(b: Benchmark) -> u8 {
+    match b {
+        Benchmark::Em3d => 0,
+        Benchmark::Mcf => 1,
+        Benchmark::Mst => 2,
+    }
+}
+
+fn scale_index(s: Scale) -> u8 {
+    match s {
+        Scale::Test => 0,
+        Scale::Scaled => 1,
+    }
+}
+
+/// The daemon's simulation executor: a trace memo plus the encoding of
+/// each result kind. Stateless apart from the memo, so any number of
+/// pool workers can execute through one shared instance.
+#[derive(Default)]
+pub struct SimEngine {
+    traces: Mutex<HashMap<(u8, u8), Arc<HotLoopTrace>>>,
+}
+
+impl SimEngine {
+    /// A fresh engine with an empty trace memo.
+    pub fn new() -> SimEngine {
+        SimEngine::default()
+    }
+
+    fn trace(&self, bench: Benchmark, scale: Scale) -> Arc<HotLoopTrace> {
+        let key = (bench_index(bench), scale_index(scale));
+        if let Some(t) = self.traces.lock().get(&key) {
+            return Arc::clone(t);
+        }
+        // Synthesize outside the lock — scaled traces take a while, and
+        // a second thread racing to the same key just recomputes the
+        // identical (deterministic) trace.
+        let t = Arc::new(scale.workload(bench).trace());
+        self.traces
+            .lock()
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&t))
+            .clone()
+    }
+
+    /// Execute one command, returning the encoded `result` JSON.
+    ///
+    /// `ping`/`stats`/`shutdown` never reach the engine — the server
+    /// answers them inline — so they are an error here.
+    pub fn execute(&self, cmd: &Command) -> Result<String, String> {
+        match cmd {
+            Command::Sweep { spec, distances } => Ok(self.run_sweep(spec, distances)),
+            Command::Point { spec, distance } => Ok(self.run_sweep(spec, &[*distance])),
+            Command::Affinity {
+                bench,
+                scale,
+                cache,
+            } => Ok(affinity_json(&table2_row(&cache.config, *scale, *bench)).encode()),
+            Command::Burn { ms } => {
+                // Occupy this worker for a fixed wall-clock interval —
+                // the load generator's tool for exercising backpressure.
+                let start = Instant::now();
+                while start.elapsed() < Duration::from_millis(*ms) {
+                    std::hint::spin_loop();
+                }
+                Ok(format!("{{\"burned_ms\":{ms}}}"))
+            }
+            Command::Ping | Command::Stats | Command::Shutdown => {
+                Err("command is handled by the server, not the engine".into())
+            }
+        }
+    }
+
+    fn run_sweep(&self, spec: &SimSpec, distances: &[u32]) -> String {
+        let trace = self.trace(spec.bench, spec.scale);
+        let (sweep, _report) = sweep_distances_jobs_with(
+            &trace,
+            spec.cache.config,
+            spec.rp,
+            distances,
+            spec.opts,
+            1, // requests parallelize across the pool, not within a job
+        );
+        let bound = recommend_distance(&trace, &spec.cache.config).max_distance;
+        sweep_json(spec, bound, &sweep).encode()
+    }
+}
+
+/// Encode a sweep. Point field names mirror [`sp_bench::SWEEP_HEADER`]
+/// so CSV consumers and protocol consumers read the same vocabulary.
+fn sweep_json(spec: &SimSpec, bound: Option<u32>, sweep: &Sweep) -> Json {
+    let points = sweep
+        .points
+        .iter()
+        .map(|p| {
+            Json::obj()
+                .push("distance", Json::num(p.distance))
+                .push("runtime_norm", Json::num(p.runtime_norm))
+                .push("mem_accesses_norm", Json::num(p.memory_accesses_norm))
+                .push("hot_misses_norm", Json::num(p.hot_misses_norm))
+                .push("d_totally_hit_pct", Json::num(p.behavior.totally_hit_pct))
+                .push("d_totally_miss_pct", Json::num(p.behavior.totally_miss_pct))
+                .push(
+                    "d_partially_hit_pct",
+                    Json::num(p.behavior.partially_hit_pct),
+                )
+                .push(
+                    "pollution_events",
+                    Json::num(p.pollution.stats.total() as f64),
+                )
+                .push(
+                    "dead_prefetch_rate",
+                    Json::num(p.pollution.dead_prefetch_rate),
+                )
+        })
+        .collect();
+    Json::obj()
+        .push("bench", Json::str(spec.bench.name()))
+        .push("scale", Json::str(scale_name(spec.scale)))
+        .push("rp", Json::num(spec.rp))
+        .push("baseline_runtime", Json::num(sweep.baseline.runtime as f64))
+        .push("distance_bound", opt_u32(bound))
+        .push("best_distance", opt_u32(sweep.best_distance()))
+        .push("points", Json::Arr(points))
+}
+
+fn opt_u32(v: Option<u32>) -> Json {
+    v.map_or(Json::Null, Json::num)
+}
+
+fn opt_range(r: Option<(u32, u32)>) -> Json {
+    r.map_or(Json::Null, |(lo, hi)| {
+        Json::Arr(vec![Json::num(lo), Json::num(hi)])
+    })
+}
+
+/// Encode a Table 2 profile row (field names match the struct).
+fn affinity_json(row: &sp_bench::Table2Row) -> Json {
+    Json::obj()
+        .push("benchmark", Json::str(row.benchmark))
+        .push("input", Json::str(row.input.clone()))
+        .push("iterations", Json::num(row.iterations as f64))
+        .push("sa_range", opt_range(row.sa_range))
+        .push("sa_sampled", opt_range(row.sa_sampled))
+        .push("distance_bound", opt_u32(row.distance_bound))
+        .push("calr", Json::num(row.calr))
+        .push("rp", Json::num(row.rp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Request;
+
+    fn command(line: &str) -> Command {
+        Request::parse(line).unwrap().cmd
+    }
+
+    #[test]
+    fn point_results_are_deterministic_and_reuse_the_trace_memo() {
+        let engine = SimEngine::new();
+        let cmd = command("{\"type\":\"point\",\"bench\":\"em3d\",\"distance\":8}");
+        let first = engine.execute(&cmd).unwrap();
+        let second = engine.execute(&cmd).unwrap();
+        assert_eq!(first, second, "same command, byte-identical payloads");
+        assert_eq!(engine.traces.lock().len(), 1, "trace memoized once");
+        let v = Json::parse(&first).unwrap();
+        assert_eq!(v.get("bench").and_then(Json::as_str), Some("EM3D"));
+        let points = v.get("points").and_then(Json::as_arr).unwrap();
+        assert_eq!(points.len(), 1);
+        assert_eq!(
+            points[0].get("distance").and_then(Json::as_u64),
+            Some(8),
+            "payload {first}"
+        );
+        assert!(
+            points[0]
+                .get("runtime_norm")
+                .and_then(Json::as_f64)
+                .is_some(),
+            "payload {first}"
+        );
+    }
+
+    #[test]
+    fn affinity_payload_carries_the_table2_fields() {
+        let engine = SimEngine::new();
+        let cmd = command("{\"type\":\"affinity\",\"bench\":\"em3d\",\"scale\":\"test\"}");
+        let payload = engine.execute(&cmd).unwrap();
+        let v = Json::parse(&payload).unwrap();
+        assert_eq!(v.get("benchmark").and_then(Json::as_str), Some("EM3D"));
+        assert!(v.get("iterations").and_then(Json::as_u64).unwrap() > 0);
+        assert!(v.get("rp").and_then(Json::as_f64).is_some());
+    }
+
+    #[test]
+    fn burn_reports_its_duration_and_inline_commands_are_rejected() {
+        let engine = SimEngine::new();
+        let payload = engine
+            .execute(&command("{\"type\":\"burn\",\"ms\":1}"))
+            .unwrap();
+        assert_eq!(payload, "{\"burned_ms\":1}");
+        for inline in [
+            "{\"type\":\"ping\"}",
+            "{\"type\":\"stats\"}",
+            "{\"type\":\"shutdown\"}",
+        ] {
+            assert!(engine.execute(&command(inline)).is_err());
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # sp-serve
+//!
+//! A std-only simulation service daemon: long-running TCP server that
+//! accepts simulation requests — distance sweeps, single-point runs,
+//! Set-Affinity/Table-2 profiles — as newline-delimited JSON, answers
+//! repeats from a sharded LRU result cache, and schedules misses onto a
+//! bounded [`sp_runner::WorkerPool`] with explicit backpressure (a full
+//! admission queue answers `busy` instead of stalling the client).
+//!
+//! The pieces, bottom-up:
+//!
+//! * [`json`] — hand-rolled deterministic JSON (the workspace builds
+//!   offline with zero external crates).
+//! * [`protocol`] — request parsing, canonical cache keys, response
+//!   envelopes. Keys are built from *resolved* values, so every spelling
+//!   of the same request shares one cache entry.
+//! * [`cache`] — the sharded LRU result cache.
+//! * [`metrics`] — request/cache/queue counters and a fixed-bucket
+//!   latency histogram, served by the `stats` request.
+//! * [`engine`] — executes commands against the sp-core simulation
+//!   stack, memoizing workload traces.
+//! * [`server`] — the accept loop, per-connection handlers, deadlines,
+//!   and graceful drain (shutdown request, SIGINT, or SIGTERM).
+//!
+//! The `spt serve` and `spt loadgen` subcommands (crates/cli) are the
+//! daemon's front ends; `tests/serve_smoke.rs` drives a real server over
+//! loopback.
+
+pub mod cache;
+pub mod engine;
+pub mod json;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{fnv1a64, ResultCache};
+pub use engine::SimEngine;
+pub use json::Json;
+pub use metrics::Metrics;
+pub use protocol::{error_response, ok_response, Command, Request, SimSpec};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,182 @@
+//! The daemon's observability surface: request counters, cache hit
+//! counters, and a fixed-bucket latency histogram — all lock-free
+//! atomics, safe to read while the server is under load.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Request kinds the per-type counters distinguish (wire `type` names).
+pub const KINDS: [&str; 7] = [
+    "sweep", "point", "affinity", "burn", "stats", "ping", "shutdown",
+];
+
+/// Upper bucket bounds of the latency histogram, in microseconds; one
+/// extra overflow bucket catches everything slower.
+pub const LATENCY_BOUNDS_US: [u64; 14] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 5_000_000,
+];
+
+/// A fixed-bucket latency histogram (`le`-style cumulative on render).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    counts: [AtomicU64; LATENCY_BOUNDS_US.len() + 1],
+}
+
+impl Histogram {
+    /// Record one observation of `micros`.
+    pub fn record(&self, micros: u64) {
+        let idx = LATENCY_BOUNDS_US
+            .iter()
+            .position(|&b| micros <= b)
+            .unwrap_or(LATENCY_BOUNDS_US.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Per-bucket counts, `(upper_bound_us, count)`; the final entry's
+    /// bound is `u64::MAX` (the overflow bucket).
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let bound = LATENCY_BOUNDS_US.get(i).copied().unwrap_or(u64::MAX);
+                (bound, c.load(Ordering::Relaxed))
+            })
+            .collect()
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Render as a JSON array of `{le, count}` rows (non-cumulative);
+    /// the overflow bucket's bound is the string `"inf"`.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.buckets()
+                .into_iter()
+                .map(|(bound, count)| {
+                    let le = if bound == u64::MAX {
+                        Json::str("inf")
+                    } else {
+                        Json::num(bound as f64)
+                    };
+                    Json::obj()
+                        .push("le_us", le)
+                        .push("count", Json::num(count as f64))
+                })
+                .collect(),
+        )
+    }
+}
+
+/// All daemon counters.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Total requests received (including malformed ones).
+    pub requests: AtomicU64,
+    /// Requests by kind, indexed like [`KINDS`].
+    pub by_kind: [AtomicU64; KINDS.len()],
+    /// Result-cache hits.
+    pub cache_hits: AtomicU64,
+    /// Result-cache misses (cacheable requests only).
+    pub cache_misses: AtomicU64,
+    /// Requests shed with a `busy` reply (admission queue full).
+    pub busy_rejections: AtomicU64,
+    /// Requests that hit their deadline before the simulation finished.
+    pub timeouts: AtomicU64,
+    /// Malformed or failed requests.
+    pub errors: AtomicU64,
+    /// End-to-end request latency histogram.
+    pub latency: Histogram,
+}
+
+impl Metrics {
+    /// Count one request of `kind` (must be a [`KINDS`] member; unknown
+    /// kinds count only toward the total).
+    pub fn count_request(&self, kind: &str) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if let Some(idx) = KINDS.iter().position(|&k| k == kind) {
+            self.by_kind[idx].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Cache hit ratio over all cacheable lookups so far (0 when none).
+    pub fn hit_ratio(&self) -> f64 {
+        let hits = self.cache_hits.load(Ordering::Relaxed) as f64;
+        let misses = self.cache_misses.load(Ordering::Relaxed) as f64;
+        if hits + misses <= 0.0 {
+            0.0
+        } else {
+            hits / (hits + misses)
+        }
+    }
+
+    /// Render the request-side counters as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut kinds = Json::obj();
+        for (i, &k) in KINDS.iter().enumerate() {
+            kinds = kinds.push(k, Json::num(self.by_kind[i].load(Ordering::Relaxed) as f64));
+        }
+        Json::obj()
+            .push(
+                "total",
+                Json::num(self.requests.load(Ordering::Relaxed) as f64),
+            )
+            .push("by_kind", kinds)
+            .push(
+                "busy",
+                Json::num(self.busy_rejections.load(Ordering::Relaxed) as f64),
+            )
+            .push(
+                "timeouts",
+                Json::num(self.timeouts.load(Ordering::Relaxed) as f64),
+            )
+            .push(
+                "errors",
+                Json::num(self.errors.load(Ordering::Relaxed) as f64),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_bound() {
+        let h = Histogram::default();
+        h.record(50); // <= 100
+        h.record(100); // <= 100 (inclusive)
+        h.record(101); // <= 250
+        h.record(9_999_999); // overflow
+        let b = h.buckets();
+        assert_eq!(b[0], (100, 2));
+        assert_eq!(b[1], (250, 1));
+        assert_eq!(b.last().copied(), Some((u64::MAX, 1)));
+        assert_eq!(h.total(), 4);
+        let json = h.to_json().encode();
+        assert!(json.contains("\"le_us\":100"), "got {json}");
+        assert!(json.contains("\"le_us\":\"inf\""), "got {json}");
+    }
+
+    #[test]
+    fn counters_and_hit_ratio() {
+        let m = Metrics::default();
+        assert_eq!(m.hit_ratio(), 0.0);
+        m.count_request("sweep");
+        m.count_request("sweep");
+        m.count_request("stats");
+        m.count_request("unknown-kind");
+        m.cache_hits.fetch_add(3, Ordering::Relaxed);
+        m.cache_misses.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(m.requests.load(Ordering::Relaxed), 4);
+        assert_eq!(m.by_kind[0].load(Ordering::Relaxed), 2);
+        assert!((m.hit_ratio() - 0.75).abs() < 1e-12);
+        let json = m.to_json().encode();
+        assert!(json.contains("\"sweep\":2"), "got {json}");
+        assert!(json.contains("\"total\":4"), "got {json}");
+    }
+}

@@ -1,0 +1,498 @@
+//! The sp-serve wire protocol: newline-delimited JSON requests and
+//! responses, and the canonical cache key a request resolves to.
+//!
+//! ## Requests
+//!
+//! One JSON object per line. `type` selects the command; everything
+//! else has a default, so `{"type":"sweep"}` is a valid request:
+//!
+//! ```text
+//! {"id":7,"type":"sweep","bench":"em3d","scale":"test","rp":0.5,
+//!  "distances":[2,4,8],"cache":"scaled","l2_kb":256,"ways":16,"line":64,
+//!  "hw_prefetch":true,"blocking_helper":true,"passes":1,"timeout_ms":30000}
+//! {"type":"point","bench":"mcf","distance":8}
+//! {"type":"affinity","bench":"mst","scale":"test"}
+//! {"type":"burn","ms":50}            # load-testing: occupies a worker
+//! {"type":"stats"}                   # metrics snapshot, never queued
+//! {"type":"ping"}
+//! {"type":"shutdown"}                # graceful drain
+//! ```
+//!
+//! ## Responses
+//!
+//! `{"id":...,"ok":true,"cached":false,"micros":1234,"result":{...}}` on
+//! success; `{"id":...,"ok":false,"error":"busy","detail":"..."}` on
+//! failure. `error` is one of `bad_request`, `busy` (backpressure — try
+//! again later), `timeout`, `shutting_down`, or `internal`.
+//!
+//! ## Cache keys
+//!
+//! Semantically identical requests must share one cache entry, so the
+//! key is built from **resolved** values (after defaults are applied),
+//! not from the raw JSON text: `{"type":"sweep"}` and a request spelling
+//! out every default hit the same entry.
+
+use crate::json::Json;
+use sp_bench::Scale;
+use sp_cachesim::{CacheConfig, CacheGeometry};
+use sp_core::EngineOptions;
+use sp_workloads::Benchmark;
+
+/// Resolved cache selection for a request (preset plus overrides).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheSpec {
+    /// The resolved configuration.
+    pub config: CacheConfig,
+}
+
+impl CacheSpec {
+    fn parse(v: &Json) -> Result<CacheSpec, String> {
+        let preset = v.get("cache").and_then(Json::as_str).unwrap_or("scaled");
+        let mut config = match preset {
+            "scaled" => CacheConfig::scaled_default(),
+            "core2" => CacheConfig::core2_q6600(),
+            other => return Err(format!("unknown cache preset {other:?}")),
+        };
+        let l2_kb = match v.get("l2_kb") {
+            None => config.l2.size_bytes / 1024,
+            Some(n) => n.as_u64().ok_or("l2_kb must be a positive integer")?,
+        };
+        let ways = match v.get("ways") {
+            None => config.l2.ways,
+            Some(n) => n.as_u64().ok_or("ways must be a positive integer")? as u32,
+        };
+        let line = match v.get("line") {
+            None => config.l2.line_size,
+            Some(n) => n.as_u64().ok_or("line must be a positive integer")?,
+        };
+        // CacheGeometry::new panics on invalid shapes; a bad request must
+        // get an error reply instead, so validate its rules up front.
+        if l2_kb == 0 || !l2_kb.is_power_of_two() {
+            return Err("l2_kb must be a power of two".into());
+        }
+        if ways == 0 || !ways.is_power_of_two() {
+            return Err("ways must be a power of two".into());
+        }
+        if line != config.l1.line_size {
+            return Err(format!(
+                "line must match the L1 line size ({})",
+                config.l1.line_size
+            ));
+        }
+        if l2_kb * 1024 / line < ways as u64 {
+            return Err("cache must hold at least one full set".into());
+        }
+        config.l2 = CacheGeometry::new(l2_kb * 1024, ways, line);
+        if let Some(hw) = v.get("hw_prefetch") {
+            config.hw_prefetchers = hw.as_bool().ok_or("hw_prefetch must be a boolean")?;
+        }
+        Ok(CacheSpec { config })
+    }
+
+    fn key_fragment(&self) -> String {
+        let c = &self.config;
+        format!(
+            "l2kb={},ways={},line={},hw={}",
+            c.l2.size_bytes / 1024,
+            c.l2.ways,
+            c.l2.line_size,
+            if c.hw_prefetchers { "on" } else { "off" }
+        )
+    }
+}
+
+/// The simulation-selecting fields shared by `sweep` and `point`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimSpec {
+    /// Which benchmark to simulate.
+    pub bench: Benchmark,
+    /// Input scale (`test` or `scaled`).
+    pub scale: Scale,
+    /// The resolved cache configuration.
+    pub cache: CacheSpec,
+    /// Prefetch ratio `RP`.
+    pub rp: f64,
+    /// Engine options (helper model, passes).
+    pub opts: EngineOptions,
+}
+
+impl SimSpec {
+    fn parse(v: &Json) -> Result<SimSpec, String> {
+        let bench = parse_bench(v)?;
+        let scale = parse_scale(v)?;
+        let cache = CacheSpec::parse(v)?;
+        let rp = v.get("rp").map_or(Ok(0.5), |n| {
+            n.as_f64().ok_or_else(|| "rp must be a number".to_string())
+        })?;
+        if !(rp > 0.0 && rp <= 1.0) {
+            return Err(format!("rp must be in (0, 1], got {rp}"));
+        }
+        let mut opts = EngineOptions::default();
+        if let Some(b) = v.get("blocking_helper") {
+            opts.blocking_helper = b.as_bool().ok_or("blocking_helper must be a boolean")?;
+        }
+        if let Some(p) = v.get("passes") {
+            let p = p.as_u64().ok_or("passes must be a positive integer")?;
+            if p == 0 || p > 16 {
+                return Err("passes must be in 1..=16".into());
+            }
+            opts.passes = p as usize;
+        }
+        Ok(SimSpec {
+            bench,
+            scale,
+            cache,
+            rp,
+            opts,
+        })
+    }
+
+    fn key_fragment(&self) -> String {
+        format!(
+            "bench={}|scale={}|{}|rp={}|blocking={}|passes={}",
+            self.bench.name(),
+            scale_name(self.scale),
+            self.cache.key_fragment(),
+            self.rp,
+            if self.opts.blocking_helper {
+                "on"
+            } else {
+                "off"
+            },
+            self.opts.passes
+        )
+    }
+}
+
+fn parse_bench(v: &Json) -> Result<Benchmark, String> {
+    match v.get("bench").and_then(Json::as_str).unwrap_or("em3d") {
+        "em3d" => Ok(Benchmark::Em3d),
+        "mcf" => Ok(Benchmark::Mcf),
+        "mst" => Ok(Benchmark::Mst),
+        other => Err(format!("unknown bench {other:?}; expected em3d|mcf|mst")),
+    }
+}
+
+fn parse_scale(v: &Json) -> Result<Scale, String> {
+    match v.get("scale").and_then(Json::as_str).unwrap_or("test") {
+        "test" => Ok(Scale::Test),
+        "scaled" => Ok(Scale::Scaled),
+        other => Err(format!("unknown scale {other:?}; expected test|scaled")),
+    }
+}
+
+/// `Scale`'s wire spelling.
+pub fn scale_name(s: Scale) -> &'static str {
+    match s {
+        Scale::Test => "test",
+        Scale::Scaled => "scaled",
+    }
+}
+
+/// What a request asks the daemon to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Liveness probe.
+    Ping,
+    /// A full distance sweep.
+    Sweep {
+        /// Simulation selection.
+        spec: SimSpec,
+        /// The distance grid (default: the benchmark's figure grid).
+        distances: Vec<u32>,
+    },
+    /// A single-distance run.
+    Point {
+        /// Simulation selection.
+        spec: SimSpec,
+        /// The prefetch distance.
+        distance: u32,
+    },
+    /// A Table 2 profile (Set Affinity, bound, CALR, RP) for one bench.
+    Affinity {
+        /// Which benchmark.
+        bench: Benchmark,
+        /// Input scale.
+        scale: Scale,
+        /// Cache configuration.
+        cache: CacheSpec,
+    },
+    /// Occupy a worker for `ms` milliseconds (load/backpressure testing).
+    Burn {
+        /// How long to spin.
+        ms: u64,
+    },
+    /// Metrics snapshot (handled inline, never queued).
+    Stats,
+    /// Graceful drain-and-exit.
+    Shutdown,
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: Option<Json>,
+    /// Per-request deadline override, milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// The command.
+    pub cmd: Command,
+}
+
+impl Request {
+    /// Parse one request line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line)?;
+        let id = v.get("id").cloned();
+        let timeout_ms = match v.get("timeout_ms") {
+            None => None,
+            Some(t) => Some(
+                t.as_u64()
+                    .ok_or("timeout_ms must be a non-negative integer")?,
+            ),
+        };
+        let kind = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or("request needs a string \"type\" field")?;
+        let cmd = match kind {
+            "ping" => Command::Ping,
+            "stats" => Command::Stats,
+            "shutdown" => Command::Shutdown,
+            "burn" => {
+                let ms = match v.get("ms") {
+                    None => 10,
+                    Some(n) => n.as_u64().ok_or("ms must be a non-negative integer")?,
+                };
+                if ms > 60_000 {
+                    return Err("burn ms capped at 60000".into());
+                }
+                Command::Burn { ms }
+            }
+            "affinity" => Command::Affinity {
+                bench: parse_bench(&v)?,
+                scale: parse_scale(&v)?,
+                cache: CacheSpec::parse(&v)?,
+            },
+            "point" => {
+                let spec = SimSpec::parse(&v)?;
+                let distance = match v.get("distance") {
+                    None => 8,
+                    Some(d) => {
+                        let d = d
+                            .as_u64()
+                            .ok_or("distance must be a non-negative integer")?;
+                        u32::try_from(d).map_err(|_| "distance too large".to_string())?
+                    }
+                };
+                Command::Point { spec, distance }
+            }
+            "sweep" => {
+                let spec = SimSpec::parse(&v)?;
+                let distances = match v.get("distances") {
+                    None => sp_bench::distances_for(spec.bench).to_vec(),
+                    Some(ds) => {
+                        let items = ds.as_arr().ok_or("distances must be an array")?;
+                        if items.is_empty() || items.len() > 64 {
+                            return Err("distances must hold 1..=64 entries".into());
+                        }
+                        items
+                            .iter()
+                            .map(|d| {
+                                d.as_u64()
+                                    .and_then(|d| u32::try_from(d).ok())
+                                    .ok_or_else(|| "distances entries must be integers".to_string())
+                            })
+                            .collect::<Result<Vec<u32>, String>>()?
+                    }
+                };
+                Command::Sweep { spec, distances }
+            }
+            other => return Err(format!("unknown request type {other:?}")),
+        };
+        Ok(Request {
+            id,
+            timeout_ms,
+            cmd,
+        })
+    }
+
+    /// The wire `type` of this request (for per-kind metrics).
+    pub fn kind(&self) -> &'static str {
+        match self.cmd {
+            Command::Ping => "ping",
+            Command::Sweep { .. } => "sweep",
+            Command::Point { .. } => "point",
+            Command::Affinity { .. } => "affinity",
+            Command::Burn { .. } => "burn",
+            Command::Stats => "stats",
+            Command::Shutdown => "shutdown",
+        }
+    }
+
+    /// The canonical cache key, if this request is cacheable. Built from
+    /// resolved values so default-spelling variants share an entry;
+    /// `burn`/`stats`/`ping`/`shutdown` are never cached.
+    pub fn cache_key(&self) -> Option<String> {
+        match &self.cmd {
+            Command::Sweep { spec, distances } => {
+                let ds: Vec<String> = distances.iter().map(u32::to_string).collect();
+                Some(format!("sweep|{}|ds={}", spec.key_fragment(), ds.join(",")))
+            }
+            Command::Point { spec, distance } => {
+                Some(format!("point|{}|d={distance}", spec.key_fragment()))
+            }
+            Command::Affinity {
+                bench,
+                scale,
+                cache,
+            } => Some(format!(
+                "affinity|bench={}|scale={}|{}",
+                bench.name(),
+                scale_name(*scale),
+                cache.key_fragment()
+            )),
+            _ => None,
+        }
+    }
+}
+
+/// Encode the success envelope around an already-encoded `result`
+/// payload. The payload is spliced in verbatim, so a cached result is
+/// byte-identical to the miss that produced it.
+pub fn ok_response(id: &Option<Json>, cached: bool, micros: u64, result: &str) -> String {
+    format!(
+        "{{\"id\":{},\"ok\":true,\"cached\":{cached},\"micros\":{micros},\"result\":{result}}}",
+        id.as_ref().map_or_else(|| "null".to_string(), Json::encode)
+    )
+}
+
+/// Encode an error envelope.
+pub fn error_response(id: &Option<Json>, error: &str, detail: &str) -> String {
+    Json::obj()
+        .push("id", id.clone().unwrap_or(Json::Null))
+        .push("ok", Json::Bool(false))
+        .push("error", Json::str(error))
+        .push("detail", Json::str(detail))
+        .encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_sweep_request_gets_all_defaults() {
+        let r = Request::parse("{\"type\":\"sweep\"}").unwrap();
+        assert_eq!(r.kind(), "sweep");
+        assert_eq!(r.id, None);
+        match &r.cmd {
+            Command::Sweep { spec, distances } => {
+                assert_eq!(spec.bench, Benchmark::Em3d);
+                assert_eq!(spec.scale, Scale::Test);
+                assert_eq!(spec.rp, 0.5);
+                assert_eq!(spec.opts, EngineOptions::default());
+                assert_eq!(distances, sp_bench::distances_for(Benchmark::Em3d));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_spelling_variants_share_a_cache_key() {
+        let implicit = Request::parse("{\"type\":\"sweep\",\"distances\":[2,4]}").unwrap();
+        let explicit = Request::parse(
+            "{\"id\":9,\"timeout_ms\":50,\"type\":\"sweep\",\"bench\":\"em3d\",\
+             \"scale\":\"test\",\"rp\":0.5,\"cache\":\"scaled\",\"l2_kb\":256,\
+             \"ways\":16,\"line\":64,\"hw_prefetch\":true,\"blocking_helper\":true,\
+             \"passes\":1,\"distances\":[2,4]}",
+        )
+        .unwrap();
+        assert_eq!(implicit.cache_key(), explicit.cache_key());
+        let key = implicit.cache_key().unwrap();
+        assert!(key.starts_with("sweep|bench=EM3D|scale=test|"), "got {key}");
+        assert!(key.ends_with("|ds=2,4"), "got {key}");
+    }
+
+    #[test]
+    fn semantic_differences_change_the_key() {
+        let base = Request::parse("{\"type\":\"sweep\",\"distances\":[2,4]}").unwrap();
+        for variant in [
+            "{\"type\":\"sweep\",\"distances\":[2,8]}",
+            "{\"type\":\"sweep\",\"distances\":[2,4],\"bench\":\"mcf\"}",
+            "{\"type\":\"sweep\",\"distances\":[2,4],\"rp\":0.25}",
+            "{\"type\":\"sweep\",\"distances\":[2,4],\"hw_prefetch\":false}",
+            "{\"type\":\"sweep\",\"distances\":[2,4],\"l2_kb\":128}",
+            "{\"type\":\"sweep\",\"distances\":[2,4],\"passes\":2}",
+            "{\"type\":\"point\",\"distance\":2}",
+        ] {
+            let v = Request::parse(variant).unwrap();
+            assert_ne!(base.cache_key(), v.cache_key(), "collision for {variant}");
+        }
+    }
+
+    #[test]
+    fn non_simulation_requests_are_uncacheable() {
+        for (line, kind) in [
+            ("{\"type\":\"ping\"}", "ping"),
+            ("{\"type\":\"stats\"}", "stats"),
+            ("{\"type\":\"shutdown\"}", "shutdown"),
+            ("{\"type\":\"burn\",\"ms\":5}", "burn"),
+        ] {
+            let r = Request::parse(line).unwrap();
+            assert_eq!(r.kind(), kind);
+            assert_eq!(r.cache_key(), None, "{kind} must not be cached");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            "{\"type\":42}",
+            "{\"type\":\"warp\"}",
+            "{\"type\":\"sweep\",\"bench\":\"quake\"}",
+            "{\"type\":\"sweep\",\"scale\":\"huge\"}",
+            "{\"type\":\"sweep\",\"rp\":0}",
+            "{\"type\":\"sweep\",\"rp\":1.5}",
+            "{\"type\":\"sweep\",\"distances\":[]}",
+            "{\"type\":\"sweep\",\"distances\":\"2\"}",
+            "{\"type\":\"sweep\",\"cache\":\"l3\"}",
+            "{\"type\":\"sweep\",\"passes\":0}",
+            "{\"type\":\"sweep\",\"line\":32}",
+            "{\"type\":\"burn\",\"ms\":99999999}",
+            "{\"type\":\"point\",\"distance\":-1}",
+        ] {
+            assert!(Request::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn id_and_timeout_are_carried() {
+        let r = Request::parse("{\"id\":\"abc\",\"timeout_ms\":250,\"type\":\"ping\"}").unwrap();
+        assert_eq!(r.id, Some(Json::Str("abc".into())));
+        assert_eq!(r.timeout_ms, Some(250));
+    }
+
+    #[test]
+    fn response_envelopes_are_well_formed() {
+        let ok = ok_response(&Some(Json::num(3)), true, 120, "{\"x\":1}");
+        let v = Json::parse(&ok).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("cached").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            v.get("result")
+                .and_then(|r| r.get("x"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        let err = error_response(&None, "busy", "queue full");
+        let v = Json::parse(&err).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("busy"));
+        assert_eq!(v.get("id"), Some(&Json::Null));
+    }
+}

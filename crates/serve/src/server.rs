@@ -1,0 +1,385 @@
+//! The sp-serve daemon: a TCP accept loop, per-connection handler
+//! threads, and the admission path gluing protocol → cache → pool →
+//! engine together.
+//!
+//! ## Request path
+//!
+//! ```text
+//! read line ── parse ──┬─ ping/stats/shutdown: answered inline
+//!                      └─ sweep/point/affinity/burn:
+//!                           cache hit ───────────────► reply cached:true
+//!                           cache miss ─ try_submit ─┬─ queued: wait
+//!                           (bounded, never blocks)  └─ full: reply busy
+//! ```
+//!
+//! A queued job computes on a pool worker, **inserts into the cache
+//! itself**, then notifies the waiting handler. The insert happens on
+//! the worker so a request that hits its deadline does not lose the
+//! result — the client's retry finds it cached.
+//!
+//! ## Shutdown
+//!
+//! A `shutdown` request, SIGINT, or SIGTERM raises the drain flag. The
+//! accept loop stops accepting; handler threads notice within one read
+//! timeout and close; the pool finishes queued work and joins. Nothing
+//! in flight is abandoned.
+
+use crate::cache::ResultCache;
+use crate::engine::SimEngine;
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::protocol::{error_response, ok_response, Command, Request};
+use sp_runner::{SubmitError, WorkerPool};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Unix signal plumbing without a libc dependency: `signal(2)` is in
+/// libc, which std already links, so declare just that symbol and park
+/// a flag-setting handler on SIGINT/SIGTERM (async-signal-safe: one
+/// relaxed atomic store).
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        REQUESTED.store(true, Ordering::Relaxed);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn requested() -> bool {
+        false
+    }
+}
+
+/// Daemon tunables. `Default` is what `spt serve` starts with.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`host:port`; port 0 picks a free one).
+    pub addr: String,
+    /// Pool workers (`0` = all cores).
+    pub workers: usize,
+    /// Admission-queue slots; a full queue answers `busy`.
+    pub queue: usize,
+    /// Result-cache entries.
+    pub cache_entries: usize,
+    /// Result-cache shards.
+    pub shards: usize,
+    /// Deadline for requests that don't set `timeout_ms`.
+    pub default_timeout_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7077".to_string(),
+            workers: 0,
+            queue: 64,
+            cache_entries: 256,
+            shards: 8,
+            default_timeout_ms: 30_000,
+        }
+    }
+}
+
+/// Everything a connection handler needs, behind one `Arc`.
+struct Shared {
+    engine: SimEngine,
+    cache: ResultCache,
+    metrics: Metrics,
+    pool: WorkerPool,
+    draining: AtomicBool,
+    default_timeout_ms: u64,
+    started: Instant,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed) || sig::requested()
+    }
+}
+
+/// The sp-serve daemon. [`Server::bind`], then [`Server::run`] — which
+/// blocks until a `shutdown` request, SIGINT, or SIGTERM drains it.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind the listen socket and build the worker pool. The daemon is
+    /// not serving until [`run`](Server::run).
+    pub fn bind(cfg: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            local_addr,
+            shared: Arc::new(Shared {
+                engine: SimEngine::new(),
+                cache: ResultCache::new(cfg.cache_entries, cfg.shards),
+                metrics: Metrics::default(),
+                pool: WorkerPool::new(cfg.workers, cfg.queue),
+                draining: AtomicBool::new(false),
+                default_timeout_ms: cfg.default_timeout_ms,
+                started: Instant::now(),
+            }),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Number of pool workers (after `0` → core-count resolution).
+    pub fn workers(&self) -> usize {
+        self.shared.pool.workers()
+    }
+
+    /// Accept and serve until drained. Installs the SIGINT/SIGTERM
+    /// handler, so ctrl-c and `kill` drain instead of aborting.
+    pub fn run(self) -> std::io::Result<()> {
+        sig::install();
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.shared.draining() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&self.shared);
+                    handlers.push(std::thread::spawn(move || {
+                        handle_connection(stream, shared)
+                    }));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+            // Reap finished handlers so a long-lived daemon's handle
+            // list stays bounded by the number of *live* connections.
+            handlers.retain(|h| !h.is_finished());
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        self.shared.pool.shutdown();
+        Ok(())
+    }
+}
+
+/// Per-connection loop: accumulate bytes into a line buffer, serve each
+/// complete line. The 250 ms read timeout is the drain poll interval —
+/// on timeout the partial line is kept, never discarded.
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) if line.ends_with('\n') => {
+                let (reply, close) = serve_line(&shared, line.trim());
+                line.clear();
+                if writer
+                    .write_all(reply.as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .is_err()
+                {
+                    return;
+                }
+                if close {
+                    return;
+                }
+            }
+            Ok(_) => {} // partial line without newline; keep accumulating
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.draining() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Serve one request line; returns `(reply, close_connection)`.
+fn serve_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
+    let start = Instant::now();
+    let finish = |reply: String, close: bool| {
+        shared
+            .metrics
+            .latency
+            .record(start.elapsed().as_micros() as u64);
+        (reply, close)
+    };
+    let req = match Request::parse(line) {
+        Ok(req) => req,
+        Err(detail) => {
+            shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            return finish(error_response(&None, "bad_request", &detail), false);
+        }
+    };
+    shared.metrics.count_request(req.kind());
+    match &req.cmd {
+        Command::Ping => {
+            let micros = start.elapsed().as_micros() as u64;
+            finish(
+                ok_response(&req.id, false, micros, "{\"pong\":true}"),
+                false,
+            )
+        }
+        Command::Stats => {
+            let payload = stats_json(shared).encode();
+            let micros = start.elapsed().as_micros() as u64;
+            finish(ok_response(&req.id, false, micros, &payload), false)
+        }
+        Command::Shutdown => {
+            shared.draining.store(true, Ordering::Relaxed);
+            let micros = start.elapsed().as_micros() as u64;
+            finish(
+                ok_response(&req.id, false, micros, "{\"draining\":true}"),
+                true,
+            )
+        }
+        cmd => {
+            let key = req.cache_key();
+            if let Some(hit) = key.as_deref().and_then(|k| shared.cache.get(k)) {
+                shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                let micros = start.elapsed().as_micros() as u64;
+                return finish(ok_response(&req.id, true, micros, &hit), false);
+            }
+            if key.is_some() {
+                shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+            }
+            finish(execute_queued(shared, &req, cmd.clone(), key, start), false)
+        }
+    }
+}
+
+/// The miss path: schedule on the pool with backpressure, wait with a
+/// deadline. The worker fills the cache before notifying, so a timed-out
+/// request's work is kept — the retry hits the cache.
+fn execute_queued(
+    shared: &Arc<Shared>,
+    req: &Request,
+    cmd: Command,
+    key: Option<String>,
+    start: Instant,
+) -> String {
+    let (tx, rx) = mpsc::channel::<Result<String, String>>();
+    let task = {
+        // The handler may have given up by the time this runs; a dead
+        // receiver is fine, the cache insert already happened.
+        let shared = Arc::clone(shared);
+        Box::new(move || {
+            let outcome = shared.engine.execute(&cmd);
+            if let (Some(k), Ok(payload)) = (&key, &outcome) {
+                shared.cache.put(k, payload.clone());
+            }
+            let _ = tx.send(outcome);
+        })
+    };
+    match shared.pool.try_submit(task) {
+        Ok(()) => {}
+        Err(SubmitError::Busy) => {
+            shared
+                .metrics
+                .busy_rejections
+                .fetch_add(1, Ordering::Relaxed);
+            return error_response(&req.id, "busy", "admission queue full; retry later");
+        }
+        Err(SubmitError::ShuttingDown) => {
+            return error_response(&req.id, "shutting_down", "server is draining");
+        }
+    }
+    let deadline = Duration::from_millis(req.timeout_ms.unwrap_or(shared.default_timeout_ms));
+    match rx.recv_timeout(deadline) {
+        Ok(Ok(payload)) => {
+            let micros = start.elapsed().as_micros() as u64;
+            ok_response(&req.id, false, micros, &payload)
+        }
+        Ok(Err(detail)) => {
+            shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            error_response(&req.id, "internal", &detail)
+        }
+        Err(_) => {
+            shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+            error_response(
+                &req.id,
+                "timeout",
+                "deadline reached; result will be cached when the run finishes",
+            )
+        }
+    }
+}
+
+/// The `stats` payload: request counters, cache occupancy and hit
+/// ratio, queue depth, worker utilization, latency histogram.
+fn stats_json(shared: &Shared) -> Json {
+    let report = shared.pool.report();
+    let hits = shared.metrics.cache_hits.load(Ordering::Relaxed);
+    let misses = shared.metrics.cache_misses.load(Ordering::Relaxed);
+    Json::obj()
+        .push(
+            "uptime_ms",
+            Json::num(shared.started.elapsed().as_millis() as f64),
+        )
+        .push("requests", shared.metrics.to_json())
+        .push(
+            "cache",
+            Json::obj()
+                .push("entries", Json::num(shared.cache.len() as f64))
+                .push("capacity", Json::num(shared.cache.capacity() as f64))
+                .push("hits", Json::num(hits as f64))
+                .push("misses", Json::num(misses as f64))
+                .push("hit_ratio", Json::num(shared.metrics.hit_ratio())),
+        )
+        .push(
+            "queue",
+            Json::obj()
+                .push("depth", Json::num(shared.pool.queue_depth() as f64))
+                .push("capacity", Json::num(shared.pool.capacity() as f64))
+                .push("rejected", Json::num(shared.pool.rejected() as f64)),
+        )
+        .push(
+            "workers",
+            Json::obj()
+                .push("count", Json::num(shared.pool.workers() as f64))
+                .push("completed", Json::num(shared.pool.completed() as f64))
+                .push("panicked", Json::num(shared.pool.panicked() as f64))
+                .push("utilization", Json::num(report.utilization())),
+        )
+        .push("latency_us", shared.metrics.latency.to_json())
+}

@@ -1,0 +1,229 @@
+//! End-to-end daemon tests over a real loopback socket: cache
+//! miss→hit, backpressure, deadlines, stats, graceful drain.
+
+use sp_serve::{Json, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Start a server on an ephemeral port; returns its address and the
+/// thread running the accept loop (joins once the server drains).
+fn start(cfg: ServerConfig) -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(&cfg).expect("bind loopback");
+    let addr = server.local_addr();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        Client {
+            writer: stream.try_clone().unwrap(),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+    }
+
+    fn recv(&mut self) -> Json {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read reply");
+        assert!(line.ends_with('\n'), "unterminated reply {line:?}");
+        Json::parse(line.trim()).expect("reply is JSON")
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Json {
+        self.send(line);
+        self.recv()
+    }
+
+    /// True when the server closed the connection (clean EOF).
+    fn at_eof(&mut self) -> bool {
+        let mut line = String::new();
+        matches!(self.reader.read_line(&mut line), Ok(0))
+    }
+}
+
+fn ok(v: &Json) -> bool {
+    v.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+fn cached(v: &Json) -> Option<bool> {
+    v.get("cached").and_then(Json::as_bool)
+}
+
+fn result_text(v: &Json) -> String {
+    v.get("result").expect("result field").encode()
+}
+
+#[test]
+fn serves_caches_reports_and_drains() {
+    let (addr, server) = start(ServerConfig {
+        workers: 2,
+        queue: 8,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(addr);
+
+    // Liveness, with the id echoed back.
+    let pong = c.roundtrip("{\"id\":1,\"type\":\"ping\"}");
+    assert!(ok(&pong), "{pong:?}");
+    assert_eq!(pong.get("id").and_then(Json::as_u64), Some(1));
+
+    // A sweep computes once, then repeats are served from cache with a
+    // byte-identical result payload.
+    let sweep = "{\"id\":2,\"type\":\"sweep\",\"bench\":\"em3d\",\"distances\":[2,4]}";
+    let first = c.roundtrip(sweep);
+    assert!(ok(&first), "{first:?}");
+    assert_eq!(cached(&first), Some(false));
+    let second = c.roundtrip(sweep);
+    assert!(ok(&second), "{second:?}");
+    assert_eq!(cached(&second), Some(true), "identical repeat must hit");
+    assert_eq!(result_text(&first), result_text(&second));
+
+    // A default-spelled variant of the same request also hits (keys are
+    // built from resolved values, not raw text).
+    let spelled = "{\"id\":3,\"type\":\"sweep\",\"bench\":\"em3d\",\"scale\":\"test\",\
+                   \"rp\":0.5,\"distances\":[2,4],\"cache\":\"scaled\"}";
+    let third = c.roundtrip(spelled);
+    assert_eq!(cached(&third), Some(true), "{third:?}");
+
+    // Malformed input gets a bad_request error, not a dropped connection.
+    let bad = c.roundtrip("{\"type\":\"warp\"}");
+    assert!(!ok(&bad));
+    assert_eq!(bad.get("error").and_then(Json::as_str), Some("bad_request"));
+
+    // Stats reflect everything above.
+    let stats = c.roundtrip("{\"type\":\"stats\"}");
+    assert!(ok(&stats), "{stats:?}");
+    let r = stats.get("result").unwrap();
+    let total = r
+        .get("requests")
+        .and_then(|q| q.get("total"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(total >= 6, "stats total {total}");
+    let hits = r
+        .get("cache")
+        .and_then(|cch| cch.get("hits"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert_eq!(hits, 2, "two cache hits recorded");
+    assert!(
+        r.get("latency_us").and_then(Json::as_arr).is_some(),
+        "latency histogram present"
+    );
+
+    // Graceful drain: shutdown is acknowledged, the connection closes,
+    // and the accept loop exits cleanly.
+    let bye = c.roundtrip("{\"type\":\"shutdown\"}");
+    assert!(ok(&bye), "{bye:?}");
+    assert!(c.at_eof(), "server closes the connection after shutdown");
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn sheds_load_with_busy_instead_of_stalling() {
+    // One worker, one queue slot: a third in-flight request must be
+    // rejected immediately, not stalled behind the others.
+    let (addr, server) = start(ServerConfig {
+        workers: 1,
+        queue: 1,
+        ..ServerConfig::default()
+    });
+    let mut c1 = Client::connect(addr);
+    let mut c2 = Client::connect(addr);
+    let mut c3 = Client::connect(addr);
+
+    c1.send("{\"id\":1,\"type\":\"burn\",\"ms\":600}");
+    // Let the worker dequeue c1's burn so the queue is empty again.
+    std::thread::sleep(Duration::from_millis(200));
+    c2.send("{\"id\":2,\"type\":\"burn\",\"ms\":100}"); // parks in the queue
+    std::thread::sleep(Duration::from_millis(100));
+    c3.send("{\"id\":3,\"type\":\"burn\",\"ms\":100}"); // queue full -> busy
+
+    let rejected = c3.recv();
+    assert!(!ok(&rejected), "{rejected:?}");
+    assert_eq!(
+        rejected.get("error").and_then(Json::as_str),
+        Some("busy"),
+        "{rejected:?}"
+    );
+
+    // The queued work still completes in order.
+    let first = c1.recv();
+    assert!(ok(&first), "{first:?}");
+    let second = c2.recv();
+    assert!(ok(&second), "{second:?}");
+
+    // The shed request is visible in stats, and a retry now succeeds.
+    let stats = c3.roundtrip("{\"type\":\"stats\"}");
+    let busy = stats
+        .get("result")
+        .and_then(|r| r.get("requests"))
+        .and_then(|q| q.get("busy"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert_eq!(busy, 1, "{stats:?}");
+    let retry = c3.roundtrip("{\"id\":4,\"type\":\"burn\",\"ms\":1}");
+    assert!(ok(&retry), "{retry:?}");
+
+    c1.roundtrip("{\"type\":\"shutdown\"}");
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn deadline_overruns_get_a_timeout_reply() {
+    let (addr, server) = start(ServerConfig {
+        workers: 1,
+        queue: 4,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(addr);
+    let reply = c.roundtrip("{\"id\":9,\"type\":\"burn\",\"ms\":400,\"timeout_ms\":20}");
+    assert!(!ok(&reply), "{reply:?}");
+    assert_eq!(reply.get("error").and_then(Json::as_str), Some("timeout"));
+    assert_eq!(reply.get("id").and_then(Json::as_u64), Some(9));
+
+    // The connection survives a timeout; later requests still work.
+    let pong = c.roundtrip("{\"type\":\"ping\"}");
+    assert!(ok(&pong), "{pong:?}");
+
+    c.roundtrip("{\"type\":\"shutdown\"}");
+    server.join().unwrap().unwrap();
+}
+
+#[test]
+fn timed_out_result_is_still_cached_for_the_retry() {
+    let (addr, server) = start(ServerConfig {
+        workers: 1,
+        queue: 4,
+        ..ServerConfig::default()
+    });
+    let mut c = Client::connect(addr);
+    // Tight deadline on a real simulation: the reply times out, but the
+    // worker finishes and fills the cache anyway.
+    let q = "{\"type\":\"point\",\"bench\":\"em3d\",\"distance\":4,\"timeout_ms\":0}";
+    let reply = c.roundtrip(q);
+    assert_eq!(reply.get("error").and_then(Json::as_str), Some("timeout"));
+
+    // Wait for the worker to finish, then retry without a deadline.
+    std::thread::sleep(Duration::from_millis(300));
+    let retry = c.roundtrip("{\"type\":\"point\",\"bench\":\"em3d\",\"distance\":4}");
+    assert!(ok(&retry), "{retry:?}");
+    assert_eq!(cached(&retry), Some(true), "retry served from cache");
+
+    c.roundtrip("{\"type\":\"shutdown\"}");
+    server.join().unwrap().unwrap();
+}
