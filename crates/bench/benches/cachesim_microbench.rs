@@ -68,9 +68,12 @@ fn bench_prefetchers(c: &mut Criterion) {
     g.bench_function("streamer_sequential", |b| {
         b.iter(|| {
             let mut p = StreamPrefetcher::new(8, 2, 64);
+            let mut out = Vec::new();
             let mut emitted = 0usize;
             for &blk in &blocks {
-                emitted += p.observe(SiteId::ANON, blk).len();
+                out.clear();
+                p.observe(SiteId::ANON, blk, &mut out);
+                emitted += out.len();
             }
             emitted
         })
@@ -78,9 +81,12 @@ fn bench_prefetchers(c: &mut Criterion) {
     g.bench_function("dpl_strided", |b| {
         b.iter(|| {
             let mut p = DplPrefetcher::new(16, 2, 64);
+            let mut out = Vec::new();
             let mut emitted = 0usize;
             for (i, _) in blocks.iter().enumerate() {
-                emitted += p.observe(SiteId(3), (i as u64) * 192).len();
+                out.clear();
+                p.observe(SiteId(3), (i as u64) * 192, &mut out);
+                emitted += out.len();
             }
             emitted
         })
@@ -93,12 +99,40 @@ fn bench_end_to_end(c: &mut Criterion) {
     let trace = synth::random(2000, 8, 0, 1 << 22, 7, 2);
     let refs: Vec<MemRef> = trace.tagged_refs().map(|(_, r)| *r).collect();
     g.throughput(Throughput::Elements(refs.len() as u64));
+    // Scalar entry point, fresh hierarchy per run (the pre-overhaul shape).
     g.bench_function("demand_stream", |b| {
         b.iter(|| {
             let mut m = MemorySystem::new(CacheConfig::scaled_default());
             let mut t = 0u64;
             for r in &refs {
                 t = m.demand_access(Entity::Main, *r, t).complete_at;
+            }
+            t
+        })
+    });
+    // Same stream through one reused simulator: isolates the build cost
+    // `MemorySystem::reset` saves sweep runners and sp-serve.
+    g.bench_function("demand_stream_reset_reuse", |b| {
+        let mut m = MemorySystem::new(CacheConfig::scaled_default());
+        b.iter(|| {
+            m.reset();
+            let mut t = 0u64;
+            for r in &refs {
+                t = m.demand_access(Entity::Main, *r, t).complete_at;
+            }
+            t
+        })
+    });
+    // Same stream with projections precomputed (what CompiledTrace replay
+    // feeds the hierarchy): isolates the per-access projection cost.
+    g.bench_function("demand_stream_precompiled", |b| {
+        let mut m = MemorySystem::new(CacheConfig::scaled_default());
+        let compiled: Vec<_> = refs.iter().map(|r| m.project(*r)).collect();
+        b.iter(|| {
+            m.reset();
+            let mut t = 0u64;
+            for cr in &compiled {
+                t = m.demand_access_pre(Entity::Main, cr, t).complete_at;
             }
             t
         })

@@ -1,0 +1,268 @@
+//! The tracked cachesim benchmark baseline behind `spt bench`.
+//!
+//! A pinned micro+macro suite measured in-process with repeated runs and
+//! a median, so the numbers are comparable across commits:
+//!
+//! * `set_hammer` — a synthetic single-set conflict stream through
+//!   [`run_original_passes`]: pure cache/replacement throughput, no
+//!   prefetchers, no helper thread.
+//! * `fig2_em3d_sweep` — the Figure 2 EM3D distance sweep at test scale,
+//!   serial (`--jobs 1`): the full sweep hot path (compile + replay per
+//!   grid point) as every figure driver runs it.
+//! * `fig5_mcf_sweep` — the Figure 5 MCF distance sweep at test scale,
+//!   serial: the acceptance benchmark of the hot-path overhaul.
+//!
+//! Each entry reports median ns per simulated reference, the derived
+//! refs/sec, the median per-run wall time, and the number of
+//! `MemorySystem` constructions per run (the allocations-per-run proxy —
+//! see [`sp_cachesim::sim_build_count`]). `spt bench` serializes the
+//! suite to `BENCH_cachesim.json`, the repository's benchmark
+//! trajectory; CI re-runs the suite in smoke mode and fails on a >20%
+//! refs/sec regression against the committed baseline.
+
+use crate::experiments::{fig2_at, fig_behavior_at, Scale};
+use sp_cachesim::{sim_build_count, CacheConfig};
+use sp_core::{run_original_passes, RunResult, Sweep};
+use sp_trace::synth;
+use sp_workloads::Benchmark;
+use std::time::Instant;
+
+/// One measured suite entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Suite name (one of [`SUITE_NAMES`]).
+    pub suite: &'static str,
+    /// Simulated references per run (demand accesses of every thread,
+    /// summed over all grid points for the sweep suites). Identical
+    /// pre/post optimization — the counters are bit-exact.
+    pub refs: u64,
+    /// Timed repetitions the median is taken over.
+    pub runs: usize,
+    /// Median wall time per simulated reference, nanoseconds.
+    pub median_ns_per_ref: f64,
+    /// `1e9 / median_ns_per_ref` — the regression-checked throughput.
+    pub refs_per_sec: f64,
+    /// Median wall time of one full run, milliseconds (for the sweep
+    /// suites this is the sweep wall time at `--jobs 1`).
+    pub wall_ms: f64,
+    /// `MemorySystem` constructions per run (allocation proxy).
+    pub sim_builds: u64,
+}
+
+/// Every suite the baseline runs, in order.
+pub const SUITE_NAMES: [&str; 3] = ["set_hammer", "fig2_em3d_sweep", "fig5_mcf_sweep"];
+
+/// Demand accesses simulated by one run (all threads, all grid points).
+fn sweep_refs(s: &Sweep) -> u64 {
+    let one = |r: &RunResult| r.stats.main.demand_accesses() + r.stats.helper.demand_accesses();
+    one(&s.baseline) + s.points.iter().map(|p| one(&p.run)).sum::<u64>()
+}
+
+/// Time `f` over `runs` repetitions (after one untimed warmup) and fold
+/// the samples into a [`BenchEntry`]. `f` returns the number of
+/// references the run simulated.
+fn measure(suite: &'static str, runs: usize, mut f: impl FnMut() -> u64) -> BenchEntry {
+    let refs = f(); // warmup; also establishes the per-run ref count
+    let builds_before = sim_build_count();
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t = Instant::now();
+        let got = f();
+        samples.push(t.elapsed().as_secs_f64());
+        assert_eq!(got, refs, "{suite}: runs must simulate identical work");
+    }
+    let sim_builds = (sim_build_count() - builds_before) / runs as u64;
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    let median_ns_per_ref = median * 1e9 / refs.max(1) as f64;
+    BenchEntry {
+        suite,
+        refs,
+        runs,
+        median_ns_per_ref,
+        refs_per_sec: 1e9 / median_ns_per_ref.max(1e-9),
+        wall_ms: median * 1e3,
+        sim_builds,
+    }
+}
+
+/// Run the pinned suite. `smoke` keeps the workloads identical (so
+/// refs/sec stays comparable to a full-mode baseline) but takes the
+/// median over fewer repetitions.
+pub fn run_baseline(smoke: bool) -> Vec<BenchEntry> {
+    let runs = if smoke { 3 } else { 9 };
+    let cfg = CacheConfig::scaled_default();
+    let hammer = synth::set_hammer(4096, 2, 0, cfg.l2.sets(), cfg.l2.line_size);
+    vec![
+        measure("set_hammer", runs, || {
+            let r = run_original_passes(&hammer, cfg, 2);
+            r.stats.main.demand_accesses()
+        }),
+        measure("fig2_em3d_sweep", runs, || {
+            sweep_refs(&fig2_at(cfg, Scale::Test, 1).0)
+        }),
+        measure("fig5_mcf_sweep", runs, || {
+            sweep_refs(&fig_behavior_at(Benchmark::Mcf, cfg, Scale::Test, 1).0.sweep)
+        }),
+    ]
+}
+
+/// Serialize entries as the `BENCH_cachesim.json` document (one entry
+/// per line — the checker in [`check_against`] scans line-wise).
+pub fn bench_json(entries: &[BenchEntry], smoke: bool) -> String {
+    let mut out = String::from("{\n  \"schema\": \"sp-bench-cachesim-v1\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n  \"entries\": [\n",
+        if smoke { "smoke" } else { "full" }
+    ));
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"suite\":\"{}\",\"refs\":{},\"runs\":{},\"median_ns_per_ref\":{:.3},\
+             \"refs_per_sec\":{:.0},\"wall_ms\":{:.3},\"sim_builds\":{}}}{}\n",
+            e.suite,
+            e.refs,
+            e.runs,
+            e.median_ns_per_ref,
+            e.refs_per_sec,
+            e.wall_ms,
+            e.sim_builds,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Extract `(suite, refs_per_sec)` pairs from a `BENCH_cachesim.json`
+/// document (the fixed format written by [`bench_json`]).
+pub fn parse_refs_per_sec(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for chunk in json.split("\"suite\":\"").skip(1) {
+        let Some(name_end) = chunk.find('"') else {
+            continue;
+        };
+        let name = &chunk[..name_end];
+        let Some(pos) = chunk.find("\"refs_per_sec\":") else {
+            continue;
+        };
+        let rest = &chunk[pos + "\"refs_per_sec\":".len()..];
+        let num: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | 'e' | 'E' | '+'))
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((name.to_string(), v));
+        }
+    }
+    out
+}
+
+/// Compare `current` against a committed baseline document. Returns one
+/// human-readable line per suite, or `Err` naming the first suite whose
+/// refs/sec regressed by more than `tolerance` (a fraction, e.g. 0.2).
+pub fn check_against(
+    baseline_json: &str,
+    current: &[BenchEntry],
+    tolerance: f64,
+) -> Result<Vec<String>, String> {
+    let baseline = parse_refs_per_sec(baseline_json);
+    if baseline.is_empty() {
+        return Err("baseline contains no suite entries".into());
+    }
+    let mut lines = Vec::new();
+    for e in current {
+        let Some((_, base)) = baseline.iter().find(|(n, _)| n == e.suite) else {
+            return Err(format!("baseline is missing suite {:?}", e.suite));
+        };
+        let ratio = e.refs_per_sec / base.max(1e-9);
+        lines.push(format!(
+            "{:<16} {:>12.0} refs/s vs baseline {:>12.0} ({:+.1}%)",
+            e.suite,
+            e.refs_per_sec,
+            base,
+            (ratio - 1.0) * 100.0
+        ));
+        if ratio < 1.0 - tolerance {
+            return Err(format!(
+                "{}: refs/sec regressed {:.1}% (current {:.0}, baseline {:.0}, tolerance {:.0}%)",
+                e.suite,
+                (1.0 - ratio) * 100.0,
+                e.refs_per_sec,
+                base,
+                tolerance * 100.0
+            ));
+        }
+    }
+    Ok(lines)
+}
+
+/// Render the suite as an aligned text table.
+pub fn render_entries(entries: &[BenchEntry]) -> String {
+    let mut s = format!(
+        "{:<16} {:>10} {:>6} {:>12} {:>14} {:>10} {:>11}\n",
+        "suite", "refs/run", "runs", "ns/ref", "refs/sec", "wall ms", "sim builds"
+    );
+    for e in entries {
+        s.push_str(&format!(
+            "{:<16} {:>10} {:>6} {:>12.2} {:>14.0} {:>10.3} {:>11}\n",
+            e.suite, e.refs, e.runs, e.median_ns_per_ref, e.refs_per_sec, e.wall_ms, e.sim_builds
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(suite: &'static str, rps: f64) -> BenchEntry {
+        BenchEntry {
+            suite,
+            refs: 1000,
+            runs: 3,
+            median_ns_per_ref: 1e9 / rps,
+            refs_per_sec: rps,
+            wall_ms: 1.0,
+            sim_builds: 1,
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_checker_parser() {
+        let entries = vec![entry("set_hammer", 1e7), entry("fig2_em3d_sweep", 2e6)];
+        let json = bench_json(&entries, false);
+        assert!(json.contains("\"schema\": \"sp-bench-cachesim-v1\""));
+        assert!(json.contains("\"mode\": \"full\""));
+        let parsed = parse_refs_per_sec(&json);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "set_hammer");
+        assert!((parsed[0].1 - 1e7).abs() < 1.0);
+        assert!((parsed[1].1 - 2e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn check_passes_within_tolerance_and_fails_beyond() {
+        let base = bench_json(&[entry("set_hammer", 1e6)], false);
+        let ok = check_against(&base, &[entry("set_hammer", 0.9e6)], 0.2).unwrap();
+        assert_eq!(ok.len(), 1, "10% down is within a 20% tolerance");
+        let err = check_against(&base, &[entry("set_hammer", 0.7e6)], 0.2).unwrap_err();
+        assert!(err.contains("regressed"), "{err}");
+        let err = check_against(&base, &[entry("other", 1e6)], 0.2).unwrap_err();
+        assert!(err.contains("missing suite"), "{err}");
+        assert!(check_against("{}", &[entry("set_hammer", 1e6)], 0.2).is_err());
+    }
+
+    #[test]
+    fn smoke_suite_runs_and_serializes() {
+        let entries = run_baseline(true);
+        assert_eq!(entries.len(), SUITE_NAMES.len());
+        for (e, want) in entries.iter().zip(SUITE_NAMES) {
+            assert_eq!(e.suite, want);
+            assert!(e.refs > 0 && e.refs_per_sec > 0.0, "{e:?}");
+        }
+        let json = bench_json(&entries, true);
+        assert_eq!(parse_refs_per_sec(&json).len(), SUITE_NAMES.len());
+        assert!(check_against(&json, &entries, 0.99).is_ok());
+        assert!(!render_entries(&entries).is_empty());
+    }
+}

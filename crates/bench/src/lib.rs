@@ -14,11 +14,16 @@
 //! Every driver is deterministic; the `reproduce` binary prints aligned
 //! text tables and writes CSV files under `results/`.
 
+pub mod baseline;
 pub mod experiments;
 pub mod harness;
 pub mod plot;
 pub mod report;
 
+pub use baseline::{
+    bench_json, check_against, parse_refs_per_sec, render_entries, run_baseline, BenchEntry,
+    SUITE_NAMES,
+};
 pub use experiments::{
     distances_for, fig2, fig2_at, fig_behavior, fig_behavior_at, table2, table2_at, table2_row,
     BehaviorSeries, Scale, Table2Row, DISTANCES_EM3D, DISTANCES_MCF, DISTANCES_MST,

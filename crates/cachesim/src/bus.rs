@@ -32,6 +32,15 @@ impl Bus {
         }
     }
 
+    /// Forget all traffic, as if freshly constructed (the service time is
+    /// part of the configuration and survives).
+    pub fn reset(&mut self) {
+        self.next_free = 0;
+        self.busy_cycles = 0;
+        self.requests = 0;
+        self.queued = 0;
+    }
+
     /// Issue a transfer request at `now`; returns the cycle at which the
     /// transfer *starts* (equal to `now` if the bus is idle).
     pub fn request(&mut self, now: Cycle) -> Cycle {
@@ -114,6 +123,18 @@ mod tests {
         assert!((b.utilization(40) - 0.5).abs() < 1e-12);
         assert_eq!(b.utilization(0), 0.0);
         assert_eq!(b.utilization(1), 1.0); // clamped
+    }
+
+    #[test]
+    fn reset_clears_all_traffic_counters() {
+        let mut b = Bus::new(16);
+        b.request(0);
+        b.request(0);
+        b.reset();
+        assert_eq!(b.requests(), 0);
+        assert_eq!(b.queued(), 0);
+        assert_eq!(b.busy_cycles(), 0);
+        assert_eq!(b.request(0), 0, "bus is idle again");
     }
 
     #[test]

@@ -1,11 +1,24 @@
 //! One set-associative cache level.
+//!
+//! Storage is struct-of-arrays: per-line tags, metadata flag bytes, and
+//! filler entities live in three parallel flat vectors, indexed
+//! `set * ways + way`. The way search ([`find_way`](SetAssocCache::find_way))
+//! is a branch-light scan over the set's contiguous `u64` tag slice, and
+//! every mutating operation does exactly one such scan — callers get the
+//! way index back and reuse it instead of re-probing.
+//!
+//! The `*_at` methods take precomputed `(set, tag)` projections (from a
+//! compiled trace); the address-taking methods are thin wrappers that
+//! project first. Both paths share one implementation, so their counter
+//! behaviour is identical by construction.
 
 use crate::geometry::CacheGeometry;
 use crate::replacement::{Policy, PolicyEngine};
 use crate::stats::Entity;
 use sp_trace::VAddr;
 
-/// Metadata of one cache line.
+/// Metadata of one cache line (the assembled read-only view; storage is
+/// the flag byte + tag + filler columns).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Line {
     /// Whether the line holds valid data.
@@ -20,19 +33,6 @@ pub struct Line {
     pub used_since_fill: bool,
     /// `true` if the line has been written.
     pub dirty: bool,
-}
-
-impl Line {
-    fn invalid() -> Self {
-        Line {
-            valid: false,
-            tag: 0,
-            filler: Entity::Main,
-            prefetched: false,
-            used_since_fill: false,
-            dirty: false,
-        }
-    }
 }
 
 /// What a fill displaced.
@@ -50,12 +50,37 @@ pub struct Evicted {
     pub dirty: bool,
 }
 
+const FLAG_VALID: u8 = 1;
+const FLAG_PREFETCHED: u8 = 2;
+const FLAG_USED: u8 = 4;
+const FLAG_DIRTY: u8 = 8;
+
 /// A single set-associative cache level with pluggable replacement.
+///
+/// The tag column stores *keyed* tags — `(tag << 1) | 1` for a valid
+/// line, an even value (0) otherwise — so the way probe compares one
+/// `u64` per way with no second validity load. Tags are address bits
+/// shifted right by at least the line offset, so the top bit lost to the
+/// key shift can never be set.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     geo: CacheGeometry,
-    lines: Vec<Line>,
+    // Hot-path constants derived from `geo` once at construction.
+    ways: usize,
+    line_shift: u32,
+    set_mask: u64,
+    tag_shift: u32,
+    // Parallel per-line columns, indexed `set * ways + way`.
+    tags: Vec<u64>,
+    meta: Vec<u8>,
+    fillers: Vec<Entity>,
     engine: PolicyEngine,
+}
+
+/// The stored form of a valid tag: odd, so it never equals an empty slot.
+#[inline]
+fn tag_key(tag: u64) -> u64 {
+    (tag << 1) | 1
 }
 
 impl SetAssocCache {
@@ -64,7 +89,13 @@ impl SetAssocCache {
         let n = geo.lines() as usize;
         SetAssocCache {
             geo,
-            lines: vec![Line::invalid(); n],
+            ways: geo.ways as usize,
+            line_shift: geo.line_shift(),
+            set_mask: geo.sets() - 1,
+            tag_shift: geo.tag_shift(),
+            tags: vec![0; n],
+            meta: vec![0; n],
+            fillers: vec![Entity::Main; n],
             engine: PolicyEngine::new(policy, geo.sets() as usize, geo.ways as usize),
         }
     }
@@ -74,18 +105,53 @@ impl SetAssocCache {
         self.geo
     }
 
-    fn line_index(&self, set: u64, way: usize) -> usize {
-        set as usize * self.geo.ways as usize + way
+    /// Clear every line and the replacement state without reallocating
+    /// any storage. Afterwards the cache is indistinguishable from a
+    /// freshly built one.
+    pub fn reset(&mut self) {
+        // Fillers may stay stale: an even tag key marks the slot empty.
+        self.tags.fill(0);
+        self.meta.fill(0);
+        self.engine.reset();
+    }
+
+    #[inline]
+    fn set_of(&self, addr: VAddr) -> u32 {
+        ((addr >> self.line_shift) & self.set_mask) as u32
+    }
+
+    #[inline]
+    fn tag_of(&self, addr: VAddr) -> u64 {
+        addr >> self.tag_shift
+    }
+
+    fn line_at(&self, idx: usize) -> Line {
+        let m = self.meta[idx];
+        Line {
+            valid: m & FLAG_VALID != 0,
+            tag: self.tags[idx] >> 1,
+            filler: self.fillers[idx],
+            prefetched: m & FLAG_PREFETCHED != 0,
+            used_since_fill: m & FLAG_USED != 0,
+            dirty: m & FLAG_DIRTY != 0,
+        }
+    }
+
+    /// The way of `set` holding `tag`, if any — the single probe every
+    /// operation is built on: one comparison per way against the set's
+    /// contiguous key slice.
+    #[inline]
+    pub fn find_way(&self, set: u32, tag: u64) -> Option<usize> {
+        let base = set as usize * self.ways;
+        let key = tag_key(tag);
+        self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == key)
     }
 
     /// Find the way holding `addr`'s block, without touching any state.
     pub fn probe(&self, addr: VAddr) -> Option<usize> {
-        let set = self.geo.set_of(addr);
-        let tag = self.geo.tag_of(addr);
-        (0..self.geo.ways as usize).find(|&w| {
-            let l = &self.lines[self.line_index(set, w)];
-            l.valid && l.tag == tag
-        })
+        self.find_way(self.set_of(addr), self.tag_of(addr))
     }
 
     /// `true` if `addr`'s block is cached.
@@ -108,18 +174,73 @@ impl SetAssocCache {
     /// cases of the paper (§II.C) are about data "used by the processor",
     /// i.e. the main thread.
     pub fn touch(&mut self, addr: VAddr, is_store: bool, mark_used: bool) -> Option<Line> {
-        let way = self.probe(addr)?;
-        let set = self.geo.set_of(addr);
-        let idx = self.line_index(set, way);
-        let before = self.lines[idx];
+        self.touch_at(self.set_of(addr), self.tag_of(addr), is_store, mark_used)
+    }
+
+    /// [`touch`](Self::touch) with the `(set, tag)` projection already
+    /// computed. One way lookup, no re-probe.
+    pub fn touch_at(
+        &mut self,
+        set: u32,
+        tag: u64,
+        is_store: bool,
+        mark_used: bool,
+    ) -> Option<Line> {
+        let way = self.find_way(set, tag)?;
+        let idx = set as usize * self.ways + way;
+        let before = self.line_at(idx);
+        self.touch_way(set, way, is_store, mark_used);
+        Some(before)
+    }
+
+    /// [`touch_at`](Self::touch_at) returning only what the L2 demand
+    /// path classifies a hit by: whether the line was a never-used
+    /// prefetch before this touch, and who filled it. Skips assembling
+    /// the full pre-touch [`Line`].
+    #[inline]
+    pub fn touch_classify_at(
+        &mut self,
+        set: u32,
+        tag: u64,
+        is_store: bool,
+        mark_used: bool,
+    ) -> Option<(bool, Entity)> {
+        let way = self.find_way(set, tag)?;
+        let idx = set as usize * self.ways + way;
+        let m = self.meta[idx];
+        let fresh_prefetch = m & FLAG_PREFETCHED != 0 && m & FLAG_USED == 0;
+        let filler = self.fillers[idx];
+        self.touch_way(set, way, is_store, mark_used);
+        Some((fresh_prefetch, filler))
+    }
+
+    /// [`touch_at`](Self::touch_at) when the caller only needs to know
+    /// whether the access hit: skips the pre-touch [`Line`] snapshot.
+    /// The L1 demand path never inspects the displaced metadata, so it
+    /// uses this form.
+    #[inline]
+    pub fn touch_hit_at(&mut self, set: u32, tag: u64, is_store: bool, mark_used: bool) -> bool {
+        match self.find_way(set, tag) {
+            Some(way) => {
+                self.touch_way(set, way, is_store, mark_used);
+                true
+            }
+            None => false,
+        }
+    }
+
+    #[inline]
+    fn touch_way(&mut self, set: u32, way: usize, is_store: bool, mark_used: bool) {
+        let idx = set as usize * self.ways + way;
+        let mut m = self.meta[idx];
         if mark_used {
-            self.lines[idx].used_since_fill = true;
+            m |= FLAG_USED;
         }
         if is_store {
-            self.lines[idx].dirty = true;
+            m |= FLAG_DIRTY;
         }
+        self.meta[idx] = m;
         self.engine.on_hit(set as usize, way);
-        Some(before)
     }
 
     /// Fill `addr`'s block on behalf of `filler`.
@@ -131,78 +252,112 @@ impl SetAssocCache {
     /// Otherwise, returns the displaced line's metadata if a valid line
     /// had to be evicted.
     pub fn fill(&mut self, addr: VAddr, filler: Entity, prefetched: bool) -> Option<Evicted> {
-        let set = self.geo.set_of(addr);
-        let tag = self.geo.tag_of(addr);
-        if let Some(way) = self.probe(addr) {
-            self.engine.on_fill(set as usize, way);
-            return None;
+        self.fill_at(self.set_of(addr), self.tag_of(addr), filler, prefetched)
+    }
+
+    /// [`fill`](Self::fill) with the `(set, tag)` projection already
+    /// computed. A single scan finds both a matching way (upgrade path)
+    /// and the first invalid way (allocation path).
+    pub fn fill_at(
+        &mut self,
+        set: u32,
+        tag: u64,
+        filler: Entity,
+        prefetched: bool,
+    ) -> Option<Evicted> {
+        let base = set as usize * self.ways;
+        let key = tag_key(tag);
+        let mut invalid_way = None;
+        for (w, &t) in self.tags[base..base + self.ways].iter().enumerate() {
+            if t & 1 == 0 {
+                invalid_way.get_or_insert(w);
+            } else if t == key {
+                // Already present: policy promotion only.
+                self.engine.on_fill(set as usize, w);
+                return None;
+            }
         }
         // Prefer an invalid way; otherwise ask the policy for a victim.
-        let way = (0..self.geo.ways as usize)
-            .find(|&w| !self.lines[self.line_index(set, w)].valid)
-            .unwrap_or_else(|| self.engine.victim(set as usize));
-        let idx = self.line_index(set, way);
-        let old = self.lines[idx];
-        let evicted = old.valid.then(|| Evicted {
-            block: self.geo.block_from(set, old.tag),
-            filler: old.filler,
-            prefetched: old.prefetched,
-            used_since_fill: old.used_since_fill,
-            dirty: old.dirty,
+        let way = invalid_way.unwrap_or_else(|| self.engine.victim(set as usize));
+        let idx = base + way;
+        let evicted = (self.tags[idx] & 1 != 0).then(|| {
+            let old = self.line_at(idx);
+            Evicted {
+                block: self.geo.block_from(set as u64, old.tag),
+                filler: old.filler,
+                prefetched: old.prefetched,
+                used_since_fill: old.used_since_fill,
+                dirty: old.dirty,
+            }
         });
-        self.lines[idx] = Line {
-            valid: true,
-            tag,
-            filler,
-            prefetched,
+        self.tags[idx] = key;
+        self.fillers[idx] = filler;
+        self.meta[idx] = if prefetched {
+            FLAG_VALID | FLAG_PREFETCHED
+        } else {
             // A demand fill is used by the access that requested it.
-            used_since_fill: !prefetched,
-            dirty: false,
+            FLAG_VALID | FLAG_USED
         };
         self.engine.on_fill(set as usize, way);
         evicted
     }
 
+    /// Promote `(set, tag)` per the replacement policy if present (a
+    /// prefetch hint to a cached block). Returns `true` if the block was
+    /// there. Equivalent to the promotion-only branch of
+    /// [`fill_at`](Self::fill_at), without scanning for an invalid way.
+    pub fn promote(&mut self, set: u32, tag: u64) -> bool {
+        match self.find_way(set, tag) {
+            Some(way) => {
+                self.engine.on_fill(set as usize, way);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Drop `addr`'s block if present; returns `true` if a line was
     /// invalidated.
     pub fn invalidate(&mut self, addr: VAddr) -> bool {
-        if let Some(way) = self.probe(addr) {
-            let set = self.geo.set_of(addr);
-            let idx = self.line_index(set, way);
-            self.lines[idx].valid = false;
-            true
-        } else {
-            false
+        match self.find_way(self.set_of(addr), self.tag_of(addr)) {
+            Some(way) => {
+                let idx = self.set_of(addr) as usize * self.ways + way;
+                self.tags[idx] = 0;
+                self.meta[idx] &= !FLAG_VALID;
+                true
+            }
+            None => false,
         }
     }
 
     /// Number of valid lines in `set`.
     pub fn occupancy(&self, set: u64) -> usize {
-        (0..self.geo.ways as usize)
-            .filter(|&w| self.lines[self.line_index(set, w)].valid)
+        let base = set as usize * self.ways;
+        self.meta[base..base + self.ways]
+            .iter()
+            .filter(|&&m| m & FLAG_VALID != 0)
             .count()
     }
 
     /// Block addresses currently cached in `set` (test/debug helper).
     pub fn set_blocks(&self, set: u64) -> Vec<VAddr> {
-        (0..self.geo.ways as usize)
-            .filter_map(|w| {
-                let l = &self.lines[self.line_index(set, w)];
-                l.valid.then(|| self.geo.block_from(set, l.tag))
-            })
+        let base = set as usize * self.ways;
+        (0..self.ways)
+            .filter(|w| self.meta[base + w] & FLAG_VALID != 0)
+            .map(|w| self.geo.block_from(set, self.tags[base + w] >> 1))
             .collect()
     }
 
     /// Total valid lines in the cache.
     pub fn total_occupancy(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.meta.iter().filter(|&&m| m & FLAG_VALID != 0).count()
     }
 
     /// Metadata of `addr`'s line, if cached (read-only).
     pub fn line_meta(&self, addr: VAddr) -> Option<Line> {
-        let way = self.probe(addr)?;
-        let set = self.geo.set_of(addr);
-        Some(self.lines[self.line_index(set, way)])
+        let set = self.set_of(addr);
+        let way = self.find_way(set, self.tag_of(addr))?;
+        Some(self.line_at(set as usize * self.ways + way))
     }
 }
 
@@ -327,5 +482,55 @@ mod tests {
             assert!(c.occupancy(0) <= 2);
         }
         assert_eq!(c.occupancy(0), 2);
+    }
+
+    #[test]
+    fn at_variants_match_address_variants() {
+        let mut a = tiny();
+        let mut b = tiny();
+        let g = a.geometry();
+        for (i, addr) in [s0(0), s0(1), s0(2), 64, s0(0), 192].iter().enumerate() {
+            let set = g.set_of(*addr) as u32;
+            let tag = g.tag_of(*addr);
+            let pf = i % 2 == 1;
+            assert_eq!(
+                a.fill(*addr, Entity::Main, pf),
+                b.fill_at(set, tag, Entity::Main, pf)
+            );
+            assert_eq!(
+                a.touch(*addr, false, true),
+                b.touch_at(set, tag, false, true)
+            );
+        }
+    }
+
+    #[test]
+    fn promote_matches_fill_of_present_block() {
+        let mut c = tiny();
+        c.fill(s0(0), Entity::Main, false);
+        c.fill(s0(1), Entity::Main, false);
+        let g = c.geometry();
+        // Promote tag 0 (making tag 1 the LRU), as fill-of-present would.
+        assert!(c.promote(g.set_of(s0(0)) as u32, g.tag_of(s0(0))));
+        let ev = c.fill(s0(2), Entity::Main, false).unwrap();
+        assert_eq!(ev.block, s0(1));
+        // Promoting an absent block reports false and changes nothing.
+        assert!(!c.promote(g.set_of(s0(7)) as u32, g.tag_of(s0(7))));
+    }
+
+    #[test]
+    fn reset_restores_pristine_state() {
+        let mut c = tiny();
+        c.fill(s0(0), Entity::Main, false);
+        c.fill(s0(1), Entity::Helper, true);
+        c.demand_touch(s0(1), true);
+        c.reset();
+        assert_eq!(c.total_occupancy(), 0);
+        assert!(!c.contains(s0(0)));
+        // Replacement state is fresh too: replay the LRU eviction test.
+        c.fill(s0(0), Entity::Main, false);
+        c.fill(s0(1), Entity::Helper, true);
+        let ev = c.fill(s0(2), Entity::Main, false).expect("eviction");
+        assert_eq!(ev.block, s0(0), "LRU order must restart from scratch");
     }
 }

@@ -50,35 +50,61 @@ impl CacheGeometry {
         }
     }
 
+    /// `log2(line_size)` — the offset-bit count.
+    #[inline]
+    pub fn line_shift(&self) -> u32 {
+        self.line_size.trailing_zeros()
+    }
+
+    /// `log2(line_size * sets)` — the shift that isolates the tag bits.
+    #[inline]
+    pub fn tag_shift(&self) -> u32 {
+        self.line_shift() + self.sets().trailing_zeros()
+    }
+
     /// Number of sets.
+    #[inline]
     pub fn sets(&self) -> u64 {
-        self.size_bytes / self.line_size / self.ways as u64
+        // All three parameters are powers of two (asserted in `new`), so
+        // the division is a shift — this is on the per-access hot path.
+        self.size_bytes >> (self.line_shift() + self.ways.trailing_zeros())
     }
 
     /// Total number of lines.
+    #[inline]
     pub fn lines(&self) -> u64 {
-        self.size_bytes / self.line_size
+        self.size_bytes >> self.line_shift()
     }
 
     /// Block-aligned address of `addr`.
+    #[inline]
     pub fn block_of(&self, addr: VAddr) -> VAddr {
         addr & !(self.line_size - 1)
     }
 
     /// Index of the set `addr` maps to.
+    #[inline]
     pub fn set_of(&self, addr: VAddr) -> u64 {
-        (addr / self.line_size) & (self.sets() - 1)
+        (addr >> self.line_shift()) & (self.sets() - 1)
     }
 
     /// Tag of `addr` (the block address bits above the set index).
+    #[inline]
     pub fn tag_of(&self, addr: VAddr) -> u64 {
-        addr / self.line_size / self.sets()
+        addr >> self.tag_shift()
     }
 
     /// Reconstruct the block address from a `(set, tag)` pair — the
     /// inverse of [`set_of`](Self::set_of)/[`tag_of`](Self::tag_of).
+    #[inline]
     pub fn block_from(&self, set: u64, tag: u64) -> VAddr {
-        (tag * self.sets() + set) * self.line_size
+        ((tag << self.sets().trailing_zeros()) | set) << self.line_shift()
+    }
+
+    /// The address-mapping subset of this geometry, as the key type
+    /// compiled traces are built against.
+    pub fn level_geometry(&self) -> sp_trace::LevelGeometry {
+        sp_trace::LevelGeometry::new(self.line_size, self.sets())
     }
 }
 

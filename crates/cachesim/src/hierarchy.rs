@@ -32,10 +32,51 @@ use crate::config::CacheConfig;
 use crate::mshr::{InFlight, MshrFile};
 use crate::prefetcher::{DplPrefetcher, HwPrefetcher, StreamPrefetcher};
 use crate::stats::{prefetch_class, MemStats};
-use sp_trace::{AccessKind, MemRef, VAddr};
+use sp_trace::{AccessKind, CompiledRef, MemRef, VAddr};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 pub use crate::stats::{Entity, HitClass};
+
+/// Process-wide count of [`MemorySystem`] constructions.
+static SIM_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+/// Multiply-mix hasher for block addresses. The pollution candidate set
+/// is touched on every main-thread miss, where the default SipHash is
+/// measurable overhead; block addresses need no DoS resistance, so a
+/// single multiply by a high-entropy odd constant (plus a fold of the
+/// high bits into the low bucket-index bits) is enough.
+#[derive(Default, Clone)]
+struct BlockHasher(u64);
+
+impl std::hash::Hasher for BlockHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+        self.0 ^= self.0 >> 32;
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 32;
+    }
+}
+
+type BuildBlockHasher = std::hash::BuildHasherDefault<BlockHasher>;
+
+/// How many `MemorySystem`s this process has built so far.
+///
+/// Each build allocates the full hierarchy (L1s, L2, MSHRs, prefetcher
+/// tables), so the delta across a benchmark run is the bench suite's
+/// allocations-per-run proxy: reusing simulators via
+/// [`MemorySystem::reset`] keeps the count flat where rebuilding grows it
+/// once per run.
+pub fn sim_build_count() -> u64 {
+    SIM_BUILDS.load(Ordering::Relaxed)
+}
 
 /// Outcome of one access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,7 +120,10 @@ pub struct MemorySystem {
     stats: MemStats,
     /// Blocks whose L2 eviction was caused by a prefetch fill and that
     /// held demanded data — candidates for a case-1 pollution re-miss.
-    prefetch_victims: HashSet<VAddr>,
+    prefetch_victims: HashSet<VAddr, BuildBlockHasher>,
+    /// Scratch buffer for hardware-prefetcher candidates, reused across
+    /// accesses so the training path never allocates.
+    hw_cands: Vec<VAddr>,
     /// Latest access time seen (for the monotonicity debug check).
     last_now: Cycle,
 }
@@ -88,6 +132,7 @@ impl MemorySystem {
     /// Build an empty memory system from `cfg`.
     pub fn new(cfg: CacheConfig) -> Self {
         cfg.validate();
+        SIM_BUILDS.fetch_add(1, Ordering::Relaxed);
         let line = cfg.l2.line_size;
         MemorySystem {
             l1: (0..cfg.cores)
@@ -103,7 +148,8 @@ impl MemorySystem {
                 .map(|_| DplPrefetcher::new(cfg.dpl_entries, cfg.dpl_degree, line))
                 .collect(),
             stats: MemStats::default(),
-            prefetch_victims: HashSet::new(),
+            prefetch_victims: HashSet::default(),
+            hw_cands: Vec::new(),
             cfg,
             last_now: 0,
         }
@@ -112,6 +158,30 @@ impl MemorySystem {
     /// The configuration this system was built with.
     pub fn config(&self) -> &CacheConfig {
         &self.cfg
+    }
+
+    /// Return the system to its freshly-built state — empty caches, idle
+    /// bus, no outstanding fills, zeroed statistics — without releasing
+    /// any of the allocations. Lets sweep runners and services reuse one
+    /// simulator across runs instead of rebuilding the hierarchy each
+    /// time; [`sim_build_count`] stays flat across `reset` calls.
+    pub fn reset(&mut self) {
+        for l1 in &mut self.l1 {
+            l1.reset();
+        }
+        self.l2.reset();
+        self.mshr.reset();
+        self.bus.reset();
+        for s in &mut self.streamers {
+            s.reset();
+        }
+        for d in &mut self.dpls {
+            d.reset();
+        }
+        self.stats = MemStats::default();
+        self.prefetch_victims.clear();
+        self.hw_cands.clear();
+        self.last_now = 0;
     }
 
     /// Statistics accumulated so far.
@@ -177,12 +247,26 @@ impl MemorySystem {
             Entity::HwDpl(_) => 3,
         }] += 1;
         // The block is resident again; a future miss on it is a fresh one.
-        self.prefetch_victims.remove(&block);
+        self.take_prefetch_victim(block);
+    }
+
+    /// Remove `block` from the pollution-candidate set, reporting whether
+    /// it was present. The set is empty for long stretches (no prefetch
+    /// has evicted demanded data yet), so skip hashing entirely then.
+    #[inline]
+    fn take_prefetch_victim(&mut self, block: VAddr) -> bool {
+        !self.prefetch_victims.is_empty() && self.prefetch_victims.remove(&block)
     }
 
     /// Drain every MSHR fill that has completed by `now` into the L2.
     fn drain(&mut self, now: Cycle) {
-        for e in self.mshr.drain_ready(now) {
+        // The overwhelmingly common case: nothing has completed yet.
+        if self.mshr.none_ready(now) {
+            return;
+        }
+        // Pop in completion order — installing fills never adds MSHR
+        // entries, so the loop drains exactly the entries ready at `now`.
+        while let Some(e) = self.mshr.pop_earliest_ready(now) {
             self.l2_install(e.block, e.requester, e.prefetch, e.ready_at.max(now));
             if e.store {
                 // A store was waiting on this fill: the line is dirty
@@ -207,15 +291,13 @@ impl MemorySystem {
             self.stats.bus_queued += 1;
         }
         let ready_at = start + self.cfg.latency.mem;
-        self.mshr
-            .allocate(InFlight {
-                block,
-                ready_at,
-                requester,
-                prefetch,
-                store,
-            })
-            .expect("caller ensured MSHR room");
+        self.mshr.allocate_unchecked(InFlight {
+            block,
+            ready_at,
+            requester,
+            prefetch,
+            store,
+        });
         ready_at
     }
 
@@ -226,7 +308,7 @@ impl MemorySystem {
     /// across calls, or if `mref.kind` is `Prefetch` (use
     /// [`prefetch_access`](Self::prefetch_access)).
     pub fn demand_access(&mut self, entity: Entity, mref: MemRef, now: Cycle) -> AccessResult {
-        self.access_inner(entity, mref, now, false)
+        self.access_pre(entity, &self.project(mref), now, false)
     }
 
     /// A helper-thread *load of a delinquent reference*: a real, blocking
@@ -236,31 +318,75 @@ impl MemorySystem {
     /// thread* touch counts as a useful prefetch, and its eviction before
     /// main-thread use counts as pollution.
     pub fn helper_load(&mut self, mref: MemRef, now: Cycle) -> AccessResult {
-        self.stats.prefetches_issued[0] += 1;
-        self.access_inner(Entity::Helper, mref, now, true)
+        self.helper_load_pre(&self.project(mref), now)
     }
 
-    fn access_inner(
+    /// Compute the cache-address projections of `mref` for this system's
+    /// geometry — what [`sp_trace::CompiledTrace`] precomputes for whole
+    /// traces. The scalar entry points project on the fly and feed the
+    /// same `*_pre` implementations the compiled replay uses, so both
+    /// paths produce identical counters by construction.
+    pub fn project(&self, mref: MemRef) -> CompiledRef {
+        CompiledRef {
+            vaddr: mref.vaddr,
+            block: self.cfg.l2.block_of(mref.vaddr),
+            l1_set: self.cfg.l1.set_of(mref.vaddr) as u32,
+            l1_tag: self.cfg.l1.tag_of(mref.vaddr),
+            l2_set: self.cfg.l2.set_of(mref.vaddr) as u32,
+            l2_tag: self.cfg.l2.tag_of(mref.vaddr),
+            kind: mref.kind,
+            site: mref.site,
+            outer_iter: 0,
+        }
+    }
+
+    /// [`demand_access`](Self::demand_access) with the projections already
+    /// computed (compiled-trace replay).
+    pub fn demand_access_pre(
         &mut self,
         entity: Entity,
-        mref: MemRef,
+        cr: &CompiledRef,
+        now: Cycle,
+    ) -> AccessResult {
+        self.access_pre(entity, cr, now, false)
+    }
+
+    /// [`helper_load`](Self::helper_load) with the projections already
+    /// computed (compiled-trace replay).
+    pub fn helper_load_pre(&mut self, cr: &CompiledRef, now: Cycle) -> AccessResult {
+        self.stats.prefetches_issued[0] += 1;
+        self.access_pre(Entity::Helper, cr, now, true)
+    }
+
+    fn access_pre(
+        &mut self,
+        entity: Entity,
+        cr: &CompiledRef,
         now: Cycle,
         speculative: bool,
     ) -> AccessResult {
-        debug_assert!(mref.kind != AccessKind::Prefetch, "use prefetch_access");
+        debug_assert!(cr.kind != AccessKind::Prefetch, "use prefetch_access");
         debug_assert!(now >= self.last_now, "accesses must arrive in time order");
         self.last_now = now;
         debug_assert!(matches!(entity, Entity::Main | Entity::Helper));
+        debug_assert_eq!(
+            *cr,
+            CompiledRef {
+                outer_iter: cr.outer_iter,
+                ..self.project(cr.mem_ref())
+            },
+            "projections must match this system's geometry"
+        );
         self.drain(now);
 
         let core = Self::core_of(entity);
         let is_main = entity == Entity::Main;
         let lat = self.cfg.latency;
-        let block = self.cfg.l2.block_of(mref.vaddr);
-        let is_store = mref.kind == AccessKind::Store;
+        let block = cr.block;
+        let is_store = cr.kind == AccessKind::Store;
 
         // L1 probe.
-        if self.l1[core].demand_touch(mref.vaddr, is_store).is_some() {
+        if self.l1[core].touch_hit_at(cr.l1_set, cr.l1_tag, is_store, true) {
             let result = AccessResult {
                 class: HitClass::L1Hit,
                 complete_at: now + lat.l1_hit,
@@ -272,78 +398,81 @@ impl MemorySystem {
 
         // L2 probe. Only main-thread touches mark the line *used* (the
         // paper's pollution cases are about data the processor reuses).
-        let (class, complete_at) =
-            if let Some(before) = self.l2.touch(mref.vaddr, is_store, is_main) {
-                if is_main && before.prefetched && !before.used_since_fill {
-                    if let Some(cls) = prefetch_class(before.filler) {
-                        self.stats.prefetches_useful[cls] += 1;
-                    }
+        let (class, complete_at) = if let Some((fresh_prefetch, filler)) = self
+            .l2
+            .touch_classify_at(cr.l2_set, cr.l2_tag, is_store, is_main)
+        {
+            if is_main && fresh_prefetch {
+                if let Some(cls) = prefetch_class(filler) {
+                    self.stats.prefetches_useful[cls] += 1;
                 }
-                // Install in the core's L1 (fill-on-L2-hit); a dirty L1
-                // victim writes through to the L2 if still present there,
-                // otherwise straight to memory (non-inclusive hierarchy).
-                if let Some(l1_ev) = self.l1[core].fill(mref.vaddr, entity, false) {
-                    if l1_ev.dirty && self.l2.touch(l1_ev.block, true, false).is_none() {
-                        self.stats.l1_writeback_misses += 1;
-                        self.bus.request(t_l2);
-                    }
+            }
+            // Install in the core's L1 (fill-on-L2-hit); a dirty L1
+            // victim writes through to the L2 if still present there,
+            // otherwise straight to memory (non-inclusive hierarchy).
+            if let Some(l1_ev) = self.l1[core].fill_at(cr.l1_set, cr.l1_tag, entity, false) {
+                if l1_ev.dirty && self.l2.touch(l1_ev.block, true, false).is_none() {
+                    self.stats.l1_writeback_misses += 1;
+                    self.bus.request(t_l2);
                 }
-                (HitClass::TotalHit, t_l2 + lat.l2_hit)
-            } else if self.mshr.lookup(block).is_some() {
-                // In-flight: the paper's *partially* cache hit. Only a main-
-                // thread access converts the fill into a demanded (used) one.
-                let merged = if is_main {
-                    self.mshr
-                        .merge_demand(block, is_store)
-                        .expect("entry just looked up")
-                } else {
-                    self.mshr.lookup(block).expect("entry just looked up")
-                };
-                if is_main && merged.prefetch {
-                    if let Some(cls) = prefetch_class(merged.requester) {
-                        self.stats.prefetches_useful[cls] += 1;
-                    }
+            }
+            (HitClass::TotalHit, t_l2 + lat.l2_hit)
+        } else if let Some(merged) = if is_main {
+            // In-flight: the paper's *partially* cache hit. Only a main-
+            // thread access converts the fill into a demanded (used) one
+            // (a single MSHR scan either way: merge returns None when the
+            // block has no entry).
+            self.mshr.merge_demand(block, is_store)
+        } else {
+            self.mshr.lookup(block)
+        } {
+            if is_main && merged.prefetch {
+                if let Some(cls) = prefetch_class(merged.requester) {
+                    self.stats.prefetches_useful[cls] += 1;
                 }
-                if is_main && self.prefetch_victims.remove(&block) {
-                    // An in-flight refetch of a block a prefetch evicted
-                    // earlier still re-pays (part of) the memory latency.
-                    self.stats.pollution.reuse_evictions += 1;
-                }
-                (HitClass::PartialHit, merged.ready_at.max(t_l2 + lat.l2_hit))
-            } else {
-                // Totally miss: wait for MSHR room if the file is full.
-                let mut when = t_l2 + lat.l2_hit;
-                while self.mshr.is_full() {
-                    let next = self.mshr.earliest_ready().expect("full file has entries");
-                    when = when.max(next);
-                    self.drain(when);
-                }
-                if is_main && self.prefetch_victims.remove(&block) {
-                    self.stats.pollution.reuse_evictions += 1;
-                }
-                let ready = self.launch_fill(block, when, entity, speculative, is_store);
-                (HitClass::TotalMiss, ready)
-            };
+            }
+            if is_main && self.take_prefetch_victim(block) {
+                // An in-flight refetch of a block a prefetch evicted
+                // earlier still re-pays (part of) the memory latency.
+                self.stats.pollution.reuse_evictions += 1;
+            }
+            (HitClass::PartialHit, merged.ready_at.max(t_l2 + lat.l2_hit))
+        } else {
+            // Totally miss: wait for MSHR room if the file is full.
+            let mut when = t_l2 + lat.l2_hit;
+            while self.mshr.is_full() {
+                let next = self.mshr.earliest_ready().expect("full file has entries");
+                when = when.max(next);
+                self.drain(when);
+            }
+            if is_main && self.take_prefetch_victim(block) {
+                self.stats.pollution.reuse_evictions += 1;
+            }
+            let ready = self.launch_fill(block, when, entity, speculative, is_store);
+            (HitClass::TotalMiss, ready)
+        };
 
         let result = AccessResult { class, complete_at };
         self.note(entity, class, result.latency(now));
 
-        // Train the core's hardware prefetchers on the post-L1 stream.
+        // Train the core's hardware prefetchers on the post-L1 stream,
+        // collecting candidates into the reused scratch buffer (taken out
+        // of `self` so issuing can borrow the system mutably).
         if self.cfg.hw_prefetchers {
-            let cands: Vec<(Entity, VAddr)> = {
-                let s = self.streamers[core]
-                    .observe(mref.site, block)
-                    .into_iter()
-                    .map(|b| (Entity::HwStream(core as u8), b));
-                let d = self.dpls[core]
-                    .observe(mref.site, mref.vaddr)
-                    .into_iter()
-                    .map(|b| (Entity::HwDpl(core as u8), b));
-                s.chain(d).collect()
-            };
-            for (who, b) in cands {
+            let mut cands = std::mem::take(&mut self.hw_cands);
+            self.streamers[core].observe(cr.site, block, &mut cands);
+            let n_stream = cands.len();
+            self.dpls[core].observe(cr.site, cr.vaddr, &mut cands);
+            for (i, &b) in cands.iter().enumerate() {
+                let who = if i < n_stream {
+                    Entity::HwStream(core as u8)
+                } else {
+                    Entity::HwDpl(core as u8)
+                };
                 self.issue_prefetch_block(b, who, t_l2);
             }
+            cands.clear();
+            self.hw_cands = cands;
         }
         result
     }
@@ -352,32 +481,41 @@ impl MemorySystem {
     /// issuing core does not stall; the returned `complete_at` covers only
     /// the issue cost.
     pub fn prefetch_access(&mut self, mref: MemRef, now: Cycle) -> AccessResult {
+        self.prefetch_access_pre(&self.project(mref), now)
+    }
+
+    /// [`prefetch_access`](Self::prefetch_access) with the projections
+    /// already computed (compiled-trace replay).
+    pub fn prefetch_access_pre(&mut self, cr: &CompiledRef, now: Cycle) -> AccessResult {
         debug_assert!(now >= self.last_now, "accesses must arrive in time order");
         self.last_now = now;
         self.drain(now);
-        let block = self.cfg.l2.block_of(mref.vaddr);
         self.stats.prefetches_issued[0] += 1;
-        self.issue_prefetch_block_inner(block, Entity::Helper, now, false);
+        self.issue_prefetch_pre(cr.block, cr.l2_set, cr.l2_tag, Entity::Helper, now);
         AccessResult {
             class: HitClass::L1Hit,
             complete_at: now + self.cfg.latency.prefetch_issue,
         }
     }
 
-    /// Route a hardware-prefetcher candidate into the L2.
+    /// Route a hardware-prefetcher candidate into the L2. Candidate
+    /// blocks are computed at runtime, so their projections are too (two
+    /// shifts — not worth precompiling).
     fn issue_prefetch_block(&mut self, block: VAddr, who: Entity, now: Cycle) {
         if let Some(cls) = prefetch_class(who) {
             self.stats.prefetches_issued[cls] += 1;
         }
-        self.issue_prefetch_block_inner(block, who, now, true);
+        let set = self.cfg.l2.set_of(block) as u32;
+        let tag = self.cfg.l2.tag_of(block);
+        self.issue_prefetch_pre(block, set, tag, who, now);
     }
 
     /// Shared prefetch path: drop if already cached, in flight, or no
     /// MSHR room (prefetches never stall anyone).
-    fn issue_prefetch_block_inner(&mut self, block: VAddr, who: Entity, now: Cycle, _hw: bool) {
-        if self.l2.contains(block) {
-            // Promote so an imminent reuse isn't evicted (prefetch hint).
-            self.l2.fill(block, who, true); // no-op fill: policy promotion only
+    fn issue_prefetch_pre(&mut self, block: VAddr, set: u32, tag: u64, who: Entity, now: Cycle) {
+        if self.l2.promote(set, tag) {
+            // Present: promoted so an imminent reuse isn't evicted
+            // (prefetch hint), exactly as a refill of a cached block would.
             return;
         }
         if self.mshr.lookup(block).is_some() || self.mshr.is_full() {
@@ -401,11 +539,19 @@ impl MemorySystem {
         t.stall_cycles += latency;
     }
 
-    /// Finish outstanding fills and return the final statistics.
-    pub fn finish(mut self) -> MemStats {
+    /// Finish outstanding fills and return the final statistics, leaving
+    /// the system alive (typically to be [`reset`](Self::reset) and
+    /// reused). The bus-occupancy snapshot is taken *before* the final
+    /// drain, like [`finish`](Self::finish) always has.
+    pub fn finish_stats(&mut self) -> MemStats {
         self.stats.bus_busy_cycles = self.bus.busy_cycles();
         self.drain(Cycle::MAX);
-        self.stats
+        self.stats.clone()
+    }
+
+    /// Finish outstanding fills and return the final statistics.
+    pub fn finish(mut self) -> MemStats {
+        self.finish_stats()
     }
 
     /// Snapshot of bus counters.
@@ -666,6 +812,58 @@ mod tests {
         }
         let r = m.demand_access(Entity::Main, load(a), t);
         assert_eq!(r.class, HitClass::L1Hit, "non-inclusive L1 keeps the line");
+    }
+
+    #[test]
+    fn reset_reproduces_a_fresh_run_bit_for_bit() {
+        let mut cfg = tiny_cfg();
+        cfg.hw_prefetchers = true; // exercise prefetcher state too
+        let run = |m: &mut MemorySystem| {
+            let mut t = 0;
+            for i in 0..40u64 {
+                let r = m.demand_access(Entity::Main, load((i % 9) * 64 * 5), t);
+                t = r.complete_at + 1;
+                if i % 4 == 0 {
+                    m.prefetch_access(load(i * 128), t);
+                    t += 1;
+                }
+            }
+            m.finish_stats()
+        };
+        let mut reused = MemorySystem::new(cfg);
+        let first = run(&mut reused);
+        reused.reset();
+        let second = run(&mut reused);
+        assert_eq!(first, second, "reset must erase all history");
+        let fresh = run(&mut MemorySystem::new(cfg));
+        assert_eq!(first, fresh, "reset must equal a fresh build");
+    }
+
+    #[test]
+    fn pre_projected_path_matches_scalar_path() {
+        let mut cfg = tiny_cfg();
+        cfg.hw_prefetchers = true;
+        let mut scalar = MemorySystem::new(cfg);
+        let mut pre = MemorySystem::new(cfg);
+        let mut t = 0;
+        for i in 0..60u64 {
+            let mref = load((i % 11) * 64 * 3);
+            let cr = pre.project(mref);
+            let (a, b) = match i % 3 {
+                0 => (
+                    scalar.demand_access(Entity::Main, mref, t),
+                    pre.demand_access_pre(Entity::Main, &cr, t),
+                ),
+                1 => (scalar.helper_load(mref, t), pre.helper_load_pre(&cr, t)),
+                _ => (
+                    scalar.prefetch_access(mref, t),
+                    pre.prefetch_access_pre(&cr, t),
+                ),
+            };
+            assert_eq!(a, b, "access {i}");
+            t = a.complete_at + 1;
+        }
+        assert_eq!(scalar.finish(), pre.finish());
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use cache::SetAssocCache;
 pub use clock::{Cycle, LatencyConfig};
 pub use config::{CacheConfig, Inclusion};
 pub use geometry::CacheGeometry;
-pub use hierarchy::{AccessResult, Entity, HitClass, MemorySystem};
+pub use hierarchy::{sim_build_count, AccessResult, Entity, HitClass, MemorySystem};
 pub use mshr::MshrFile;
 pub use replacement::Policy;
 pub use stats::{MemStats, PollutionStats, ThreadStats};

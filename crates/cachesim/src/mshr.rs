@@ -33,6 +33,11 @@ pub struct InFlight {
 pub struct MshrFile {
     entries: Vec<InFlight>,
     capacity: usize,
+    /// Cached `min(entries[..].ready_at)`, `Cycle::MAX` when empty, so
+    /// the per-access [`none_ready`](Self::none_ready) guard is a single
+    /// compare instead of a scan. Maintained on allocate (min) and
+    /// recomputed on removal.
+    min_ready: Cycle,
 }
 
 impl MshrFile {
@@ -42,7 +47,14 @@ impl MshrFile {
         MshrFile {
             entries: Vec::with_capacity(capacity),
             capacity,
+            min_ready: Cycle::MAX,
         }
+    }
+
+    /// Drop every outstanding entry, keeping the allocation.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.min_ready = Cycle::MAX;
     }
 
     /// Outstanding entries.
@@ -86,28 +98,84 @@ impl MshrFile {
         if self.is_full() || self.lookup(entry.block).is_some() {
             return Err(entry);
         }
+        self.min_ready = self.min_ready.min(entry.ready_at);
         self.entries.push(entry);
         Ok(())
+    }
+
+    /// [`allocate`](Self::allocate) for callers that have already
+    /// established there is room and no entry for the block — skips the
+    /// duplicate lookup scan on the access hot path (checked in debug
+    /// builds).
+    pub fn allocate_unchecked(&mut self, entry: InFlight) {
+        debug_assert!(!self.is_full(), "caller ensured MSHR room");
+        debug_assert!(
+            self.lookup(entry.block).is_none(),
+            "caller ensured the block has no entry"
+        );
+        self.min_ready = self.min_ready.min(entry.ready_at);
+        self.entries.push(entry);
+    }
+
+    /// `true` if no outstanding fill has completed by `now` — the cheap
+    /// guard that lets callers skip [`drain_ready`](Self::drain_ready)'s
+    /// work on the (overwhelmingly common) nothing-to-do path.
+    #[inline]
+    pub fn none_ready(&self, now: Cycle) -> bool {
+        debug_assert_eq!(
+            self.min_ready,
+            self.entries
+                .iter()
+                .map(|e| e.ready_at)
+                .min()
+                .unwrap_or(Cycle::MAX)
+        );
+        // `min_ready` is MAX when empty; the second test covers an empty
+        // file probed at `now == Cycle::MAX`.
+        self.min_ready > now || self.entries.is_empty()
     }
 
     /// Remove and return every entry whose fill has completed by `now`,
     /// in completion order.
     pub fn drain_ready(&mut self, now: Cycle) -> Vec<InFlight> {
-        let mut done: Vec<InFlight> = self
-            .entries
-            .iter()
-            .copied()
-            .filter(|e| e.ready_at <= now)
-            .collect();
-        self.entries.retain(|e| e.ready_at > now);
-        done.sort_by_key(|e| e.ready_at);
+        let mut done = Vec::new();
+        while let Some(e) = self.pop_earliest_ready(now) {
+            done.push(e);
+        }
         done
+    }
+
+    /// Remove and return the completed entry (`ready_at <= now`) with the
+    /// earliest completion time, ties broken by allocation order — the
+    /// allocation-free form of [`drain_ready`](Self::drain_ready): calling
+    /// it until `None` yields exactly `drain_ready`'s sequence.
+    pub fn pop_earliest_ready(&mut self, now: Cycle) -> Option<InFlight> {
+        let mut best: Option<usize> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.ready_at <= now && best.is_none_or(|b| e.ready_at < self.entries[b].ready_at) {
+                best = Some(i);
+            }
+        }
+        let popped = best.map(|i| self.entries.remove(i));
+        if popped.is_some() {
+            self.min_ready = self
+                .entries
+                .iter()
+                .map(|e| e.ready_at)
+                .min()
+                .unwrap_or(Cycle::MAX);
+        }
+        popped
     }
 
     /// Earliest completion time among outstanding entries (used to decide
     /// how long a demand access must stall when the file is full).
     pub fn earliest_ready(&self) -> Option<Cycle> {
-        self.entries.iter().map(|e| e.ready_at).min()
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(self.min_ready)
+        }
     }
 }
 
@@ -183,6 +251,49 @@ mod tests {
         assert_eq!(m.drain_ready(300).len(), 1);
         assert!(m.is_empty());
         assert_eq!(m.earliest_ready(), None);
+    }
+
+    #[test]
+    fn pop_earliest_ready_matches_drain_order_with_ties() {
+        let mut a = MshrFile::new(4);
+        let mut b = MshrFile::new(4);
+        for e in [fl(0x40, 200), fl(0x80, 100), fl(0xc0, 100), fl(0x100, 300)] {
+            a.allocate(e).unwrap();
+            b.allocate(e).unwrap();
+        }
+        let drained = a.drain_ready(250);
+        let mut popped = Vec::new();
+        while let Some(e) = b.pop_earliest_ready(250) {
+            popped.push(e);
+        }
+        assert_eq!(drained, popped);
+        assert_eq!(
+            popped.iter().map(|e| e.block).collect::<Vec<_>>(),
+            vec![0x80, 0xc0, 0x40],
+            "completion order, allocation order on ties"
+        );
+        assert_eq!(a.len(), 1);
+        assert!(b.pop_earliest_ready(299).is_none());
+    }
+
+    #[test]
+    fn allocate_unchecked_tracks_like_allocate() {
+        let mut m = MshrFile::new(2);
+        m.allocate_unchecked(fl(0x40, 100));
+        assert_eq!(m.lookup(0x40).unwrap().ready_at, 100);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn none_ready_agrees_with_drain() {
+        let mut m = MshrFile::new(4);
+        assert!(m.none_ready(u64::MAX));
+        m.allocate(fl(0x40, 100)).unwrap();
+        assert!(m.none_ready(99));
+        assert!(!m.none_ready(100));
+        m.reset();
+        assert!(m.is_empty());
+        assert!(m.none_ready(u64::MAX));
     }
 
     #[test]

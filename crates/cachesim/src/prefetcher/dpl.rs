@@ -50,64 +50,71 @@ impl DplPrefetcher {
         }
     }
 
-    fn emit(&self, addr: VAddr, stride: i64) -> Vec<VAddr> {
-        let mut out = Vec::with_capacity(self.degree as usize);
-        let mut seen_blocks = Vec::with_capacity(self.degree as usize);
+    fn emit(&self, addr: VAddr, stride: i64, out: &mut Vec<VAddr>) {
+        let start = out.len();
         for d in 1..=self.degree as i64 {
             let target = addr as i64 + stride * d;
             if target < 0 {
                 break;
             }
             let block = target as u64 & !(self.line_size - 1);
-            // Small strides land repeatedly in one block; dedup.
-            if !seen_blocks.contains(&block) {
-                seen_blocks.push(block);
+            // Small strides land repeatedly in one block; dedup against
+            // what this emission already appended.
+            if !out[start..].contains(&block) {
                 out.push(block);
             }
         }
-        out
     }
 }
 
 impl HwPrefetcher for DplPrefetcher {
-    fn observe(&mut self, site: SiteId, addr: VAddr) -> Vec<VAddr> {
+    fn observe(&mut self, site: SiteId, addr: VAddr, out: &mut Vec<VAddr>) {
         if site == SiteId::ANON {
             // Anonymous references carry no IP to index on.
-            return Vec::new();
+            return;
         }
         self.clock += 1;
-        if let Some(e) = self
-            .table
-            .iter_mut()
-            .filter(|e| e.valid)
-            .find(|e| e.site == site)
-        {
-            let delta = addr as i64 - e.last_addr as i64;
-            if delta == 0 {
+        // One pass: find this site's entry, tracking the allocation
+        // victim — first invalid entry, else least-recently-touched —
+        // along the way. Valid stamps are always >= 1, so key 0 marks
+        // "found an invalid entry".
+        let mut victim = 0usize;
+        let mut victim_key = u64::MAX;
+        for (i, e) in self.table.iter_mut().enumerate() {
+            if !e.valid {
+                if victim_key != 0 {
+                    victim = i;
+                    victim_key = 0;
+                }
+                continue;
+            }
+            if e.site == site {
+                let delta = addr as i64 - e.last_addr as i64;
+                if delta == 0 {
+                    e.stamp = self.clock;
+                    return;
+                }
+                if delta == e.stride {
+                    e.conf = e.conf.saturating_add(1);
+                } else {
+                    e.stride = delta;
+                    e.conf = 0;
+                }
+                e.last_addr = addr;
                 e.stamp = self.clock;
-                return Vec::new();
+                if e.conf >= 1 {
+                    let (a, s) = (e.last_addr, e.stride);
+                    self.emit(a, s, out);
+                }
+                return;
             }
-            if delta == e.stride {
-                e.conf = e.conf.saturating_add(1);
-            } else {
-                e.stride = delta;
-                e.conf = 0;
+            if e.stamp < victim_key {
+                victim = i;
+                victim_key = e.stamp;
             }
-            e.last_addr = addr;
-            e.stamp = self.clock;
-            if e.conf >= 1 {
-                let (a, s) = (e.last_addr, e.stride);
-                return self.emit(a, s);
-            }
-            return Vec::new();
         }
-        // Allocate over the LRU (or first invalid) entry.
-        let slot = self
-            .table
-            .iter_mut()
-            .min_by_key(|e| if e.valid { e.stamp } else { 0 })
-            .expect("at least one entry");
-        *slot = Entry {
+        // No entry for this site: allocate over the victim.
+        self.table[victim] = Entry {
             site,
             last_addr: addr,
             stride: 0,
@@ -115,7 +122,6 @@ impl HwPrefetcher for DplPrefetcher {
             stamp: self.clock,
             valid: true,
         };
-        Vec::new()
     }
 
     fn reset(&mut self) {
@@ -134,13 +140,19 @@ mod tests {
         DplPrefetcher::new(8, 2, 64)
     }
 
+    fn obs(p: &mut DplPrefetcher, site: SiteId, addr: VAddr) -> Vec<VAddr> {
+        let mut out = Vec::new();
+        p.observe(site, addr, &mut out);
+        out
+    }
+
     #[test]
     fn third_strided_access_triggers() {
         let mut p = dpl();
         let s = SiteId(1);
-        assert!(p.observe(s, 0).is_empty()); // allocate
-        assert!(p.observe(s, 256).is_empty()); // learn stride 256 (conf 0)
-        let out = p.observe(s, 512); // confirm (conf 1) -> fire
+        assert!(obs(&mut p, s, 0).is_empty()); // allocate
+        assert!(obs(&mut p, s, 256).is_empty()); // learn stride 256 (conf 0)
+        let out = obs(&mut p, s, 512); // confirm (conf 1) -> fire
         assert_eq!(out, vec![768, 1024]);
     }
 
@@ -148,21 +160,34 @@ mod tests {
     fn sub_line_strides_dedup_blocks() {
         let mut p = dpl();
         let s = SiteId(2);
-        p.observe(s, 0);
-        p.observe(s, 16);
-        let out = p.observe(s, 32);
+        obs(&mut p, s, 0);
+        obs(&mut p, s, 16);
+        let out = obs(&mut p, s, 32);
         // Targets 48 and 64 -> blocks 0 and 64; block 0 = current, still
         // emitted (harmless: it will hit in cache), but deduped to one.
         assert_eq!(out, vec![0, 64]);
     }
 
     #[test]
+    fn dedup_is_scoped_to_one_emission() {
+        // A pre-existing buffer entry must not suppress a candidate —
+        // dedup only looks at what this call appended.
+        let mut p = dpl();
+        let s = SiteId(2);
+        obs(&mut p, s, 0);
+        obs(&mut p, s, 16);
+        let mut out = vec![0];
+        p.observe(s, 32, &mut out);
+        assert_eq!(out, vec![0, 0, 64]);
+    }
+
+    #[test]
     fn negative_stride_supported() {
         let mut p = dpl();
         let s = SiteId(3);
-        p.observe(s, 10_000);
-        p.observe(s, 9_872); // stride -128
-        let out = p.observe(s, 9_744);
+        obs(&mut p, s, 10_000);
+        obs(&mut p, s, 9_872); // stride -128
+        let out = obs(&mut p, s, 9_744);
         assert_eq!(out, vec![(9_744 - 128) & !63, (9_744 - 256) & !63]);
     }
 
@@ -170,34 +195,37 @@ mod tests {
     fn stride_change_resets_confidence() {
         let mut p = dpl();
         let s = SiteId(4);
-        p.observe(s, 0);
-        p.observe(s, 128);
-        assert!(!p.observe(s, 256).is_empty()); // trained
-        assert!(p.observe(s, 1000).is_empty(), "broken stride must not fire");
+        obs(&mut p, s, 0);
+        obs(&mut p, s, 128);
+        assert!(!obs(&mut p, s, 256).is_empty()); // trained
         assert!(
-            p.observe(s, 2000).is_empty(),
+            obs(&mut p, s, 1000).is_empty(),
+            "broken stride must not fire"
+        );
+        assert!(
+            obs(&mut p, s, 2000).is_empty(),
             "stride 1000 seen once (conf 0)"
         );
-        assert!(!p.observe(s, 3000).is_empty(), "stride 1000 confirmed");
+        assert!(!obs(&mut p, s, 3000).is_empty(), "stride 1000 confirmed");
     }
 
     #[test]
     fn sites_are_tracked_independently() {
         let mut p = dpl();
         let (a, b) = (SiteId(5), SiteId(6));
-        p.observe(a, 0);
-        p.observe(b, 1 << 20);
-        p.observe(a, 64);
-        p.observe(b, (1 << 20) + 4096);
-        assert_eq!(p.observe(a, 128), vec![192, 256]);
-        assert!(!p.observe(b, (1 << 20) + 8192).is_empty());
+        obs(&mut p, a, 0);
+        obs(&mut p, b, 1 << 20);
+        obs(&mut p, a, 64);
+        obs(&mut p, b, (1 << 20) + 4096);
+        assert_eq!(obs(&mut p, a, 128), vec![192, 256]);
+        assert!(!obs(&mut p, b, (1 << 20) + 8192).is_empty());
     }
 
     #[test]
     fn anonymous_site_is_ignored() {
         let mut p = dpl();
         for i in 0..10u64 {
-            assert!(p.observe(SiteId::ANON, i * 64).is_empty());
+            assert!(obs(&mut p, SiteId::ANON, i * 64).is_empty());
         }
     }
 
@@ -205,21 +233,21 @@ mod tests {
     fn table_replacement_evicts_lru_site() {
         let mut p = DplPrefetcher::new(1, 1, 64);
         let (a, b) = (SiteId(1), SiteId(2));
-        p.observe(a, 0);
-        p.observe(a, 64);
-        p.observe(b, 0); // evicts a's entry
-        p.observe(a, 128); // re-allocates; old stride forgotten
-        assert!(p.observe(a, 192).is_empty(), "conf 0 after re-allocation");
+        obs(&mut p, a, 0);
+        obs(&mut p, a, 64);
+        obs(&mut p, b, 0); // evicts a's entry
+        obs(&mut p, a, 128); // re-allocates; old stride forgotten
+        assert!(obs(&mut p, a, 192).is_empty(), "conf 0 after re-allocation");
     }
 
     #[test]
     fn reset_clears_table() {
         let mut p = dpl();
         let s = SiteId(9);
-        p.observe(s, 0);
-        p.observe(s, 64);
+        obs(&mut p, s, 0);
+        obs(&mut p, s, 64);
         p.reset();
-        p.observe(s, 128);
-        assert!(p.observe(s, 192).is_empty());
+        obs(&mut p, s, 128);
+        assert!(obs(&mut p, s, 192).is_empty());
     }
 }

@@ -19,9 +19,12 @@ use sp_trace::{SiteId, VAddr};
 
 /// A hardware prefetcher observing one core's demand accesses.
 pub trait HwPrefetcher {
-    /// Observe a demand access (`site`, block-aligned `block`); returns
-    /// block addresses to prefetch (possibly empty).
-    fn observe(&mut self, site: SiteId, block: VAddr) -> Vec<VAddr>;
+    /// Observe a demand access (`site`, block-aligned `block`), appending
+    /// block addresses to prefetch (possibly none) to `out`. Taking the
+    /// candidate buffer from the caller keeps the access hot path free of
+    /// per-access allocations — the memory system reuses one scratch
+    /// buffer for every access it simulates.
+    fn observe(&mut self, site: SiteId, block: VAddr, out: &mut Vec<VAddr>);
 
     /// Forget all learned state.
     fn reset(&mut self);

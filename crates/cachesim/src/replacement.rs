@@ -29,12 +29,22 @@ pub enum Policy {
 /// The engine is deliberately self-contained — it tracks its own order
 /// structures keyed by `(set, way)` and never inspects line contents —
 /// so it can be unit-tested in isolation from the cache.
+///
+/// LRU/FIFO order is kept as one flat recency **stamp** per line (larger
+/// = more recent) instead of per-set order lists: promoting a way is a
+/// single store, and only the (much rarer) victim choice scans the set.
+/// Stamps start in descending way order, so an untouched set evicts its
+/// highest way first — exactly the order an explicit `[0, 1, .., w-1]`
+/// most-to-least-recent list yields.
 #[derive(Debug, Clone)]
 pub struct PolicyEngine {
     policy: Policy,
     ways: usize,
-    /// For LRU/FIFO: per-set way order, front = most recent.
-    order: Vec<Vec<u8>>,
+    /// For LRU/FIFO: per-(set, way) recency stamp, flat `set * ways + way`.
+    stamps: Vec<u64>,
+    /// Monotonic counter behind the stamps; strictly increasing, so no
+    /// two lines ever tie.
+    clock: u64,
     /// For tree-PLRU: per-set direction bits.
     plru: Vec<u64>,
     /// Xorshift state for `Policy::Random`.
@@ -51,10 +61,8 @@ impl PolicyEngine {
                 "tree-PLRU requires power-of-two ways"
             );
         }
-        let order = match policy {
-            Policy::Lru | Policy::Fifo => {
-                vec![(0..ways as u8).collect::<Vec<u8>>(); sets]
-            }
+        let stamps = match policy {
+            Policy::Lru | Policy::Fifo => Self::pristine_stamps(sets, ways),
             _ => Vec::new(),
         };
         let rng = match policy {
@@ -67,13 +75,40 @@ impl PolicyEngine {
         PolicyEngine {
             policy,
             ways,
-            order,
+            stamps,
+            clock: ways as u64,
             plru: vec![0; sets],
             rng,
         }
     }
 
+    fn pristine_stamps(sets: usize, ways: usize) -> Vec<u64> {
+        let mut stamps = vec![0; sets * ways];
+        for set in 0..sets {
+            for w in 0..ways {
+                stamps[set * ways + w] = (ways - 1 - w) as u64;
+            }
+        }
+        stamps
+    }
+
+    /// Restore the freshly-constructed state without reallocating the
+    /// stamp array.
+    pub fn reset(&mut self) {
+        let ways = self.ways;
+        for (i, s) in self.stamps.iter_mut().enumerate() {
+            *s = (ways - 1 - i % ways) as u64;
+        }
+        self.clock = ways as u64;
+        self.plru.fill(0);
+        self.rng = match self.policy {
+            Policy::Random { seed } => seed,
+            _ => 1,
+        };
+    }
+
     /// Record a demand hit on `(set, way)`.
+    #[inline]
     pub fn on_hit(&mut self, set: usize, way: usize) {
         match self.policy {
             Policy::Lru => self.move_to_front(set, way),
@@ -83,6 +118,7 @@ impl PolicyEngine {
     }
 
     /// Record a fill into `(set, way)`.
+    #[inline]
     pub fn on_fill(&mut self, set: usize, way: usize) {
         match self.policy {
             Policy::Lru | Policy::Fifo => self.move_to_front(set, way),
@@ -94,7 +130,17 @@ impl PolicyEngine {
     /// Choose the victim way for a fill into a full `set`.
     pub fn victim(&mut self, set: usize) -> usize {
         match self.policy {
-            Policy::Lru | Policy::Fifo => *self.order[set].last().unwrap() as usize,
+            Policy::Lru | Policy::Fifo => {
+                let base = set * self.ways;
+                let stamps = &self.stamps[base..base + self.ways];
+                let mut victim = 0;
+                for (w, &s) in stamps.iter().enumerate() {
+                    if s < stamps[victim] {
+                        victim = w;
+                    }
+                }
+                victim
+            }
             Policy::Random { .. } => {
                 // xorshift64
                 let mut x = self.rng;
@@ -108,14 +154,10 @@ impl PolicyEngine {
         }
     }
 
+    #[inline]
     fn move_to_front(&mut self, set: usize, way: usize) {
-        let order = &mut self.order[set];
-        let pos = order
-            .iter()
-            .position(|&w| w as usize == way)
-            .expect("way in order list");
-        let w = order.remove(pos);
-        order.insert(0, w);
+        self.clock += 1;
+        self.stamps[set * self.ways + way] = self.clock;
     }
 
     /// Walk the PLRU tree towards `way`, flipping each internal node to
@@ -232,6 +274,28 @@ mod tests {
         e.on_fill(1, 0);
         assert_eq!(e.victim(0), 0);
         assert_eq!(e.victim(1), 1);
+    }
+
+    #[test]
+    fn reset_matches_fresh_engine() {
+        for policy in [
+            Policy::Lru,
+            Policy::Fifo,
+            Policy::Random { seed: 9 },
+            Policy::PlruTree,
+        ] {
+            let mut used = PolicyEngine::new(policy, 2, 4);
+            for w in [3, 1, 2, 0] {
+                used.on_fill(0, w);
+                used.on_hit(1, w);
+                let _ = used.victim(0);
+            }
+            used.reset();
+            let mut fresh = PolicyEngine::new(policy, 2, 4);
+            for set in 0..2 {
+                assert_eq!(used.victim(set), fresh.victim(set), "{policy:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! Differential tests for the SoA cache overhaul.
+//!
+//! `ReferenceCache` below is the legacy scalar implementation — AoS
+//! `Vec<Line>` storage, probe-then-re-index double lookups, and
+//! order-list LRU/FIFO — kept verbatim as an executable specification.
+//! The tests drive it and the production [`SetAssocCache`] with identical
+//! operation streams (seeded synthetic mixes and the EM3D/MCF/MST
+//! test-scale traces) and demand bit-identical outcomes at every step,
+//! plus bit-identical [`MemStats`] between the scalar and precompiled
+//! `MemorySystem` entry points.
+
+use sp_cachesim::cache::{Evicted, Line};
+use sp_cachesim::{
+    CacheConfig, CacheGeometry, Entity, MemStats, MemorySystem, Policy, SetAssocCache,
+};
+use sp_trace::{MemRef, VAddr};
+use sp_workloads::{Benchmark, Workload};
+
+/// The pre-overhaul cache: one `Line` struct per way, linear probe over
+/// structs, separate order-list replacement state.
+struct ReferenceCache {
+    geo: CacheGeometry,
+    lines: Vec<Line>,
+    /// Per-set way order, front = most recent (LRU) / last filled first
+    /// out (FIFO ignores hits).
+    order: Vec<Vec<u8>>,
+    fifo: bool,
+}
+
+impl ReferenceCache {
+    fn new(geo: CacheGeometry, policy: Policy) -> Self {
+        let fifo = match policy {
+            Policy::Lru => false,
+            Policy::Fifo => true,
+            _ => panic!("reference model covers LRU and FIFO"),
+        };
+        ReferenceCache {
+            geo,
+            lines: vec![
+                Line {
+                    valid: false,
+                    tag: 0,
+                    filler: Entity::Main,
+                    prefetched: false,
+                    used_since_fill: false,
+                    dirty: false,
+                };
+                geo.lines() as usize
+            ],
+            order: vec![(0..geo.ways as u8).collect(); geo.sets() as usize],
+            fifo,
+        }
+    }
+
+    fn idx(&self, set: u64, way: usize) -> usize {
+        set as usize * self.geo.ways as usize + way
+    }
+
+    fn probe(&self, addr: VAddr) -> Option<usize> {
+        let set = self.geo.set_of(addr);
+        let tag = self.geo.tag_of(addr);
+        (0..self.geo.ways as usize).find(|&w| {
+            let l = &self.lines[self.idx(set, w)];
+            l.valid && l.tag == tag
+        })
+    }
+
+    fn move_to_front(&mut self, set: u64, way: usize) {
+        let order = &mut self.order[set as usize];
+        let pos = order.iter().position(|&w| w as usize == way).unwrap();
+        let w = order.remove(pos);
+        order.insert(0, w);
+    }
+
+    fn touch(&mut self, addr: VAddr, is_store: bool, mark_used: bool) -> Option<Line> {
+        let way = self.probe(addr)?;
+        let set = self.geo.set_of(addr);
+        let idx = self.idx(set, way);
+        let before = self.lines[idx];
+        if mark_used {
+            self.lines[idx].used_since_fill = true;
+        }
+        if is_store {
+            self.lines[idx].dirty = true;
+        }
+        if !self.fifo {
+            self.move_to_front(set, way);
+        }
+        Some(before)
+    }
+
+    fn fill(&mut self, addr: VAddr, filler: Entity, prefetched: bool) -> Option<Evicted> {
+        let set = self.geo.set_of(addr);
+        let tag = self.geo.tag_of(addr);
+        if let Some(way) = self.probe(addr) {
+            self.move_to_front(set, way);
+            return None;
+        }
+        let way = (0..self.geo.ways as usize)
+            .find(|&w| !self.lines[self.idx(set, w)].valid)
+            .unwrap_or_else(|| *self.order[set as usize].last().unwrap() as usize);
+        let idx = self.idx(set, way);
+        let old = self.lines[idx];
+        let evicted = old.valid.then(|| Evicted {
+            block: self.geo.block_from(set, old.tag),
+            filler: old.filler,
+            prefetched: old.prefetched,
+            used_since_fill: old.used_since_fill,
+            dirty: old.dirty,
+        });
+        self.lines[idx] = Line {
+            valid: true,
+            tag,
+            filler,
+            prefetched,
+            used_since_fill: !prefetched,
+            dirty: false,
+        };
+        self.move_to_front(set, way);
+        evicted
+    }
+
+    fn promote(&mut self, addr: VAddr) -> bool {
+        match self.probe(addr) {
+            Some(way) => {
+                let set = self.geo.set_of(addr);
+                self.move_to_front(set, way);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn invalidate(&mut self, addr: VAddr) -> bool {
+        match self.probe(addr) {
+            Some(way) => {
+                let set = self.geo.set_of(addr);
+                let idx = self.idx(set, way);
+                self.lines[idx].valid = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn set_blocks(&self, set: u64) -> Vec<VAddr> {
+        (0..self.geo.ways as usize)
+            .filter_map(|w| {
+                let l = &self.lines[self.idx(set, w)];
+                l.valid.then(|| self.geo.block_from(set, l.tag))
+            })
+            .collect()
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Drive both caches with an identical mixed operation stream and demand
+/// identical outcomes at every single step, then identical final state.
+fn differential_ops(geo: CacheGeometry, policy: Policy, seed: u64, ops: usize) {
+    let mut new = SetAssocCache::new(geo, policy);
+    let mut reference = ReferenceCache::new(geo, policy);
+    let mut rng = seed;
+    let fillers = [
+        Entity::Main,
+        Entity::Helper,
+        Entity::HwStream(0),
+        Entity::HwDpl(1),
+    ];
+    for step in 0..ops {
+        let r = xorshift(&mut rng);
+        // Small address universe so sets conflict and evict constantly.
+        let addr = (r >> 8) % (geo.size_bytes * 4);
+        match r % 5 {
+            0 | 1 => {
+                let is_store = r & 0x40 != 0;
+                let mark_used = r & 0x80 != 0;
+                assert_eq!(
+                    new.touch(addr, is_store, mark_used),
+                    reference.touch(addr, is_store, mark_used),
+                    "touch diverged at step {step}"
+                );
+            }
+            2 | 3 => {
+                let filler = fillers[(r as usize >> 16) % fillers.len()];
+                let prefetched = r & 0x100 != 0;
+                assert_eq!(
+                    new.fill(addr, filler, prefetched),
+                    reference.fill(addr, filler, prefetched),
+                    "fill diverged at step {step}"
+                );
+            }
+            _ => {
+                if r & 0x200 != 0 {
+                    let set = new.geometry().set_of(addr) as u32;
+                    let tag = new.geometry().tag_of(addr);
+                    assert_eq!(
+                        new.promote(set, tag),
+                        reference.promote(addr),
+                        "promote diverged at step {step}"
+                    );
+                } else {
+                    assert_eq!(
+                        new.invalidate(addr),
+                        reference.invalidate(addr),
+                        "invalidate diverged at step {step}"
+                    );
+                }
+            }
+        }
+    }
+    for set in 0..geo.sets() {
+        assert_eq!(
+            new.set_blocks(set),
+            reference.set_blocks(set),
+            "final contents diverged in set {set}"
+        );
+    }
+}
+
+#[test]
+fn synthetic_streams_match_reference_lru() {
+    for seed in [1, 0xdead_beef, 0x1234_5678_9abc_def0] {
+        differential_ops(CacheGeometry::new(4096, 8, 64), Policy::Lru, seed, 20_000);
+    }
+}
+
+#[test]
+fn synthetic_streams_match_reference_fifo() {
+    for seed in [7, 0xfeed_f00d] {
+        differential_ops(CacheGeometry::new(2048, 4, 64), Policy::Fifo, seed, 20_000);
+    }
+}
+
+#[test]
+fn narrow_and_wide_geometries_match_reference() {
+    // Direct-mapped-ish and very wide sets exercise the tag-scan edges.
+    differential_ops(CacheGeometry::new(512, 1, 64), Policy::Lru, 3, 10_000);
+    differential_ops(CacheGeometry::new(8192, 16, 64), Policy::Lru, 5, 10_000);
+}
+
+/// Replay a benchmark trace through both caches as an L2-style
+/// touch-else-fill loop.
+fn differential_trace(b: Benchmark) {
+    let geo = CacheGeometry::new(256 * 1024, 16, 64);
+    let mut new = SetAssocCache::new(geo, Policy::Lru);
+    let mut reference = ReferenceCache::new(geo, Policy::Lru);
+    let trace = Workload::tiny(b).trace();
+    let (mut hits, mut evictions) = (0u64, 0u64);
+    for (_, r) in trace.tagged_refs() {
+        let touched = new.demand_touch(r.vaddr, false);
+        assert_eq!(touched, reference.touch(r.vaddr, false, true), "{b:?}");
+        if touched.is_some() {
+            hits += 1;
+        } else {
+            let ev = new.fill(r.vaddr, Entity::Main, false);
+            assert_eq!(ev, reference.fill(r.vaddr, Entity::Main, false), "{b:?}");
+            evictions += u64::from(ev.is_some());
+        }
+    }
+    assert!(hits > 0, "{b:?} trace should produce hits");
+    for set in 0..geo.sets() {
+        assert_eq!(new.set_blocks(set), reference.set_blocks(set), "{b:?}");
+    }
+    let _ = evictions;
+}
+
+#[test]
+fn em3d_trace_matches_reference() {
+    differential_trace(Benchmark::Em3d);
+}
+
+#[test]
+fn mcf_trace_matches_reference() {
+    differential_trace(Benchmark::Mcf);
+}
+
+#[test]
+fn mst_trace_matches_reference() {
+    differential_trace(Benchmark::Mst);
+}
+
+/// The scalar entry points (`demand_access`, which projects on the fly)
+/// and the precompiled entry points (`demand_access_pre` over
+/// [`MemorySystem::project`]ed records) must produce bit-identical
+/// statistics — hit classes, per-entity fills, and all three pollution
+/// counters — over the real workload traces.
+fn scalar_vs_precompiled(b: Benchmark) -> MemStats {
+    let cfg = CacheConfig::scaled_default();
+    let refs: Vec<MemRef> = Workload::tiny(b)
+        .trace()
+        .tagged_refs()
+        .map(|(_, r)| *r)
+        .collect();
+
+    let mut scalar = MemorySystem::new(cfg);
+    let mut t = 0u64;
+    for r in &refs {
+        t = scalar.demand_access(Entity::Main, *r, t).complete_at;
+    }
+
+    let mut pre = MemorySystem::new(cfg);
+    let compiled: Vec<_> = refs.iter().map(|r| pre.project(*r)).collect();
+    let mut t = 0u64;
+    for cr in &compiled {
+        t = pre.demand_access_pre(Entity::Main, cr, t).complete_at;
+    }
+
+    let (s, p) = (scalar.finish(), pre.finish());
+    assert_eq!(s, p, "{b:?}: scalar and precompiled stats diverged");
+    s
+}
+
+#[test]
+fn workload_stats_scalar_equals_precompiled() {
+    for b in [Benchmark::Em3d, Benchmark::Mcf, Benchmark::Mst] {
+        let stats = scalar_vs_precompiled(b);
+        assert!(stats.main.total_misses > 0, "{b:?} should miss");
+    }
+}
+
+/// `reset()` must restore a state indistinguishable from a fresh build:
+/// run A, then B, then reset and re-run A — the two A runs must agree
+/// bit-for-bit.
+#[test]
+fn reset_roundtrip_is_identity() {
+    let cfg = CacheConfig::scaled_default();
+    let run = |mem: &mut MemorySystem, b: Benchmark| -> MemStats {
+        let mut t = 0u64;
+        for (_, r) in Workload::tiny(b).trace().tagged_refs() {
+            t = mem.demand_access(Entity::Main, *r, t).complete_at;
+        }
+        let stats = mem.finish_stats();
+        mem.reset();
+        stats
+    };
+    let mut mem = MemorySystem::new(cfg);
+    let first = run(&mut mem, Benchmark::Em3d);
+    let _other = run(&mut mem, Benchmark::Mcf);
+    let again = run(&mut mem, Benchmark::Em3d);
+    assert_eq!(first, again, "reset must erase all cross-run state");
+}

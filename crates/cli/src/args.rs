@@ -5,6 +5,9 @@ use sp_cachesim::{CacheConfig, CacheGeometry};
 use sp_trace::HotLoopTrace;
 use sp_workloads::Candidate;
 
+/// Flags that may appear without a value (`spt bench --smoke`).
+const BOOLEAN_FLAGS: [&str; 1] = ["smoke"];
+
 /// Parsed command line: subcommand, positional args, `--key value` flags.
 #[derive(Debug, Clone)]
 pub struct Args {
@@ -22,15 +25,30 @@ impl Args {
             return Err(format!("expected a subcommand, got flag {command}"));
         }
         let mut flags = Vec::new();
+        let mut it = it.peekable();
         while let Some(a) = it.next() {
             let key = a
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got {a}"))?
                 .to_string();
+            // Boolean switches may stand alone; everything else is
+            // strict `--key value`.
+            if BOOLEAN_FLAGS.contains(&key.as_str())
+                && it.peek().is_none_or(|next| next.starts_with("--"))
+            {
+                flags.push((key, "on".to_string()));
+                continue;
+            }
             let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
             flags.push((key, value));
         }
         Ok(Args { command, flags })
+    }
+
+    /// True when the boolean switch `--key` was given (bare or as
+    /// `--key on`).
+    pub fn switch(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("on") | Some("true") | Some("1"))
     }
 
     /// The raw value of `--key`, if given.
@@ -149,6 +167,18 @@ mod tests {
         assert!(args("--flag v").is_err());
         assert!(args("cmd --dangling").is_err());
         assert!(args("cmd positional").is_err());
+    }
+
+    #[test]
+    fn boolean_switches_stand_alone() {
+        let a = args("bench --smoke").unwrap();
+        assert!(a.switch("smoke"));
+        let a = args("bench --smoke --out f.json").unwrap();
+        assert!(a.switch("smoke"));
+        assert_eq!(a.get("out"), Some("f.json"));
+        let a = args("bench --smoke off").unwrap();
+        assert!(!a.switch("smoke"));
+        assert!(!args("bench").unwrap().switch("smoke"));
     }
 
     #[test]

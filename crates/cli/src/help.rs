@@ -3,7 +3,7 @@
 //! usage, so flag changes must update the fixture deliberately.
 
 /// Every `spt` subcommand, in the order the top-level usage lists them.
-pub const COMMANDS: [&str; 10] = [
+pub const COMMANDS: [&str; 11] = [
     "affinity",
     "sweep",
     "delinquent",
@@ -12,6 +12,7 @@ pub const COMMANDS: [&str; 10] = [
     "adaptive",
     "selection",
     "dump",
+    "bench",
     "serve",
     "loadgen",
 ];
@@ -92,6 +93,21 @@ pub fn command_help(cmd: &str) -> Option<String> {
              FLAGS:\n  \
              --out FILE               destination path (required)\n",
         ),
+        "bench" => (
+            "spt bench [flags]",
+            "Run the pinned cachesim benchmark suite (synthetic set-hammer,\n\
+             fig2 EM3D test-scale sweep, fig5 MCF test-scale sweep) and\n\
+             print median ns/ref, refs/sec, wall time, and simulator\n\
+             builds per run. The suite is the repository's tracked\n\
+             baseline: `--out` writes BENCH_cachesim.json, `--check`\n\
+             compares refs/sec against a committed baseline file.\n\
+             \n\
+             FLAGS:\n  \
+             --smoke                  fewer repetitions (same workloads)\n  \
+             --out FILE               write BENCH_cachesim.json here\n  \
+             --check FILE             fail on refs/sec regression vs FILE\n  \
+             --tolerance F            allowed fraction (default 0.2)\n",
+        ),
         "serve" => (
             "spt serve [flags]",
             "Run the sp-serve simulation daemon: accepts sweep / point /\n\
@@ -125,7 +141,7 @@ pub fn command_help(cmd: &str) -> Option<String> {
         _ => return None,
     };
     let common = match cmd {
-        "serve" | "loadgen" | "selection" => "",
+        "serve" | "loadgen" | "selection" | "bench" => "",
         _ => COMMON,
     };
     Some(format!("USAGE:\n  {synopsis}\n\n{body}{common}"))

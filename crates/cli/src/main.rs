@@ -9,6 +9,7 @@
 //! spt adaptive   [--bench B] [--start D] [--epoch N] [--bounded on|off]
 //! spt selection
 //! spt dump       [--bench B] [--size S] --out trace.spt
+//! spt bench      [--smoke] [--out F] [--check BASELINE] [--tolerance F]
 //! ```
 //!
 //! Every analysis command also accepts `--trace FILE` to replay a trace
@@ -77,6 +78,7 @@ COMMANDS:
   adaptive     run the FDP-style dynamic distance controller
   selection    benchmark screen by L2-miss cycle share (paper SIV.B)
   dump         record a workload's hot-loop trace to a file (--out F)
+  bench        run the pinned cachesim benchmark suite (BENCH_cachesim.json)
   serve        run the simulation service daemon (NDJSON over TCP)
   loadgen      replay a seeded request mix against a running daemon
 
@@ -100,6 +102,7 @@ fn run(a: Args) -> Result<(), String> {
         "adaptive" => adaptive(&a),
         "selection" => selection_cmd(&a),
         "dump" => dump(&a),
+        "bench" => bench(&a),
         "serve" => serve_cmd::serve(&a),
         "loadgen" => serve_cmd::loadgen(&a),
         other => Err(format!(
@@ -325,6 +328,32 @@ fn dump(a: &Args) -> Result<(), String> {
 
 fn sp_prefetch_save(t: &sp_trace::HotLoopTrace, path: &std::path::Path) -> Result<(), String> {
     sp_trace::save_trace(t, path).map_err(|e| e.to_string())
+}
+
+fn bench(a: &Args) -> Result<(), String> {
+    let smoke = a.switch("smoke");
+    let entries = sp_bench::run_baseline(smoke);
+    print!("{}", sp_bench::render_entries(&entries));
+    if let Some(out) = a.get("out") {
+        std::fs::write(out, sp_bench::bench_json(&entries, smoke))
+            .map_err(|e| format!("--out {out}: {e}"))?;
+        println!("(wrote {out})");
+    }
+    if let Some(baseline_path) = a.get("check") {
+        let tolerance: f64 = a.get_or("tolerance", 0.2)?;
+        match std::fs::read_to_string(baseline_path) {
+            Err(e) => println!("(no baseline at {baseline_path}: {e}; skipping check)"),
+            Ok(json) => {
+                let lines = sp_bench::check_against(&json, &entries, tolerance)
+                    .map_err(|e| format!("bench check vs {baseline_path}: {e}"))?;
+                for line in lines {
+                    println!("{line}");
+                }
+                println!("(within {:.0}% of {baseline_path})", tolerance * 100.0);
+            }
+        }
+    }
+    Ok(())
 }
 
 fn selection_cmd(a: &Args) -> Result<(), String> {

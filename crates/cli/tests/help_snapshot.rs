@@ -14,7 +14,7 @@ use std::process::Command;
 /// Must match `help::COMMANDS` in the binary (asserted indirectly: a
 /// command missing here would leave its page out of the fixture, and a
 /// page for an unknown command exits non-zero below).
-const COMMANDS: [&str; 10] = [
+const COMMANDS: [&str; 11] = [
     "affinity",
     "sweep",
     "delinquent",
@@ -23,6 +23,7 @@ const COMMANDS: [&str; 10] = [
     "adaptive",
     "selection",
     "dump",
+    "bench",
     "serve",
     "loadgen",
 ];

@@ -2,12 +2,15 @@
 //! 4–6, and the bound-driven distance recommendation.
 
 use crate::affinity::{original_set_affinity, SetAffinityReport};
-use crate::engine::{run_original_passes, run_sp_with, EngineOptions, RunResult};
+use crate::engine::{
+    compile_trace, run_original_passes_compiled, run_sp_with_compiled, EngineOptions, RunResult,
+};
 use crate::params::SpParams;
 use crate::pollution::{BehaviorChange, PollutionSummary};
 use sp_cachesim::CacheConfig;
 use sp_runner::{run_jobs, Job, RunnerReport};
-use sp_trace::HotLoopTrace;
+use sp_trace::{CompiledTrace, GeometryMismatch, HotLoopTrace};
+use std::sync::Arc;
 
 /// One point of a prefetch-distance sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,14 +107,36 @@ pub fn sweep_distances_jobs_with(
     opts: EngineOptions,
     jobs: usize,
 ) -> (Sweep, RunnerReport) {
-    let mut grid: Vec<Job<'_, RunResult>> = Vec::with_capacity(distances.len() + 1);
+    let ct = Arc::new(compile_trace(trace, &cache_cfg));
+    sweep_compiled_jobs_with(&ct, cache_cfg, rp, distances, opts, jobs)
+        .expect("compiled for this geometry")
+}
+
+/// [`sweep_distances_jobs_with`] over an already-compiled trace — the
+/// form long-lived services use, compiling once per `(trace, geometry)`
+/// and sweeping many times. All grid points share the `Arc`'d
+/// projections; each worker thread reuses one parked simulator across
+/// the grid points it claims. Errors if `ct` was compiled for a
+/// different address mapping than `cache_cfg`'s.
+pub fn sweep_compiled_jobs_with(
+    ct: &Arc<CompiledTrace>,
+    cache_cfg: CacheConfig,
+    rp: f64,
+    distances: &[u32],
+    opts: EngineOptions,
+    jobs: usize,
+) -> Result<(Sweep, RunnerReport), GeometryMismatch> {
+    ct.ensure_geometry(cache_cfg.trace_geometry())?;
+    let mut grid: Vec<Job<'static, RunResult>> = Vec::with_capacity(distances.len() + 1);
+    let base_ct = Arc::clone(ct);
     grid.push(Box::new(move || {
-        run_original_passes(trace, cache_cfg, opts.passes)
+        run_original_passes_compiled(&base_ct, cache_cfg, opts.passes).expect("geometry checked")
     }));
     for &d in distances {
         let params = SpParams::from_distance_rp(d, rp);
+        let point_ct = Arc::clone(ct);
         grid.push(Box::new(move || {
-            run_sp_with(trace, cache_cfg, params, opts)
+            run_sp_with_compiled(&point_ct, cache_cfg, params, opts).expect("geometry checked")
         }));
     }
     let (mut results, report) = run_jobs(grid, jobs);
@@ -134,7 +159,7 @@ pub fn sweep_distances_jobs_with(
             run,
         })
         .collect();
-    (Sweep { baseline, points }, report)
+    Ok((Sweep { baseline, points }, report))
 }
 
 /// The full distance-control pipeline of the paper:
@@ -258,6 +283,25 @@ mod tests {
         let (multi, _) = sweep_distances_jobs_with(&t, cfg(), 0.5, &[2, 8], opts, 1);
         assert_eq!(multi.points.len(), 2);
         assert!(multi.baseline.runtime > plain.baseline.runtime);
+    }
+
+    #[test]
+    fn compiled_sweep_matches_and_rejects_wrong_geometry() {
+        let t = synth::random(300, 3, 0, 1 << 20, 23, 2);
+        let c = cfg();
+        let ct = std::sync::Arc::new(crate::engine::compile_trace(&t, &c));
+        let plain = sweep_distances(&t, c, 0.5, &[2, 8]);
+        let (compiled, rep) =
+            sweep_compiled_jobs_with(&ct, c, 0.5, &[2, 8], EngineOptions::default(), 1).unwrap();
+        assert_eq!(plain, compiled);
+        assert_eq!(rep.jobs, 3);
+        let other = CacheConfig {
+            l2: CacheGeometry::new(32 * 1024, 4, 64),
+            ..c
+        };
+        let err = sweep_compiled_jobs_with(&ct, other, 0.5, &[2], EngineOptions::default(), 1)
+            .unwrap_err();
+        assert_eq!(err.requested, other.trace_geometry());
     }
 
     #[test]

@@ -26,7 +26,42 @@
 use crate::params::SpParams;
 use crate::skip::HelperStep;
 use sp_cachesim::{CacheConfig, Cycle, Entity, MemStats, MemorySystem};
-use sp_trace::{AccessKind, HotLoopTrace};
+use sp_trace::{AccessKind, CompiledTrace, GeometryMismatch, HotLoopTrace};
+use std::cell::RefCell;
+
+thread_local! {
+    /// One parked simulator per thread, tagged with the configuration it
+    /// was built for. Replays acquire it (resetting in place), run, and
+    /// park it again — so a sweep's grid points, a multi-request service
+    /// worker, or a bench loop reuse one allocation instead of rebuilding
+    /// the whole hierarchy per run. The take/put protocol keeps the
+    /// `RefCell` borrow scoped to the swap, never across a simulation.
+    static PARKED_SIM: RefCell<Option<(CacheConfig, MemorySystem)>> = const { RefCell::new(None) };
+}
+
+/// A simulator for `cfg`: the parked one reset in place when its
+/// configuration matches, a fresh build otherwise.
+fn acquire_sim(cfg: CacheConfig) -> MemorySystem {
+    match PARKED_SIM.with(|p| p.borrow_mut().take()) {
+        Some((parked_cfg, mut sim)) if parked_cfg == cfg => {
+            sim.reset();
+            sim
+        }
+        _ => MemorySystem::new(cfg),
+    }
+}
+
+/// Park `sim` for the next [`acquire_sim`] on this thread.
+fn release_sim(cfg: CacheConfig, sim: MemorySystem) {
+    PARKED_SIM.with(|p| *p.borrow_mut() = Some((cfg, sim)));
+}
+
+/// Compile `trace` for the address mapping of `cache_cfg` — the
+/// projections every replay of this (trace, geometry) pair shares. Wrap
+/// the result in an `Arc` to fan it out across sweep grid points.
+pub fn compile_trace(trace: &HotLoopTrace, cache_cfg: &CacheConfig) -> CompiledTrace {
+    CompiledTrace::compile(trace, cache_cfg.trace_geometry())
+}
 
 /// Result of one simulated run.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,26 +128,42 @@ pub fn run_original_passes(
     cache_cfg: CacheConfig,
     passes: usize,
 ) -> RunResult {
+    let ct = compile_trace(trace, &cache_cfg);
+    run_original_passes_compiled(&ct, cache_cfg, passes).expect("compiled for this geometry")
+}
+
+/// [`run_original_passes`] over an already-compiled trace: every pass
+/// replays the precomputed projections, and the per-thread simulator is
+/// reused. Errors (instead of simulating garbage) if `ct` was compiled
+/// for a different address mapping than `cache_cfg`'s.
+pub fn run_original_passes_compiled(
+    ct: &CompiledTrace,
+    cache_cfg: CacheConfig,
+    passes: usize,
+) -> Result<RunResult, GeometryMismatch> {
     assert!(passes > 0, "need at least one pass");
-    let mut mem = MemorySystem::new(cache_cfg);
+    ct.ensure_geometry(cache_cfg.trace_geometry())?;
+    let mut mem = acquire_sim(cache_cfg);
     let mut clock: Cycle = 0;
     for _ in 0..passes {
-        for it in &trace.iters {
-            for r in it.refs() {
-                let res = mem.demand_access(Entity::Main, *r, clock);
+        for it in 0..ct.outer_iters() {
+            for i in ct.iter_refs(it) {
+                let res = mem.demand_access_pre(Entity::Main, &ct.get(i), clock);
                 clock = res.complete_at;
             }
-            clock += it.compute_cycles;
+            clock += ct.compute_cycles(it);
         }
     }
-    RunResult {
+    let stats = mem.finish_stats();
+    release_sim(cache_cfg, mem);
+    Ok(RunResult {
         runtime: clock,
         helper_runtime: 0,
-        stats: mem.finish(),
-        outer_iters: trace.iters.len() * passes,
+        stats,
+        outer_iters: ct.outer_iters() * passes,
         helper_waits: 0,
         helper_jumps: 0,
-    }
+    })
 }
 
 /// Per-thread replay cursor.
@@ -187,6 +238,17 @@ pub fn run_sp_with(
     run_scheduled(trace, cache_cfg, &mut schedule, opts)
 }
 
+/// [`run_sp_with`] over an already-compiled trace.
+pub fn run_sp_with_compiled(
+    ct: &CompiledTrace,
+    cache_cfg: CacheConfig,
+    params: SpParams,
+    opts: EngineOptions,
+) -> Result<RunResult, GeometryMismatch> {
+    let mut schedule = StaticSchedule::new(params);
+    run_scheduled_compiled(ct, cache_cfg, &mut schedule, opts)
+}
+
 /// The generic two-thread co-simulation loop over any
 /// [`HelperSchedule`]. [`run_sp_with`] instantiates it with the static
 /// plan; `sp_core::adaptive` with a feedback-driven one.
@@ -196,11 +258,24 @@ pub fn run_scheduled(
     schedule: &mut dyn HelperSchedule,
     opts: EngineOptions,
 ) -> RunResult {
+    let ct = compile_trace(trace, &cache_cfg);
+    run_scheduled_compiled(&ct, cache_cfg, schedule, opts).expect("compiled for this geometry")
+}
+
+/// [`run_scheduled`] over an already-compiled trace: both threads replay
+/// the precomputed projections, and the per-thread simulator is reused.
+pub fn run_scheduled_compiled(
+    ct: &CompiledTrace,
+    cache_cfg: CacheConfig,
+    schedule: &mut dyn HelperSchedule,
+    opts: EngineOptions,
+) -> Result<RunResult, GeometryMismatch> {
     assert!(opts.passes > 0, "need at least one pass");
+    ct.ensure_geometry(cache_cfg.trace_geometry())?;
     // Virtual iteration space: `passes` back-to-back executions of the
     // hot loop; iteration v executes trace iteration v % len.
-    let n = trace.iters.len() * opts.passes;
-    let mut mem = MemorySystem::new(cache_cfg);
+    let n = ct.outer_iters() * opts.passes;
+    let mut mem = acquire_sim(cache_cfg);
 
     let mut main = Cursor {
         iter: 0,
@@ -248,18 +323,10 @@ pub fn run_scheduled(
         let run_helper = !helper.done && !helper_blocked && helper.clock <= main.clock;
         if run_helper {
             let step = schedule.step(helper.iter);
-            step_helper(
-                &mut helper,
-                &mut mem,
-                trace,
-                step,
-                n,
-                &mut helper_finish,
-                opts,
-            );
+            step_helper(&mut helper, &mut mem, ct, step, n, &mut helper_finish, opts);
         } else {
             let before = main.iter;
-            step_main(&mut main, &mut mem, trace, n);
+            step_main(&mut main, &mut mem, ct, n);
             if main.iter != before {
                 schedule.on_main_iter(before, &mem, main.clock);
             }
@@ -269,33 +336,31 @@ pub fn run_scheduled(
         helper_finish = helper.clock;
     }
 
-    RunResult {
+    let stats = mem.finish_stats();
+    release_sim(cache_cfg, mem);
+    Ok(RunResult {
         runtime: main.clock,
         helper_runtime: helper_finish,
-        stats: mem.finish(),
+        stats,
         outer_iters: n,
         helper_waits,
         helper_jumps,
-    }
+    })
 }
 
 /// Execute the main thread's next access; advances its clock, including
 /// the iteration's compute cycles when the iteration ends.
-fn step_main(c: &mut Cursor, mem: &mut MemorySystem, trace: &HotLoopTrace, n: usize) {
-    let it = &trace.iters[c.iter % trace.iters.len()];
-    let total = it.len();
+fn step_main(c: &mut Cursor, mem: &mut MemorySystem, ct: &CompiledTrace, n: usize) {
+    let it = c.iter % ct.outer_iters();
+    let refs = ct.iter_refs(it);
+    let total = refs.len();
     if c.ref_idx < total {
-        let r = if c.ref_idx < it.backbone.len() {
-            it.backbone[c.ref_idx]
-        } else {
-            it.inner[c.ref_idx - it.backbone.len()]
-        };
-        let res = mem.demand_access(Entity::Main, r, c.clock);
+        let res = mem.demand_access_pre(Entity::Main, &ct.get(refs.start + c.ref_idx), c.clock);
         c.clock = res.complete_at;
         c.ref_idx += 1;
     }
     if c.ref_idx >= total {
-        c.clock += it.compute_cycles;
+        c.clock += ct.compute_cycles(it);
         c.iter += 1;
         c.ref_idx = 0;
         if c.iter >= n {
@@ -308,21 +373,23 @@ fn step_main(c: &mut Cursor, mem: &mut MemorySystem, trace: &HotLoopTrace, n: us
 fn step_helper(
     c: &mut Cursor,
     mem: &mut MemorySystem,
-    trace: &HotLoopTrace,
+    ct: &CompiledTrace,
     step: HelperStep,
     n: usize,
     finish: &mut Cycle,
     opts: EngineOptions,
 ) {
-    let it = &trace.iters[c.iter % trace.iters.len()];
+    let it = c.iter % ct.outer_iters();
     let prefetching = step == HelperStep::Prefetch;
     // The helper's work list for this iteration: backbone (blocking loads
     // whose fills are still speculative — everything the helper brings in
     // is a prefetch from the main thread's point of view), then — on
     // pre-executed iterations — the inner loads.
-    let backbone_len = it.backbone.len();
+    let backbone = ct.iter_backbone(it);
+    let inner = ct.iter_inner(it);
+    let backbone_len = backbone.len();
     let total = if prefetching {
-        backbone_len + it.inner.len()
+        backbone_len + inner.len()
     } else {
         backbone_len
     };
@@ -333,17 +400,19 @@ fn step_helper(
             break;
         }
         if idx < backbone_len {
-            let res = mem.helper_load(it.backbone[idx], c.clock);
+            let res = mem.helper_load_pre(&ct.get(backbone.start + idx), c.clock);
             c.clock = res.complete_at;
             idx += 1;
             break;
         }
-        let r = it.inner[idx - backbone_len];
-        if r.kind == AccessKind::Load {
+        let cr = ct.get(inner.start + (idx - backbone_len));
+        if cr.kind == AccessKind::Load {
             let res = if opts.blocking_helper {
-                mem.helper_load(r, c.clock)
+                mem.helper_load_pre(&cr, c.clock)
             } else {
-                mem.prefetch_access(r.as_prefetch(), c.clock)
+                // The projections are kind-independent, so the compiled
+                // record stands in for `mem_ref().as_prefetch()` directly.
+                mem.prefetch_access_pre(&cr, c.clock)
             };
             c.clock = res.complete_at;
             idx += 1;
@@ -541,6 +610,67 @@ mod tests {
     fn zero_passes_rejected() {
         let t = synth::sequential(10, 1, 0, 64, 0);
         let _ = run_original_passes(&t, cfg(), 0);
+    }
+
+    #[test]
+    fn compiled_runs_match_trace_runs_exactly() {
+        let t = synth::random(250, 3, 0, 1 << 20, 31, 2);
+        let c = cfg();
+        let ct = compile_trace(&t, &c);
+        assert_eq!(
+            run_original_passes(&t, c, 2),
+            run_original_passes_compiled(&ct, c, 2).unwrap()
+        );
+        let params = SpParams::new(4, 4);
+        assert_eq!(
+            run_sp(&t, c, params),
+            run_sp_with_compiled(&ct, c, params, EngineOptions::default()).unwrap()
+        );
+        let opts = EngineOptions {
+            blocking_helper: false,
+            ..EngineOptions::default()
+        };
+        assert_eq!(
+            run_sp_with(&t, c, params, opts),
+            run_sp_with_compiled(&ct, c, params, opts).unwrap()
+        );
+    }
+
+    #[test]
+    fn compiled_run_rejects_mismatched_geometry() {
+        let t = synth::sequential(50, 1, 0, 64, 0);
+        let ct = compile_trace(&t, &cfg());
+        let other = CacheConfig {
+            l2: sp_cachesim::CacheGeometry::new(32 * 1024, 4, 64),
+            ..cfg()
+        };
+        let err = run_original_passes_compiled(&ct, other, 1).unwrap_err();
+        assert_eq!(err.compiled_for, cfg().trace_geometry());
+        assert_eq!(err.requested, other.trace_geometry());
+        assert!(
+            run_sp_with_compiled(&ct, other, SpParams::new(2, 2), EngineOptions::default())
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn same_thread_reruns_through_the_parked_simulator_are_identical() {
+        // The build counter is process-wide, so concurrent tests make an
+        // exact count assertion racy here; the single-test
+        // `tests/sim_reuse.rs` pins the count. This test pins what reuse
+        // must preserve: reruns and interleaved configs stay bit-identical.
+        let t = synth::random(80, 2, 0, 1 << 18, 13, 1);
+        let c = cfg();
+        let other = CacheConfig {
+            l2: sp_cachesim::CacheGeometry::new(32 * 1024, 4, 64),
+            ..cfg()
+        };
+        let first = run_original(&t, c);
+        let first_other = run_original(&t, other);
+        for _ in 0..3 {
+            assert_eq!(run_original(&t, c), first);
+            assert_eq!(run_original(&t, other), first_other, "config swap");
+        }
     }
 
     #[test]

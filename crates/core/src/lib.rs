@@ -58,11 +58,12 @@ pub use affinity::{
 };
 pub use calr::{estimate_calr, select_params, select_rp, CalrProfile};
 pub use distance::{
-    controlled_distance, recommend_distance, sweep_distances, sweep_distances_jobs,
-    sweep_distances_jobs_with, DistanceRecommendation, Sweep, SweepPoint,
+    controlled_distance, recommend_distance, sweep_compiled_jobs_with, sweep_distances,
+    sweep_distances_jobs, sweep_distances_jobs_with, DistanceRecommendation, Sweep, SweepPoint,
 };
 pub use engine::{
-    run_original, run_original_passes, run_scheduled, run_sp, run_sp_with, EngineOptions,
+    compile_trace, run_original, run_original_passes, run_original_passes_compiled, run_scheduled,
+    run_scheduled_compiled, run_sp, run_sp_with, run_sp_with_compiled, EngineOptions,
     HelperSchedule, RunResult, StaticSchedule,
 };
 pub use params::SpParams;

@@ -4,14 +4,18 @@
 //! The engine is shared by every pool worker. Workload traces are
 //! memoized per `(benchmark, scale)` — trace synthesis is deterministic,
 //! so regenerating one per request would only burn time; the handful of
-//! distinct traces is far smaller than the result cache.
+//! distinct traces is far smaller than the result cache. Compiled traces
+//! (the per-geometry address projections sweeps replay) are memoized one
+//! level further, per `(benchmark, scale, trace digest, geometry)`, so
+//! repeated requests against one cache configuration pay for projection
+//! exactly once.
 
 use crate::json::Json;
 use crate::protocol::{scale_name, Command, SimSpec};
 use sp_bench::{table2_row, Scale};
-use sp_core::{recommend_distance, sweep_distances_jobs_with, Sweep};
+use sp_core::{compile_trace, recommend_distance, sweep_compiled_jobs_with, Sweep};
 use sp_native::sync::Mutex;
-use sp_trace::HotLoopTrace;
+use sp_trace::{CompiledTrace, HotLoopTrace, TraceGeometry};
 use sp_workloads::Benchmark;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -38,6 +42,7 @@ fn scale_index(s: Scale) -> u8 {
 #[derive(Default)]
 pub struct SimEngine {
     traces: Mutex<HashMap<(u8, u8), Arc<HotLoopTrace>>>,
+    compiled: Mutex<HashMap<(u64, TraceGeometry), Arc<CompiledTrace>>>,
 }
 
 impl SimEngine {
@@ -59,6 +64,27 @@ impl SimEngine {
             .lock()
             .entry(key)
             .or_insert_with(|| Arc::clone(&t))
+            .clone()
+    }
+
+    /// The compiled form of `trace` for `cfg`'s geometry, memoized by
+    /// `(trace digest, geometry)` — content-addressed, so two scales (or
+    /// future recorded traces) never collide.
+    fn compiled(
+        &self,
+        trace: &Arc<HotLoopTrace>,
+        cfg: &sp_cachesim::CacheConfig,
+    ) -> Arc<CompiledTrace> {
+        let key = (sp_trace::trace_digest(trace), cfg.trace_geometry());
+        if let Some(ct) = self.compiled.lock().get(&key) {
+            return Arc::clone(ct);
+        }
+        // Compile outside the lock, same rationale as `trace`.
+        let ct = Arc::new(compile_trace(trace, cfg));
+        self.compiled
+            .lock()
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&ct))
             .clone()
     }
 
@@ -92,14 +118,16 @@ impl SimEngine {
 
     fn run_sweep(&self, spec: &SimSpec, distances: &[u32]) -> String {
         let trace = self.trace(spec.bench, spec.scale);
-        let (sweep, _report) = sweep_distances_jobs_with(
-            &trace,
+        let compiled = self.compiled(&trace, &spec.cache.config);
+        let (sweep, _report) = sweep_compiled_jobs_with(
+            &compiled,
             spec.cache.config,
             spec.rp,
             distances,
             spec.opts,
             1, // requests parallelize across the pool, not within a job
-        );
+        )
+        .expect("compiled for this request's geometry");
         let bound = recommend_distance(&trace, &spec.cache.config).max_distance;
         sweep_json(spec, bound, &sweep).encode()
     }
@@ -183,6 +211,11 @@ mod tests {
         let second = engine.execute(&cmd).unwrap();
         assert_eq!(first, second, "same command, byte-identical payloads");
         assert_eq!(engine.traces.lock().len(), 1, "trace memoized once");
+        assert_eq!(
+            engine.compiled.lock().len(),
+            1,
+            "compiled trace memoized once per (digest, geometry)"
+        );
         let v = Json::parse(&first).unwrap();
         assert_eq!(v.get("bench").and_then(Json::as_str), Some("EM3D"));
         let points = v.get("points").and_then(Json::as_arr).unwrap();

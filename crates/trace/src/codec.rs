@@ -237,6 +237,34 @@ pub fn read_trace(r: &mut impl Read) -> io::Result<HotLoopTrace> {
     })
 }
 
+/// FNV-1a hasher exposed as an `io::Write` sink, so [`digest`] can hash
+/// the canonical serialized form without materializing it.
+struct FnvWriter(u64);
+
+impl Write for FnvWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        for &b in buf {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Content digest of a trace: FNV-1a 64 over its canonical (version 1)
+/// serialization. Two traces share a digest exactly when their encoded
+/// bytes match, so the digest survives a [`save`]/[`load`] round trip
+/// and is a stable identity key for compiled-trace and result caches.
+pub fn digest(trace: &HotLoopTrace) -> u64 {
+    let mut w = FnvWriter(0xcbf2_9ce4_8422_2325);
+    write_trace(trace, &mut w).expect("hashing cannot fail");
+    w.0
+}
+
 /// Write `trace` to a file (buffered).
 pub fn save(trace: &HotLoopTrace, path: &std::path::Path) -> io::Result<()> {
     let mut w = io::BufWriter::new(std::fs::File::create(path)?);

@@ -22,12 +22,14 @@
 //! traces in a compact delta-encoded binary format for record/replay.
 
 pub mod codec;
+pub mod compiled;
 pub mod record;
 pub mod rng;
 pub mod stream;
 pub mod synth;
 
-pub use codec::{load as load_trace, save as save_trace};
+pub use codec::{digest as trace_digest, load as load_trace, save as save_trace};
+pub use compiled::{CompiledRef, CompiledTrace, GeometryMismatch, LevelGeometry, TraceGeometry};
 pub use record::{AccessKind, MemRef, SiteId, VAddr};
 pub use rng::SmallRng;
 pub use stream::{HotLoopTrace, IterRecord, TraceStats};

@@ -1,0 +1,32 @@
+//! Pins the allocation-reuse contract: repeated jobs=1 sweeps must not
+//! rebuild the simulator. `sim_build_count` is a process-global, so this
+//! lives in its own integration binary — other tests in the same process
+//! would perturb the counter.
+
+use sp_cachesim::{sim_build_count, CacheConfig};
+use sp_core::sweep_distances_jobs;
+use sp_workloads::{Benchmark, Workload};
+
+#[test]
+fn jobs1_sweeps_reuse_one_parked_simulator() {
+    let cfg = CacheConfig::scaled_default();
+    let trace = Workload::tiny(Benchmark::Em3d).trace();
+    let distances = [2u32, 8, 32];
+
+    // First sweep may build the thread-local parked simulator.
+    sweep_distances_jobs(&trace, cfg, 0.5, &distances, 1);
+    let after_first = sim_build_count();
+    assert!(after_first >= 1, "first sweep should build a simulator");
+
+    // Every subsequent same-geometry sweep must reuse it — zero builds,
+    // regardless of distance grid or workload.
+    for b in [Benchmark::Em3d, Benchmark::Mcf, Benchmark::Mst] {
+        let t = Workload::tiny(b).trace();
+        sweep_distances_jobs(&t, cfg, 0.5, &[4, 16, 64, 256], 1);
+    }
+    assert_eq!(
+        sim_build_count(),
+        after_first,
+        "jobs=1 sweeps must reuse the parked simulator instead of rebuilding"
+    );
+}
