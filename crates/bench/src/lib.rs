@@ -30,6 +30,6 @@ pub use experiments::{
 };
 pub use plot::{line_chart, save_svg, ChartConfig, Series};
 pub use report::{
-    csv_string, render_runner_summary, render_table, sweep_rows, table2_rows, write_csv,
-    SWEEP_HEADER, TABLE2_HEADER,
+    csv_string, render_runner_summary, render_table, sweep_rows, table2_rows, write_atomic,
+    write_csv, SWEEP_HEADER, TABLE2_HEADER,
 };

@@ -73,11 +73,12 @@ pub fn csv_string(header: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
-/// Write rows as CSV ([`csv_string`]), atomically: the bytes go to a
-/// temp file beside the target which is then renamed over it, so a
-/// crashed or interrupted run can never leave a truncated artifact.
-/// Missing parent directories are created.
-pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
+/// Write `contents` to `path` atomically: the bytes go to a temp file
+/// beside the target which is then renamed over it, so a crashed or
+/// interrupted run can never leave a truncated artifact. Missing parent
+/// directories are created. Every exported artifact — sweep CSVs,
+/// `BENCH_cachesim.json`, event NDJSON streams — goes through here.
+pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir)?;
@@ -93,7 +94,7 @@ pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> std::io:
     ));
     let write = (|| {
         let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
-        f.write_all(csv_string(header, rows).as_bytes())?;
+        f.write_all(contents.as_bytes())?;
         f.flush()?;
         f.into_inner().map_err(|e| e.into_error())?.sync_all()?;
         std::fs::rename(&tmp, path)
@@ -102,6 +103,11 @@ pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> std::io:
         let _ = std::fs::remove_file(&tmp);
     }
     write
+}
+
+/// Write rows as CSV ([`csv_string`]) through [`write_atomic`].
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
+    write_atomic(path, &csv_string(header, rows))
 }
 
 /// The CSV/table header every distance-sweep artifact (Figure 2 and
@@ -276,6 +282,26 @@ mod tests {
         .unwrap();
         let s = std::fs::read_to_string(&path).unwrap();
         assert_eq!(s, "a,b\n\"x,y\",plain\n\"q\"\"q\",2\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_droppings() {
+        let dir = std::env::temp_dir().join("sp_bench_write_atomic_test");
+        let path = dir.join("events.ndjson");
+        write_atomic(&path, "{\"ev\":\"a\"}\n").unwrap();
+        write_atomic(&path, "{\"ev\":\"b\"}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ev\":\"b\"}\n");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains("tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        assert!(write_atomic(Path::new("/"), "x").is_err(), "no file name");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -24,11 +24,22 @@
 //! later misses on such a block (the standard lazy attribution used by
 //! pollution studies). Cases 2 and 3 — displacing a not-yet-used helper-
 //! or hardware-prefetched block — are decided at eviction time.
+//!
+//! # Observability
+//!
+//! The access paths are generic over an [`EventSink`] (see
+//! [`crate::events`]): the `*_ev` entry points take a sink and emit
+//! prefetch-lifecycle and eviction-attribution events at exactly the
+//! program points where the corresponding counters increment. The
+//! sink-free entry points delegate with [`NullSink`], whose
+//! `ENABLED = false` constant compiles the whole event layer out — the
+//! default path is bit- and speed-identical to a build without events.
 
 use crate::bus::Bus;
 use crate::cache::SetAssocCache;
 use crate::clock::Cycle;
 use crate::config::CacheConfig;
+use crate::events::{Event, EventSink, FillOrigin, NullSink, PfClass, PollutionCase};
 use crate::mshr::{InFlight, MshrFile};
 use crate::prefetcher::{DplPrefetcher, HwPrefetcher, StreamPrefetcher};
 use crate::stats::{prefetch_class, MemStats};
@@ -206,9 +217,19 @@ impl MemorySystem {
 
     /// Install `block` in the L2 on behalf of `filler`, with full
     /// eviction/pollution accounting. The single point through which every
-    /// L2 fill flows.
-    fn l2_install(&mut self, block: VAddr, filler: Entity, prefetched: bool, now: Cycle) {
-        if let Some(ev) = self.l2.fill(block, filler, prefetched) {
+    /// L2 fill flows. Every pollution-counter increment here has exactly
+    /// one matching event emission, so folding the stream reproduces the
+    /// aggregates.
+    fn l2_install<S: EventSink>(
+        &mut self,
+        block: VAddr,
+        filler: Entity,
+        prefetched: bool,
+        now: Cycle,
+        sink: &mut S,
+    ) {
+        let evicted = self.l2.fill(block, filler, prefetched);
+        if let Some(ev) = evicted {
             self.stats.l2_evictions += 1;
             if self.cfg.inclusion == crate::config::Inclusion::Inclusive {
                 // Back-invalidate the victim from every private L1.
@@ -226,10 +247,40 @@ impl MemorySystem {
             if ev.prefetched && !ev.used_since_fill {
                 // The victim was itself a never-used prefetch.
                 self.stats.pollution.dead_prefetches += 1;
+                if S::ENABLED {
+                    if let Some(class) = PfClass::of(ev.filler) {
+                        sink.emit(Event::PrefetchEvictedUnused {
+                            class,
+                            block: ev.block,
+                            set: self.cfg.l2.set_of(block) as u32,
+                            at: now,
+                        });
+                    }
+                }
                 if evictor_is_prefetch {
                     match ev.filler {
-                        Entity::Helper => self.stats.pollution.unused_helper_evictions += 1,
-                        e if e.is_hw() => self.stats.pollution.unused_hw_evictions += 1,
+                        Entity::Helper => {
+                            self.stats.pollution.unused_helper_evictions += 1;
+                            if S::ENABLED {
+                                sink.emit(Event::PollutionEviction {
+                                    case: PollutionCase::UnusedHelper,
+                                    block: ev.block,
+                                    set: self.cfg.l2.set_of(block) as u32,
+                                    at: now,
+                                });
+                            }
+                        }
+                        e if e.is_hw() => {
+                            self.stats.pollution.unused_hw_evictions += 1;
+                            if S::ENABLED {
+                                sink.emit(Event::PollutionEviction {
+                                    case: PollutionCase::UnusedHw,
+                                    block: ev.block,
+                                    set: self.cfg.l2.set_of(block) as u32,
+                                    at: now,
+                                });
+                            }
+                        }
                         _ => {}
                     }
                 }
@@ -246,6 +297,29 @@ impl MemorySystem {
             Entity::HwStream(_) => 2,
             Entity::HwDpl(_) => 3,
         }] += 1;
+        if S::ENABLED {
+            let set = self.cfg.l2.set_of(block) as u32;
+            // Victim origin mirrors what its own fill was charged as
+            // (the `prefetched` flag survives demand touches), so per-set
+            // occupancy-by-origin balances fill-for-fill.
+            let victim = evicted.map(|ev| FillOrigin::of(ev.filler, ev.prefetched));
+            sink.emit(Event::L2Fill {
+                origin: FillOrigin::of(filler, prefetched),
+                victim,
+                set,
+                at: now,
+            });
+            if prefetched {
+                if let Some(class) = PfClass::of(filler) {
+                    sink.emit(Event::PrefetchFilled {
+                        class,
+                        block,
+                        set,
+                        at: now,
+                    });
+                }
+            }
+        }
         // The block is resident again; a future miss on it is a fresh one.
         self.take_prefetch_victim(block);
     }
@@ -259,7 +333,7 @@ impl MemorySystem {
     }
 
     /// Drain every MSHR fill that has completed by `now` into the L2.
-    fn drain(&mut self, now: Cycle) {
+    fn drain<S: EventSink>(&mut self, now: Cycle, sink: &mut S) {
         // The overwhelmingly common case: nothing has completed yet.
         if self.mshr.none_ready(now) {
             return;
@@ -267,7 +341,7 @@ impl MemorySystem {
         // Pop in completion order — installing fills never adds MSHR
         // entries, so the loop drains exactly the entries ready at `now`.
         while let Some(e) = self.mshr.pop_earliest_ready(now) {
-            self.l2_install(e.block, e.requester, e.prefetch, e.ready_at.max(now));
+            self.l2_install(e.block, e.requester, e.prefetch, e.ready_at.max(now), sink);
             if e.store {
                 // A store was waiting on this fill: the line is dirty
                 // from birth (write-allocate).
@@ -308,7 +382,7 @@ impl MemorySystem {
     /// across calls, or if `mref.kind` is `Prefetch` (use
     /// [`prefetch_access`](Self::prefetch_access)).
     pub fn demand_access(&mut self, entity: Entity, mref: MemRef, now: Cycle) -> AccessResult {
-        self.access_pre(entity, &self.project(mref), now, false)
+        self.access_pre(entity, &self.project(mref), now, false, &mut NullSink)
     }
 
     /// A helper-thread *load of a delinquent reference*: a real, blocking
@@ -348,22 +422,54 @@ impl MemorySystem {
         cr: &CompiledRef,
         now: Cycle,
     ) -> AccessResult {
-        self.access_pre(entity, cr, now, false)
+        self.access_pre(entity, cr, now, false, &mut NullSink)
+    }
+
+    /// [`demand_access_pre`](Self::demand_access_pre) with an event sink
+    /// attached. With [`NullSink`] this monomorphizes to exactly the
+    /// sink-free path.
+    pub fn demand_access_pre_ev<S: EventSink>(
+        &mut self,
+        entity: Entity,
+        cr: &CompiledRef,
+        now: Cycle,
+        sink: &mut S,
+    ) -> AccessResult {
+        self.access_pre(entity, cr, now, false, sink)
     }
 
     /// [`helper_load`](Self::helper_load) with the projections already
     /// computed (compiled-trace replay).
     pub fn helper_load_pre(&mut self, cr: &CompiledRef, now: Cycle) -> AccessResult {
-        self.stats.prefetches_issued[0] += 1;
-        self.access_pre(Entity::Helper, cr, now, true)
+        self.helper_load_pre_ev(cr, now, &mut NullSink)
     }
 
-    fn access_pre(
+    /// [`helper_load_pre`](Self::helper_load_pre) with an event sink
+    /// attached.
+    pub fn helper_load_pre_ev<S: EventSink>(
+        &mut self,
+        cr: &CompiledRef,
+        now: Cycle,
+        sink: &mut S,
+    ) -> AccessResult {
+        self.stats.prefetches_issued[0] += 1;
+        if S::ENABLED {
+            sink.emit(Event::PrefetchIssued {
+                class: PfClass::Helper,
+                block: cr.block,
+                at: now,
+            });
+        }
+        self.access_pre(Entity::Helper, cr, now, true, sink)
+    }
+
+    fn access_pre<S: EventSink>(
         &mut self,
         entity: Entity,
         cr: &CompiledRef,
         now: Cycle,
         speculative: bool,
+        sink: &mut S,
     ) -> AccessResult {
         debug_assert!(cr.kind != AccessKind::Prefetch, "use prefetch_access");
         debug_assert!(now >= self.last_now, "accesses must arrive in time order");
@@ -377,7 +483,7 @@ impl MemorySystem {
             },
             "projections must match this system's geometry"
         );
-        self.drain(now);
+        self.drain(now, sink);
 
         let core = Self::core_of(entity);
         let is_main = entity == Entity::Main;
@@ -406,6 +512,16 @@ impl MemorySystem {
                 if let Some(cls) = prefetch_class(filler) {
                     self.stats.prefetches_useful[cls] += 1;
                 }
+                if S::ENABLED {
+                    if let Some(class) = PfClass::of(filler) {
+                        sink.emit(Event::PrefetchFirstUse {
+                            class,
+                            block,
+                            set: cr.l2_set,
+                            at: now,
+                        });
+                    }
+                }
             }
             // Install in the core's L1 (fill-on-L2-hit); a dirty L1
             // victim writes through to the L2 if still present there,
@@ -430,11 +546,31 @@ impl MemorySystem {
                 if let Some(cls) = prefetch_class(merged.requester) {
                     self.stats.prefetches_useful[cls] += 1;
                 }
+                // No PrefetchFilled precedes this FirstUse (the fill is
+                // still in flight): the summary fold classifies it late.
+                if S::ENABLED {
+                    if let Some(class) = PfClass::of(merged.requester) {
+                        sink.emit(Event::PrefetchFirstUse {
+                            class,
+                            block,
+                            set: cr.l2_set,
+                            at: now,
+                        });
+                    }
+                }
             }
             if is_main && self.take_prefetch_victim(block) {
                 // An in-flight refetch of a block a prefetch evicted
                 // earlier still re-pays (part of) the memory latency.
                 self.stats.pollution.reuse_evictions += 1;
+                if S::ENABLED {
+                    sink.emit(Event::PollutionEviction {
+                        case: PollutionCase::Reuse,
+                        block,
+                        set: cr.l2_set,
+                        at: now,
+                    });
+                }
             }
             (HitClass::PartialHit, merged.ready_at.max(t_l2 + lat.l2_hit))
         } else {
@@ -443,10 +579,18 @@ impl MemorySystem {
             while self.mshr.is_full() {
                 let next = self.mshr.earliest_ready().expect("full file has entries");
                 when = when.max(next);
-                self.drain(when);
+                self.drain(when, sink);
             }
             if is_main && self.take_prefetch_victim(block) {
                 self.stats.pollution.reuse_evictions += 1;
+                if S::ENABLED {
+                    sink.emit(Event::PollutionEviction {
+                        case: PollutionCase::Reuse,
+                        block,
+                        set: cr.l2_set,
+                        at: now,
+                    });
+                }
             }
             let ready = self.launch_fill(block, when, entity, speculative, is_store);
             (HitClass::TotalMiss, ready)
@@ -469,7 +613,7 @@ impl MemorySystem {
                 } else {
                     Entity::HwDpl(core as u8)
                 };
-                self.issue_prefetch_block(b, who, t_l2);
+                self.issue_prefetch_block(b, who, t_l2, sink);
             }
             cands.clear();
             self.hw_cands = cands;
@@ -487,10 +631,30 @@ impl MemorySystem {
     /// [`prefetch_access`](Self::prefetch_access) with the projections
     /// already computed (compiled-trace replay).
     pub fn prefetch_access_pre(&mut self, cr: &CompiledRef, now: Cycle) -> AccessResult {
+        self.prefetch_access_pre_ev(cr, now, &mut NullSink)
+    }
+
+    /// [`prefetch_access_pre`](Self::prefetch_access_pre) with an event
+    /// sink attached.
+    pub fn prefetch_access_pre_ev<S: EventSink>(
+        &mut self,
+        cr: &CompiledRef,
+        now: Cycle,
+        sink: &mut S,
+    ) -> AccessResult {
         debug_assert!(now >= self.last_now, "accesses must arrive in time order");
         self.last_now = now;
-        self.drain(now);
+        self.drain(now, sink);
         self.stats.prefetches_issued[0] += 1;
+        // Issued is emitted even when the prefetch is dropped (already
+        // cached, in flight, MSHR full) — mirroring `prefetches_issued`.
+        if S::ENABLED {
+            sink.emit(Event::PrefetchIssued {
+                class: PfClass::Helper,
+                block: cr.block,
+                at: now,
+            });
+        }
         self.issue_prefetch_pre(cr.block, cr.l2_set, cr.l2_tag, Entity::Helper, now);
         AccessResult {
             class: HitClass::L1Hit,
@@ -501,9 +665,24 @@ impl MemorySystem {
     /// Route a hardware-prefetcher candidate into the L2. Candidate
     /// blocks are computed at runtime, so their projections are too (two
     /// shifts — not worth precompiling).
-    fn issue_prefetch_block(&mut self, block: VAddr, who: Entity, now: Cycle) {
+    fn issue_prefetch_block<S: EventSink>(
+        &mut self,
+        block: VAddr,
+        who: Entity,
+        now: Cycle,
+        sink: &mut S,
+    ) {
         if let Some(cls) = prefetch_class(who) {
             self.stats.prefetches_issued[cls] += 1;
+        }
+        if S::ENABLED {
+            if let Some(class) = PfClass::of(who) {
+                sink.emit(Event::PrefetchIssued {
+                    class,
+                    block,
+                    at: now,
+                });
+            }
         }
         let set = self.cfg.l2.set_of(block) as u32;
         let tag = self.cfg.l2.tag_of(block);
@@ -544,8 +723,15 @@ impl MemorySystem {
     /// reused). The bus-occupancy snapshot is taken *before* the final
     /// drain, like [`finish`](Self::finish) always has.
     pub fn finish_stats(&mut self) -> MemStats {
+        self.finish_stats_ev(&mut NullSink)
+    }
+
+    /// [`finish_stats`](Self::finish_stats) with an event sink attached;
+    /// fills landing in this final drain carry `at = u64::MAX` (they
+    /// complete after the last access).
+    pub fn finish_stats_ev<S: EventSink>(&mut self, sink: &mut S) -> MemStats {
         self.stats.bus_busy_cycles = self.bus.busy_cycles();
-        self.drain(Cycle::MAX);
+        self.drain(Cycle::MAX, sink);
         self.stats.clone()
     }
 
@@ -864,6 +1050,94 @@ mod tests {
             t = a.complete_at + 1;
         }
         assert_eq!(scalar.finish(), pre.finish());
+    }
+
+    /// Drive a mixed main/helper workload with conflict misses through a
+    /// sink, returning the final stats and the sink.
+    fn eventful_run<S: crate::events::EventSink>(m: &mut MemorySystem, sink: &mut S) -> MemStats {
+        let mut t = 0;
+        for i in 0..60u64 {
+            let mref = load((i % 9) * 64 * 5);
+            let cr = m.project(mref);
+            let r = match i % 3 {
+                0 => m.demand_access_pre_ev(Entity::Main, &cr, t, sink),
+                1 => m.helper_load_pre_ev(&cr, t, sink),
+                _ => m.prefetch_access_pre_ev(&cr, t, sink),
+            };
+            t = r.complete_at + 1;
+        }
+        m.finish_stats_ev(sink)
+    }
+
+    #[test]
+    fn event_fold_matches_counters_and_sink_does_not_perturb_stats() {
+        let mut cfg = tiny_cfg();
+        cfg.hw_prefetchers = true;
+        let mut sink = crate::events::RingSink::new(0, 1600);
+        let observed = eventful_run(&mut MemorySystem::new(cfg), &mut sink);
+        let baseline = eventful_run(&mut MemorySystem::new(cfg), &mut crate::events::NullSink);
+        assert_eq!(observed, baseline, "attaching a sink must not change stats");
+
+        let s = &sink.summary;
+        assert_eq!(s.pollution_stats(), observed.pollution);
+        assert_eq!(s.issued, observed.prefetches_issued);
+        assert_eq!(s.first_uses, observed.prefetches_useful);
+        let fills: u64 = s
+            .per_set
+            .values()
+            .map(crate::events::SetPressure::total_fills)
+            .sum();
+        assert_eq!(fills, observed.l2_fills);
+
+        // Replaying the buffered stream reproduces the running fold.
+        let mut refold = crate::events::EventSummary::new(1600);
+        for ev in sink.events() {
+            refold.absorb(ev);
+        }
+        assert_eq!(&refold, s);
+        assert!(s.issued[0] > 0 && fills > 0, "workload must be eventful");
+    }
+
+    #[test]
+    fn case1_pollution_emits_reuse_eviction_event() {
+        let mut m = MemorySystem::new(tiny_cfg());
+        let mut sink = crate::events::RingSink::new(0, 1600);
+        let (a, b, c) = (0x0000, 0x1000, 0x2000);
+        let mut t = 0;
+        for addr in [a, b] {
+            let cr = m.project(load(addr));
+            t = m
+                .demand_access_pre_ev(Entity::Main, &cr, t, &mut sink)
+                .complete_at
+                + 1;
+        }
+        let cr = m.project(load(c));
+        m.prefetch_access_pre_ev(&cr, t, &mut sink);
+        t += m.config().latency.mem + m.config().latency.bus_service + 10;
+        let cr = m.project(load(a));
+        m.demand_access_pre_ev(Entity::Main, &cr, t, &mut sink);
+        let s = m.finish_stats_ev(&mut sink);
+        assert_eq!(s.pollution.reuse_evictions, 1);
+        let reuse_events: Vec<_> = sink
+            .events()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::PollutionEviction {
+                        case: PollutionCase::Reuse,
+                        ..
+                    }
+                )
+            })
+            .collect();
+        assert_eq!(reuse_events.len(), 1);
+        match reuse_events[0] {
+            Event::PollutionEviction { block, set, .. } => {
+                assert_eq!(*block, m.config().l2.block_of(a));
+                assert_eq!(*set, m.config().l2.set_of(a) as u32);
+            }
+            _ => unreachable!(),
+        }
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod bus;
 pub mod cache;
 pub mod clock;
 pub mod config;
+pub mod events;
 pub mod geometry;
 pub mod hierarchy;
 pub mod mshr;
@@ -44,6 +45,10 @@ pub use bus::Bus;
 pub use cache::SetAssocCache;
 pub use clock::{Cycle, LatencyConfig};
 pub use config::{CacheConfig, Inclusion};
+pub use events::{
+    default_early_threshold, Event, EventSink, EventSummary, FillOrigin, NullSink, PfClass,
+    PollutionCase, QuartileRow, RingSink, SetPressure, SummarySink, Timeliness,
+};
 pub use geometry::CacheGeometry;
 pub use hierarchy::{sim_build_count, AccessResult, Entity, HitClass, MemorySystem};
 pub use mshr::MshrFile;

@@ -5,8 +5,9 @@ use sp_cachesim::{CacheConfig, CacheGeometry};
 use sp_trace::HotLoopTrace;
 use sp_workloads::Candidate;
 
-/// Flags that may appear without a value (`spt bench --smoke`).
-const BOOLEAN_FLAGS: [&str; 1] = ["smoke"];
+/// Flags that may appear without a value (`spt bench --smoke`,
+/// `spt sweep --events`, `spt events --original`).
+const BOOLEAN_FLAGS: [&str; 3] = ["smoke", "events", "original"];
 
 /// Parsed command line: subcommand, positional args, `--key value` flags.
 #[derive(Debug, Clone)]
@@ -179,6 +180,9 @@ mod tests {
         let a = args("bench --smoke off").unwrap();
         assert!(!a.switch("smoke"));
         assert!(!args("bench").unwrap().switch("smoke"));
+        let a = args("sweep --events --jobs 2").unwrap();
+        assert!(a.switch("events"));
+        assert_eq!(a.get("jobs"), Some("2"));
     }
 
     #[test]

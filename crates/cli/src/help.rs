@@ -3,7 +3,7 @@
 //! usage, so flag changes must update the fixture deliberately.
 
 /// Every `spt` subcommand, in the order the top-level usage lists them.
-pub const COMMANDS: [&str; 11] = [
+pub const COMMANDS: [&str; 12] = [
     "affinity",
     "sweep",
     "delinquent",
@@ -13,6 +13,7 @@ pub const COMMANDS: [&str; 11] = [
     "selection",
     "dump",
     "bench",
+    "events",
     "serve",
     "loadgen",
 ];
@@ -49,6 +50,9 @@ pub fn command_help(cmd: &str) -> Option<String> {
              --distances d1,d2,...    grid (default brackets the bound)\n  \
              --jobs N                 fan out on N threads (0 = all cores;\n                           \
              output identical whatever N is)\n  \
+             --events                 attach event sinks and also report\n                           \
+             pollution cases and prefetch timeliness\n                           \
+             per distance\n  \
              --svg FILE               also write an SVG chart\n",
         ),
         "delinquent" => (
@@ -107,6 +111,27 @@ pub fn command_help(cmd: &str) -> Option<String> {
              --out FILE               write BENCH_cachesim.json here\n  \
              --check FILE             fail on refs/sec regression vs FILE\n  \
              --tolerance F            allowed fraction (default 0.2)\n",
+        ),
+        "events" => (
+            "spt events [flags]",
+            "Replay one run with the prefetch-lifecycle event sink\n\
+             attached and report the full observability picture: issued /\n\
+             filled / first-use / evicted-unused counts per prefetch\n\
+             class, first-use timeliness (late / on-time / early), the\n\
+             paper's three pollution displacement cases, and per-set\n\
+             pressure by fill-count quartile. The command self-checks\n\
+             that the folded eviction events equal the simulator's\n\
+             pollution counters exactly, and exits non-zero on mismatch.\n\
+             \n\
+             FLAGS:\n  \
+             --distance D             prefetch distance (default: SA bound)\n  \
+             --rp R                   prefetch ratio (default 0.5)\n  \
+             --passes N               hot-loop passes (default 1)\n  \
+             --original               original (no-helper) run instead of SP\n  \
+             --out FILE               write the event stream as NDJSON\n  \
+             --limit N                keep at most N events in the buffer\n                           \
+             (0 = unbounded; the summary always\n                           \
+             folds every event)\n",
         ),
         "serve" => (
             "spt serve [flags]",

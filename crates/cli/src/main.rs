@@ -10,6 +10,7 @@
 //! spt selection
 //! spt dump       [--bench B] [--size S] --out trace.spt
 //! spt bench      [--smoke] [--out F] [--check BASELINE] [--tolerance F]
+//! spt events     [--bench B] [--distance D] [--rp R] [--original] [--out F.ndjson]
 //! ```
 //!
 //! Every analysis command also accepts `--trace FILE` to replay a trace
@@ -79,6 +80,9 @@ COMMANDS:
   selection    benchmark screen by L2-miss cycle share (paper SIV.B)
   dump         record a workload's hot-loop trace to a file (--out F)
   bench        run the pinned cachesim benchmark suite (BENCH_cachesim.json)
+  events       replay one run with the prefetch-lifecycle event sink
+               attached: timeliness, pollution cases, per-set pressure;
+               --out writes the raw event stream as NDJSON
   serve        run the simulation service daemon (NDJSON over TCP)
   loadgen      replay a seeded request mix against a running daemon
 
@@ -103,6 +107,7 @@ fn run(a: Args) -> Result<(), String> {
         "selection" => selection_cmd(&a),
         "dump" => dump(&a),
         "bench" => bench(&a),
+        "events" => events(&a),
         "serve" => serve_cmd::serve(&a),
         "loadgen" => serve_cmd::loadgen(&a),
         other => Err(format!(
@@ -147,14 +152,36 @@ fn sweep(a: &Args) -> Result<(), String> {
     let trace = a.trace()?;
     let rec = recommend_distance(&trace, &cfg);
     let bound = rec.max_distance.unwrap_or(u32::MAX);
-    let default: Vec<u32> = [bound / 4, bound / 2, bound, bound * 2, bound * 4]
-        .into_iter()
-        .filter(|&d| d >= 1)
-        .collect();
+    let mut default: Vec<u32> = [
+        bound / 4,
+        bound / 2,
+        bound,
+        bound.saturating_mul(2),
+        bound.saturating_mul(4),
+    ]
+    .into_iter()
+    .filter(|&d| d >= 1)
+    .collect();
+    default.dedup(); // unbounded traces collapse to one u32::MAX entry
     let ds = a.distances(&default)?;
     let rp: f64 = a.get_or("rp", 0.5)?;
     let jobs: usize = a.get_or("jobs", 0)?; // 0 = all cores
-    let (s, rep) = sweep_distances_jobs(&trace, cfg, rp, &ds, jobs);
+    let (s, ev, rep) = if a.switch("events") {
+        let ct = std::sync::Arc::new(sp_core::compile_trace(&trace, &cfg));
+        let (s, ev, rep) = sp_core::sweep_events_compiled_jobs_with(
+            &ct,
+            cfg,
+            rp,
+            &ds,
+            sp_core::EngineOptions::default(),
+            jobs,
+        )
+        .map_err(|e| e.to_string())?;
+        (s, Some(ev), rep)
+    } else {
+        let (s, rep) = sweep_distances_jobs(&trace, cfg, rp, &ds, jobs);
+        (s, None, rep)
+    };
     println!("bound = {bound}; RP = {rp}");
     if let Some(svg_path) = a.get("svg") {
         use sp_bench::plot::{line_chart, save_svg, ChartConfig, Series};
@@ -201,7 +228,155 @@ fn sweep(a: &Args) -> Result<(), String> {
             p.pollution.stats.total(),
         );
     }
+    // With --events, explain each point: which displacement case fired
+    // and how prefetch timeliness shifted — the *why* behind a distance
+    // crossing the SA/2 bound, not just that hits dropped.
+    if let Some(ev) = &ev {
+        println!(
+            "\n{:>9} {:>8} {:>8} {:>8} {:>7} {:>8} {:>7} {:>7}",
+            "distance", "reuse", "un.help", "un.hw", "dead", "late", "ontime", "early"
+        );
+        for (p, s) in s.points.iter().zip(&ev.points) {
+            println!(
+                "{}{:>8} {:>8} {:>8} {:>8} {:>7} {:>8} {:>7} {:>7}",
+                if p.distance <= bound { " " } else { "!" },
+                p.distance,
+                s.pollution[0],
+                s.pollution[1],
+                s.pollution[2],
+                s.evicted_unused.iter().sum::<u64>(),
+                s.late,
+                s.on_time,
+                s.early,
+            );
+        }
+    }
     println!("{}", sp_bench::render_runner_summary(&rep));
+    Ok(())
+}
+
+fn events(a: &Args) -> Result<(), String> {
+    use sp_cachesim::{default_early_threshold, PfClass, PollutionCase, RingSink};
+
+    let cfg = a.cache_config()?;
+    let trace = a.trace()?;
+    let rec = recommend_distance(&trace, &cfg);
+    let original = a.switch("original");
+    let distance: u32 = a.get_or("distance", rec.max_distance.unwrap_or(8))?;
+    let rp: f64 = a.get_or("rp", 0.5)?;
+    let passes: usize = a.get_or("passes", 1)?;
+    let limit: usize = a.get_or("limit", 0)?; // 0 = keep every event
+    let ct = sp_core::compile_trace(&trace, &cfg);
+    let mut sink = RingSink::new(limit, default_early_threshold(&cfg.latency));
+    let run = if original {
+        sp_core::run_original_passes_compiled_ev(&ct, cfg, passes, &mut sink)
+    } else {
+        let opts = sp_core::EngineOptions {
+            passes,
+            ..Default::default()
+        };
+        let params = SpParams::from_distance_rp(distance, rp);
+        sp_core::run_sp_with_compiled_ev(&ct, cfg, params, opts, &mut sink)
+    }
+    .map_err(|e| e.to_string())?;
+
+    if original {
+        println!("{}: original run, passes {passes}", trace.name);
+    } else {
+        println!(
+            "{}: SP run, distance {distance} (bound {}), RP {rp}, passes {passes}",
+            trace.name,
+            rec.max_distance
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    println!(
+        "events: {} buffered, {} dropped beyond --limit (summary folds all)",
+        sink.len(),
+        sink.dropped()
+    );
+
+    let s = &sink.summary;
+    println!(
+        "\n{:<8} {:>9} {:>9} {:>10} {:>8} {:>9}",
+        "class", "issued", "filled", "first_use", "dead", "accuracy"
+    );
+    for c in PfClass::ALL {
+        let i = c.index();
+        println!(
+            "{:<8} {:>9} {:>9} {:>10} {:>8} {:>8.2}%",
+            c.name(),
+            s.issued[i],
+            s.filled[i],
+            s.first_uses[i],
+            s.evicted_unused[i],
+            s.accuracy(c) * 100.0
+        );
+    }
+    println!(
+        "\ntimeliness of first uses: {} late, {} on-time, {} early ({} still pending at end)",
+        s.late,
+        s.on_time,
+        s.early,
+        s.unresolved()
+    );
+    println!("\npollution evictions (paper's three displacement cases):");
+    for case in PollutionCase::ALL {
+        println!(
+            "  case {} {:<14} {:>8}",
+            case.index() + 1,
+            case.name(),
+            s.pollution[case.index()]
+        );
+    }
+    println!("  total {:>23}", s.total_pollution());
+    println!(
+        "\n{:<10} {:>6} {:>10} {:>8} {:>8} {:>8} {:>8}",
+        "quartile", "sets", "fills", "reuse", "un.help", "un.hw", "dead"
+    );
+    for (q, row) in s.pollution_by_quartile().iter().enumerate() {
+        println!(
+            "{:<10} {:>6} {:>10} {:>8} {:>8} {:>8} {:>8}",
+            match q {
+                0 => "hottest",
+                1 => "2nd",
+                2 => "3rd",
+                _ => "coldest",
+            },
+            row.sets,
+            row.fills,
+            row.pollution[0],
+            row.pollution[1],
+            row.pollution[2],
+            row.evicted_unused
+        );
+    }
+
+    // Differential self-check: the fold of the emitted eviction events
+    // must equal the simulator's own pollution counters exactly. A
+    // mismatch means the event layer lost or double-counted something,
+    // so fail loudly (CI leans on this exit code).
+    let fold = s.pollution_stats();
+    if fold != run.stats.pollution {
+        return Err(format!(
+            "event fold disagrees with simulator counters: folded {fold:?}, counted {:?}",
+            run.stats.pollution
+        ));
+    }
+    println!("\nself-check: event fold matches the simulator's pollution counters");
+
+    if let Some(out) = a.get("out") {
+        if sink.dropped() > 0 {
+            println!(
+                "(warning: --limit {limit} dropped {} events; the NDJSON stream is truncated)",
+                sink.dropped()
+            );
+        }
+        sp_bench::write_atomic(std::path::Path::new(out), &sink.to_ndjson())
+            .map_err(|e| format!("--out {out}: {e}"))?;
+        println!("(wrote {} events to {out})", sink.len());
+    }
     Ok(())
 }
 
@@ -335,8 +510,11 @@ fn bench(a: &Args) -> Result<(), String> {
     let entries = sp_bench::run_baseline(smoke);
     print!("{}", sp_bench::render_entries(&entries));
     if let Some(out) = a.get("out") {
-        std::fs::write(out, sp_bench::bench_json(&entries, smoke))
-            .map_err(|e| format!("--out {out}: {e}"))?;
+        sp_bench::write_atomic(
+            std::path::Path::new(out),
+            &sp_bench::bench_json(&entries, smoke),
+        )
+        .map_err(|e| format!("--out {out}: {e}"))?;
         println!("(wrote {out})");
     }
     if let Some(baseline_path) = a.get("check") {

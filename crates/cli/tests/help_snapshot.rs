@@ -14,7 +14,7 @@ use std::process::Command;
 /// Must match `help::COMMANDS` in the binary (asserted indirectly: a
 /// command missing here would leave its page out of the fixture, and a
 /// page for an unknown command exits non-zero below).
-const COMMANDS: [&str; 11] = [
+const COMMANDS: [&str; 12] = [
     "affinity",
     "sweep",
     "delinquent",
@@ -24,6 +24,7 @@ const COMMANDS: [&str; 11] = [
     "selection",
     "dump",
     "bench",
+    "events",
     "serve",
     "loadgen",
 ];

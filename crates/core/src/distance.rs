@@ -3,10 +3,12 @@
 
 use crate::affinity::{original_set_affinity, SetAffinityReport};
 use crate::engine::{
-    compile_trace, run_original_passes_compiled, run_sp_with_compiled, EngineOptions, RunResult,
+    compile_trace, run_original_passes_compiled, run_original_passes_compiled_ev,
+    run_sp_with_compiled, run_sp_with_compiled_ev, EngineOptions, RunResult,
 };
 use crate::params::SpParams;
 use crate::pollution::{BehaviorChange, PollutionSummary};
+use sp_cachesim::events::{default_early_threshold, EventSummary, SummarySink};
 use sp_cachesim::CacheConfig;
 use sp_runner::{run_jobs, Job, RunnerReport};
 use sp_trace::{CompiledTrace, GeometryMismatch, HotLoopTrace};
@@ -140,14 +142,81 @@ pub fn sweep_compiled_jobs_with(
         }));
     }
     let (mut results, report) = run_jobs(grid, jobs);
-
     let baseline = results.remove(0);
+    Ok((assemble_sweep(baseline, distances, rp, results), report))
+}
+
+/// Per-point event summaries of an observed sweep, parallel to
+/// [`Sweep::points`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepEvents {
+    /// The original (no-helper) run's fold.
+    pub baseline: EventSummary,
+    /// One fold per swept distance, in the given order.
+    pub points: Vec<EventSummary>,
+}
+
+/// [`sweep_compiled_jobs_with`] with a [`SummarySink`] attached to every
+/// grid point, so the sweep can report *why* a distance crossed the
+/// `SA/2` bound — which displacement case fired, in which sets, and how
+/// prefetch timeliness shifted — instead of just that hits dropped.
+/// Event folds ride in each job's return value, so the result is
+/// submission-order deterministic at any `jobs` width like the plain
+/// sweep. Early/on-time classification uses
+/// [`default_early_threshold`] of the configuration's latencies.
+pub fn sweep_events_compiled_jobs_with(
+    ct: &Arc<CompiledTrace>,
+    cache_cfg: CacheConfig,
+    rp: f64,
+    distances: &[u32],
+    opts: EngineOptions,
+    jobs: usize,
+) -> Result<(Sweep, SweepEvents, RunnerReport), GeometryMismatch> {
+    ct.ensure_geometry(cache_cfg.trace_geometry())?;
+    let threshold = default_early_threshold(&cache_cfg.latency);
+    let mut grid: Vec<Job<'static, (RunResult, EventSummary)>> =
+        Vec::with_capacity(distances.len() + 1);
+    let base_ct = Arc::clone(ct);
+    grid.push(Box::new(move || {
+        let mut sink = SummarySink::new(threshold);
+        let run = run_original_passes_compiled_ev(&base_ct, cache_cfg, opts.passes, &mut sink)
+            .expect("geometry checked");
+        (run, sink.summary)
+    }));
+    for &d in distances {
+        let params = SpParams::from_distance_rp(d, rp);
+        let point_ct = Arc::clone(ct);
+        grid.push(Box::new(move || {
+            let mut sink = SummarySink::new(threshold);
+            let run = run_sp_with_compiled_ev(&point_ct, cache_cfg, params, opts, &mut sink)
+                .expect("geometry checked");
+            (run, sink.summary)
+        }));
+    }
+    let (mut results, report) = run_jobs(grid, jobs);
+    let (baseline, base_events) = results.remove(0);
+    let (runs, points): (Vec<RunResult>, Vec<EventSummary>) = results.into_iter().unzip();
+    let sweep = assemble_sweep(baseline, distances, rp, runs);
+    Ok((
+        sweep,
+        SweepEvents {
+            baseline: base_events,
+            points,
+        },
+        report,
+    ))
+}
+
+/// Normalize a grid of SP runs against the baseline — shared by the
+/// plain and the event-observed sweeps so their `Sweep`s are assembled
+/// identically.
+fn assemble_sweep(baseline: RunResult, distances: &[u32], rp: f64, runs: Vec<RunResult>) -> Sweep {
     let base_rt = baseline.runtime.max(1) as f64;
     let base_ma = baseline.stats.main.memory_accesses().max(1) as f64;
     let base_miss = baseline.stats.main.total_misses.max(1) as f64;
     let points = distances
         .iter()
-        .zip(results)
+        .zip(runs)
         .map(|(&d, run)| SweepPoint {
             distance: d,
             params: SpParams::from_distance_rp(d, rp),
@@ -159,7 +228,7 @@ pub fn sweep_compiled_jobs_with(
             run,
         })
         .collect();
-    Ok((Sweep { baseline, points }, report))
+    Sweep { baseline, points }
 }
 
 /// The full distance-control pipeline of the paper:
@@ -302,6 +371,35 @@ mod tests {
         let err = sweep_compiled_jobs_with(&ct, other, 0.5, &[2], EngineOptions::default(), 1)
             .unwrap_err();
         assert_eq!(err.requested, other.trace_geometry());
+    }
+
+    #[test]
+    fn events_sweep_matches_plain_sweep_and_folds_to_the_counters() {
+        let t = synth::random(300, 3, 0, 1 << 20, 23, 2);
+        let c = cfg();
+        let ct = std::sync::Arc::new(crate::engine::compile_trace(&t, &c));
+        let (plain, _) =
+            sweep_compiled_jobs_with(&ct, c, 0.5, &[2, 8], EngineOptions::default(), 1).unwrap();
+        let (observed, events, _) =
+            sweep_events_compiled_jobs_with(&ct, c, 0.5, &[2, 8], EngineOptions::default(), 1)
+                .unwrap();
+        assert_eq!(plain, observed, "observing a sweep must not change it");
+        assert_eq!(events.points.len(), 2);
+        assert_eq!(
+            events.baseline.pollution_stats(),
+            observed.baseline.stats.pollution
+        );
+        for (summary, point) in events.points.iter().zip(&observed.points) {
+            assert_eq!(summary.pollution_stats(), point.run.stats.pollution);
+            assert_eq!(summary.issued, point.run.stats.prefetches_issued);
+            assert_eq!(summary.first_uses, point.run.stats.prefetches_useful);
+        }
+        // Event folds are jobs-width deterministic like the sweep itself.
+        let par =
+            sweep_events_compiled_jobs_with(&ct, c, 0.5, &[2, 8], EngineOptions::default(), 4)
+                .unwrap();
+        assert_eq!(par.0, observed);
+        assert_eq!(par.1, events);
     }
 
     #[test]

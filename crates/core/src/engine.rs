@@ -25,6 +25,7 @@
 
 use crate::params::SpParams;
 use crate::skip::HelperStep;
+use sp_cachesim::events::{EventSink, NullSink};
 use sp_cachesim::{CacheConfig, Cycle, Entity, MemStats, MemorySystem};
 use sp_trace::{AccessKind, CompiledTrace, GeometryMismatch, HotLoopTrace};
 use std::cell::RefCell;
@@ -141,6 +142,18 @@ pub fn run_original_passes_compiled(
     cache_cfg: CacheConfig,
     passes: usize,
 ) -> Result<RunResult, GeometryMismatch> {
+    run_original_passes_compiled_ev(ct, cache_cfg, passes, &mut NullSink)
+}
+
+/// [`run_original_passes_compiled`] with an event sink observing the
+/// replay (see `sp_cachesim::events`). The sink-free entry point
+/// delegates here with [`NullSink`], which compiles the event layer out.
+pub fn run_original_passes_compiled_ev<S: EventSink>(
+    ct: &CompiledTrace,
+    cache_cfg: CacheConfig,
+    passes: usize,
+    sink: &mut S,
+) -> Result<RunResult, GeometryMismatch> {
     assert!(passes > 0, "need at least one pass");
     ct.ensure_geometry(cache_cfg.trace_geometry())?;
     let mut mem = acquire_sim(cache_cfg);
@@ -148,13 +161,13 @@ pub fn run_original_passes_compiled(
     for _ in 0..passes {
         for it in 0..ct.outer_iters() {
             for i in ct.iter_refs(it) {
-                let res = mem.demand_access_pre(Entity::Main, &ct.get(i), clock);
+                let res = mem.demand_access_pre_ev(Entity::Main, &ct.get(i), clock, sink);
                 clock = res.complete_at;
             }
             clock += ct.compute_cycles(it);
         }
     }
-    let stats = mem.finish_stats();
+    let stats = mem.finish_stats_ev(sink);
     release_sim(cache_cfg, mem);
     Ok(RunResult {
         runtime: clock,
@@ -249,6 +262,19 @@ pub fn run_sp_with_compiled(
     run_scheduled_compiled(ct, cache_cfg, &mut schedule, opts)
 }
 
+/// [`run_sp_with_compiled`] with an event sink observing both threads'
+/// accesses.
+pub fn run_sp_with_compiled_ev<S: EventSink>(
+    ct: &CompiledTrace,
+    cache_cfg: CacheConfig,
+    params: SpParams,
+    opts: EngineOptions,
+    sink: &mut S,
+) -> Result<RunResult, GeometryMismatch> {
+    let mut schedule = StaticSchedule::new(params);
+    run_scheduled_compiled_ev(ct, cache_cfg, &mut schedule, opts, sink)
+}
+
 /// The generic two-thread co-simulation loop over any
 /// [`HelperSchedule`]. [`run_sp_with`] instantiates it with the static
 /// plan; `sp_core::adaptive` with a feedback-driven one.
@@ -269,6 +295,17 @@ pub fn run_scheduled_compiled(
     cache_cfg: CacheConfig,
     schedule: &mut dyn HelperSchedule,
     opts: EngineOptions,
+) -> Result<RunResult, GeometryMismatch> {
+    run_scheduled_compiled_ev(ct, cache_cfg, schedule, opts, &mut NullSink)
+}
+
+/// [`run_scheduled_compiled`] with an event sink observing the co-sim.
+pub fn run_scheduled_compiled_ev<S: EventSink>(
+    ct: &CompiledTrace,
+    cache_cfg: CacheConfig,
+    schedule: &mut dyn HelperSchedule,
+    opts: EngineOptions,
+    sink: &mut S,
 ) -> Result<RunResult, GeometryMismatch> {
     assert!(opts.passes > 0, "need at least one pass");
     ct.ensure_geometry(cache_cfg.trace_geometry())?;
@@ -323,10 +360,19 @@ pub fn run_scheduled_compiled(
         let run_helper = !helper.done && !helper_blocked && helper.clock <= main.clock;
         if run_helper {
             let step = schedule.step(helper.iter);
-            step_helper(&mut helper, &mut mem, ct, step, n, &mut helper_finish, opts);
+            step_helper(
+                &mut helper,
+                &mut mem,
+                ct,
+                step,
+                n,
+                &mut helper_finish,
+                opts,
+                sink,
+            );
         } else {
             let before = main.iter;
-            step_main(&mut main, &mut mem, ct, n);
+            step_main(&mut main, &mut mem, ct, n, sink);
             if main.iter != before {
                 schedule.on_main_iter(before, &mem, main.clock);
             }
@@ -336,7 +382,7 @@ pub fn run_scheduled_compiled(
         helper_finish = helper.clock;
     }
 
-    let stats = mem.finish_stats();
+    let stats = mem.finish_stats_ev(sink);
     release_sim(cache_cfg, mem);
     Ok(RunResult {
         runtime: main.clock,
@@ -350,12 +396,19 @@ pub fn run_scheduled_compiled(
 
 /// Execute the main thread's next access; advances its clock, including
 /// the iteration's compute cycles when the iteration ends.
-fn step_main(c: &mut Cursor, mem: &mut MemorySystem, ct: &CompiledTrace, n: usize) {
+fn step_main<S: EventSink>(
+    c: &mut Cursor,
+    mem: &mut MemorySystem,
+    ct: &CompiledTrace,
+    n: usize,
+    sink: &mut S,
+) {
     let it = c.iter % ct.outer_iters();
     let refs = ct.iter_refs(it);
     let total = refs.len();
     if c.ref_idx < total {
-        let res = mem.demand_access_pre(Entity::Main, &ct.get(refs.start + c.ref_idx), c.clock);
+        let res =
+            mem.demand_access_pre_ev(Entity::Main, &ct.get(refs.start + c.ref_idx), c.clock, sink);
         c.clock = res.complete_at;
         c.ref_idx += 1;
     }
@@ -370,7 +423,8 @@ fn step_main(c: &mut Cursor, mem: &mut MemorySystem, ct: &CompiledTrace, n: usiz
 }
 
 /// Execute the helper thread's next access per its SP plan.
-fn step_helper(
+#[allow(clippy::too_many_arguments)]
+fn step_helper<S: EventSink>(
     c: &mut Cursor,
     mem: &mut MemorySystem,
     ct: &CompiledTrace,
@@ -378,6 +432,7 @@ fn step_helper(
     n: usize,
     finish: &mut Cycle,
     opts: EngineOptions,
+    sink: &mut S,
 ) {
     let it = c.iter % ct.outer_iters();
     let prefetching = step == HelperStep::Prefetch;
@@ -400,7 +455,7 @@ fn step_helper(
             break;
         }
         if idx < backbone_len {
-            let res = mem.helper_load_pre(&ct.get(backbone.start + idx), c.clock);
+            let res = mem.helper_load_pre_ev(&ct.get(backbone.start + idx), c.clock, sink);
             c.clock = res.complete_at;
             idx += 1;
             break;
@@ -408,11 +463,11 @@ fn step_helper(
         let cr = ct.get(inner.start + (idx - backbone_len));
         if cr.kind == AccessKind::Load {
             let res = if opts.blocking_helper {
-                mem.helper_load_pre(&cr, c.clock)
+                mem.helper_load_pre_ev(&cr, c.clock, sink)
             } else {
                 // The projections are kind-independent, so the compiled
                 // record stands in for `mem_ref().as_prefetch()` directly.
-                mem.prefetch_access_pre(&cr, c.clock)
+                mem.prefetch_access_pre_ev(&cr, c.clock, sink)
             };
             c.clock = res.complete_at;
             idx += 1;

@@ -59,12 +59,14 @@ pub use affinity::{
 pub use calr::{estimate_calr, select_params, select_rp, CalrProfile};
 pub use distance::{
     controlled_distance, recommend_distance, sweep_compiled_jobs_with, sweep_distances,
-    sweep_distances_jobs, sweep_distances_jobs_with, DistanceRecommendation, Sweep, SweepPoint,
+    sweep_distances_jobs, sweep_distances_jobs_with, sweep_events_compiled_jobs_with,
+    DistanceRecommendation, Sweep, SweepEvents, SweepPoint,
 };
 pub use engine::{
-    compile_trace, run_original, run_original_passes, run_original_passes_compiled, run_scheduled,
-    run_scheduled_compiled, run_sp, run_sp_with, run_sp_with_compiled, EngineOptions,
-    HelperSchedule, RunResult, StaticSchedule,
+    compile_trace, run_original, run_original_passes, run_original_passes_compiled,
+    run_original_passes_compiled_ev, run_scheduled, run_scheduled_compiled,
+    run_scheduled_compiled_ev, run_sp, run_sp_with, run_sp_with_compiled, run_sp_with_compiled_ev,
+    EngineOptions, HelperSchedule, RunResult, StaticSchedule,
 };
 pub use params::SpParams;
 pub use pollution::{BehaviorChange, PollutionSummary};

@@ -13,11 +13,16 @@
 use crate::json::Json;
 use crate::protocol::{scale_name, Command, SimSpec};
 use sp_bench::{table2_row, Scale};
-use sp_core::{compile_trace, recommend_distance, sweep_compiled_jobs_with, Sweep};
+use sp_cachesim::{EventSummary, PfClass, PollutionCase};
+use sp_core::{
+    compile_trace, recommend_distance, sweep_compiled_jobs_with, sweep_events_compiled_jobs_with,
+    Sweep, SweepEvents,
+};
 use sp_native::sync::Mutex;
 use sp_trace::{CompiledTrace, HotLoopTrace, TraceGeometry};
 use sp_workloads::Benchmark;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -36,19 +41,70 @@ fn scale_index(s: Scale) -> u8 {
     }
 }
 
+/// Aggregate prefetch-lifecycle counters folded over every eventful run
+/// the daemon has executed — the source behind the `sp_events_*` series
+/// of the Prometheus exposition. Cache hits replay a stored payload
+/// without re-simulating, so they do not re-record here: the totals
+/// count simulation work actually performed, not requests answered.
+#[derive(Debug, Default)]
+pub struct EventTotals {
+    /// Eventful runs folded in (baseline plus one per sweep point).
+    pub runs: AtomicU64,
+    /// Prefetches issued, indexed by [`PfClass::index`].
+    pub issued: [AtomicU64; 3],
+    /// Prefetch L2 fills, by class.
+    pub filled: [AtomicU64; 3],
+    /// Prefetched blocks first used by the main thread, by class.
+    pub first_uses: [AtomicU64; 3],
+    /// Prefetched blocks evicted before any use, by class.
+    pub evicted_unused: [AtomicU64; 3],
+    /// Pollution evictions, indexed by [`PollutionCase::index`].
+    pub pollution: [AtomicU64; 3],
+    /// First uses whose fill had not completed when the demand arrived.
+    pub late: AtomicU64,
+    /// First uses within the early-threshold window of their fill.
+    pub on_time: AtomicU64,
+    /// First uses that idled in the cache past the early threshold.
+    pub early: AtomicU64,
+}
+
+impl EventTotals {
+    /// Fold one run's event summary into the totals.
+    pub fn record(&self, s: &EventSummary) {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        for i in 0..3 {
+            self.issued[i].fetch_add(s.issued[i], Ordering::Relaxed);
+            self.filled[i].fetch_add(s.filled[i], Ordering::Relaxed);
+            self.first_uses[i].fetch_add(s.first_uses[i], Ordering::Relaxed);
+            self.evicted_unused[i].fetch_add(s.evicted_unused[i], Ordering::Relaxed);
+            self.pollution[i].fetch_add(s.pollution[i], Ordering::Relaxed);
+        }
+        self.late.fetch_add(s.late, Ordering::Relaxed);
+        self.on_time.fetch_add(s.on_time, Ordering::Relaxed);
+        self.early.fetch_add(s.early, Ordering::Relaxed);
+    }
+}
+
 /// The daemon's simulation executor: a trace memo plus the encoding of
-/// each result kind. Stateless apart from the memo, so any number of
-/// pool workers can execute through one shared instance.
+/// each result kind. Stateless apart from the memo and the event
+/// totals, so any number of pool workers can execute through one shared
+/// instance.
 #[derive(Default)]
 pub struct SimEngine {
     traces: Mutex<HashMap<(u8, u8), Arc<HotLoopTrace>>>,
     compiled: Mutex<HashMap<(u64, TraceGeometry), Arc<CompiledTrace>>>,
+    events: EventTotals,
 }
 
 impl SimEngine {
     /// A fresh engine with an empty trace memo.
     pub fn new() -> SimEngine {
         SimEngine::default()
+    }
+
+    /// The aggregate event counters (for the Prometheus exposition).
+    pub fn event_totals(&self) -> &EventTotals {
+        &self.events
     }
 
     fn trace(&self, bench: Benchmark, scale: Scale) -> Arc<HotLoopTrace> {
@@ -110,7 +166,7 @@ impl SimEngine {
                 }
                 Ok(format!("{{\"burned_ms\":{ms}}}"))
             }
-            Command::Ping | Command::Stats | Command::Shutdown => {
+            Command::Ping | Command::Stats | Command::Metrics | Command::Shutdown => {
                 Err("command is handled by the server, not the engine".into())
             }
         }
@@ -119,6 +175,23 @@ impl SimEngine {
     fn run_sweep(&self, spec: &SimSpec, distances: &[u32]) -> String {
         let trace = self.trace(spec.bench, spec.scale);
         let compiled = self.compiled(&trace, &spec.cache.config);
+        let bound = recommend_distance(&trace, &spec.cache.config).max_distance;
+        if spec.events {
+            let (sweep, events, _report) = sweep_events_compiled_jobs_with(
+                &compiled,
+                spec.cache.config,
+                spec.rp,
+                distances,
+                spec.opts,
+                1, // requests parallelize across the pool, not within a job
+            )
+            .expect("compiled for this request's geometry");
+            self.events.record(&events.baseline);
+            for point in &events.points {
+                self.events.record(point);
+            }
+            return sweep_json(spec, bound, &sweep, Some(&events)).encode();
+        }
         let (sweep, _report) = sweep_compiled_jobs_with(
             &compiled,
             spec.cache.config,
@@ -128,19 +201,27 @@ impl SimEngine {
             1, // requests parallelize across the pool, not within a job
         )
         .expect("compiled for this request's geometry");
-        let bound = recommend_distance(&trace, &spec.cache.config).max_distance;
-        sweep_json(spec, bound, &sweep).encode()
+        sweep_json(spec, bound, &sweep, None).encode()
     }
 }
 
 /// Encode a sweep. Point field names mirror [`sp_bench::SWEEP_HEADER`]
 /// so CSV consumers and protocol consumers read the same vocabulary.
-fn sweep_json(spec: &SimSpec, bound: Option<u32>, sweep: &Sweep) -> Json {
+/// With `events`, each point additionally carries its lifecycle /
+/// timeliness / pollution-case summary (`SweepEvents::points` is
+/// index-aligned with `Sweep::points`).
+fn sweep_json(
+    spec: &SimSpec,
+    bound: Option<u32>,
+    sweep: &Sweep,
+    events: Option<&SweepEvents>,
+) -> Json {
     let points = sweep
         .points
         .iter()
-        .map(|p| {
-            Json::obj()
+        .enumerate()
+        .map(|(i, p)| {
+            let mut point = Json::obj()
                 .push("distance", Json::num(p.distance))
                 .push("runtime_norm", Json::num(p.runtime_norm))
                 .push("mem_accesses_norm", Json::num(p.memory_accesses_norm))
@@ -158,17 +239,54 @@ fn sweep_json(spec: &SimSpec, bound: Option<u32>, sweep: &Sweep) -> Json {
                 .push(
                     "dead_prefetch_rate",
                     Json::num(p.pollution.dead_prefetch_rate),
-                )
+                );
+            if let Some(ev) = events {
+                point = point.push("events", event_summary_json(&ev.points[i]));
+            }
+            point
         })
         .collect();
-    Json::obj()
+    let mut out = Json::obj()
         .push("bench", Json::str(spec.bench.name()))
         .push("scale", Json::str(scale_name(spec.scale)))
         .push("rp", Json::num(spec.rp))
         .push("baseline_runtime", Json::num(sweep.baseline.runtime as f64))
         .push("distance_bound", opt_u32(bound))
-        .push("best_distance", opt_u32(sweep.best_distance()))
-        .push("points", Json::Arr(points))
+        .push("best_distance", opt_u32(sweep.best_distance()));
+    if let Some(ev) = events {
+        out = out.push("baseline_events", event_summary_json(&ev.baseline));
+    }
+    out.push("points", Json::Arr(points))
+}
+
+/// Encode one run's event summary: lifecycle counts by prefetch class,
+/// pollution evictions by case, and the first-use timeliness split.
+fn event_summary_json(s: &EventSummary) -> Json {
+    let by_class = |vals: &[u64; 3]| {
+        let mut o = Json::obj();
+        for c in PfClass::ALL {
+            o = o.push(c.name(), Json::num(vals[c.index()] as f64));
+        }
+        o
+    };
+    let mut pollution = Json::obj();
+    for case in PollutionCase::ALL {
+        pollution = pollution.push(case.name(), Json::num(s.pollution[case.index()] as f64));
+    }
+    Json::obj()
+        .push("issued", by_class(&s.issued))
+        .push("filled", by_class(&s.filled))
+        .push("first_uses", by_class(&s.first_uses))
+        .push("evicted_unused", by_class(&s.evicted_unused))
+        .push("pollution", pollution)
+        .push(
+            "timeliness",
+            Json::obj()
+                .push("late", Json::num(s.late as f64))
+                .push("on_time", Json::num(s.on_time as f64))
+                .push("early", Json::num(s.early as f64)),
+        )
+        .push("helper_accuracy", Json::num(s.accuracy(PfClass::Helper)))
 }
 
 fn opt_u32(v: Option<u32>) -> Json {
@@ -235,6 +353,54 @@ mod tests {
     }
 
     #[test]
+    fn eventful_point_carries_summaries_and_feeds_the_totals() {
+        let engine = SimEngine::new();
+        let plain = engine
+            .execute(&command(
+                "{\"type\":\"point\",\"bench\":\"em3d\",\"distance\":8}",
+            ))
+            .unwrap();
+        assert_eq!(engine.events.runs.load(Ordering::Relaxed), 0);
+        let eventful = engine
+            .execute(&command(
+                "{\"type\":\"point\",\"bench\":\"em3d\",\"distance\":8,\"events\":true}",
+            ))
+            .unwrap();
+        // Baseline + one point folded into the daemon totals.
+        assert_eq!(engine.events.runs.load(Ordering::Relaxed), 2);
+        assert!(
+            engine.events.issued[0].load(Ordering::Relaxed) > 0,
+            "helper prefetches must be issued"
+        );
+        let v = Json::parse(&eventful).unwrap();
+        assert!(v.get("baseline_events").is_some(), "payload {eventful}");
+        let points = v.get("points").and_then(Json::as_arr).unwrap();
+        let ev = points[0].get("events").expect("per-point events");
+        let issued = ev
+            .get("issued")
+            .and_then(|i| i.get("helper"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(issued > 0, "payload {eventful}");
+        assert!(ev.get("timeliness").is_some(), "payload {eventful}");
+        assert!(ev.get("pollution").is_some(), "payload {eventful}");
+        // The plain payload stays event-free, and the headline numbers
+        // agree between the two paths (the sink must not perturb them).
+        let pv = Json::parse(&plain).unwrap();
+        assert!(pv.get("baseline_events").is_none());
+        let pp = pv.get("points").and_then(Json::as_arr).unwrap();
+        assert!(pp[0].get("events").is_none());
+        assert_eq!(
+            pp[0].get("runtime_norm").and_then(Json::as_f64),
+            points[0].get("runtime_norm").and_then(Json::as_f64),
+        );
+        assert_eq!(
+            pp[0].get("pollution_events").and_then(Json::as_u64),
+            points[0].get("pollution_events").and_then(Json::as_u64),
+        );
+    }
+
+    #[test]
     fn affinity_payload_carries_the_table2_fields() {
         let engine = SimEngine::new();
         let cmd = command("{\"type\":\"affinity\",\"bench\":\"em3d\",\"scale\":\"test\"}");
@@ -255,6 +421,7 @@ mod tests {
         for inline in [
             "{\"type\":\"ping\"}",
             "{\"type\":\"stats\"}",
+            "{\"type\":\"metrics\"}",
             "{\"type\":\"shutdown\"}",
         ] {
             assert!(engine.execute(&command(inline)).is_err());

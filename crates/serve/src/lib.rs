@@ -17,6 +17,9 @@
 //! * [`cache`] — the sharded LRU result cache.
 //! * [`metrics`] — request/cache/queue counters and a fixed-bucket
 //!   latency histogram, served by the `stats` request.
+//! * [`prom`] — the same counters (plus aggregate prefetch-event
+//!   totals) rendered as Prometheus text exposition, served by the
+//!   `metrics` request.
 //! * [`engine`] — executes commands against the sp-core simulation
 //!   stack, memoizing workload traces.
 //! * [`server`] — the accept loop, per-connection handlers, deadlines,
@@ -30,12 +33,14 @@ pub mod cache;
 pub mod engine;
 pub mod json;
 pub mod metrics;
+pub mod prom;
 pub mod protocol;
 pub mod server;
 
 pub use cache::{fnv1a64, ResultCache};
-pub use engine::SimEngine;
+pub use engine::{EventTotals, SimEngine};
 pub use json::Json;
 pub use metrics::Metrics;
+pub use prom::{render as render_prometheus, PromSnapshot};
 pub use protocol::{error_response, ok_response, Command, Request, SimSpec};
 pub use server::{Server, ServerConfig};

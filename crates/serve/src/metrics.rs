@@ -6,8 +6,8 @@ use crate::json::Json;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Request kinds the per-type counters distinguish (wire `type` names).
-pub const KINDS: [&str; 7] = [
-    "sweep", "point", "affinity", "burn", "stats", "ping", "shutdown",
+pub const KINDS: [&str; 8] = [
+    "sweep", "point", "affinity", "burn", "stats", "metrics", "ping", "shutdown",
 ];
 
 /// Upper bucket bounds of the latency histogram, in microseconds; one
@@ -21,6 +21,7 @@ pub const LATENCY_BOUNDS_US: [u64; 14] = [
 #[derive(Debug, Default)]
 pub struct Histogram {
     counts: [AtomicU64; LATENCY_BOUNDS_US.len() + 1],
+    sum_us: AtomicU64,
 }
 
 impl Histogram {
@@ -31,6 +32,13 @@ impl Histogram {
             .position(|&b| micros <= b)
             .unwrap_or(LATENCY_BOUNDS_US.len());
         self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Sum of all recorded observations, microseconds (the Prometheus
+    /// `_sum` series).
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
     }
 
     /// Per-bucket counts, `(upper_bound_us, count)`; the final entry's
@@ -157,6 +165,7 @@ mod tests {
         assert_eq!(b[1], (250, 1));
         assert_eq!(b.last().copied(), Some((u64::MAX, 1)));
         assert_eq!(h.total(), 4);
+        assert_eq!(h.sum_us(), 50 + 100 + 101 + 9_999_999);
         let json = h.to_json().encode();
         assert!(json.contains("\"le_us\":100"), "got {json}");
         assert!(json.contains("\"le_us\":\"inf\""), "got {json}");

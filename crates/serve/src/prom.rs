@@ -1,0 +1,336 @@
+//! Prometheus text exposition (format version 0.0.4) for the daemon's
+//! counters, the request-latency histogram, and the aggregate prefetch
+//! event totals.
+//!
+//! Everything rendered here reads the **same** atomics the JSON `stats`
+//! reply reads, and the histogram series are derived from the same
+//! [`Histogram::buckets`] table `latency_us` renders from — there is no
+//! second bucket-bound list to drift out of sync. Latency is exposed in
+//! integer microseconds (`_us` metric names) rather than float seconds
+//! so the body stays byte-deterministic for a given counter state.
+
+use crate::engine::EventTotals;
+use crate::metrics::{Histogram, Metrics, KINDS};
+use sp_cachesim::{PfClass, PollutionCase};
+use std::fmt::Write;
+use std::sync::atomic::Ordering;
+
+/// A point-in-time view of everything the exposition covers. The
+/// gauge-ish fields (queue depth, cache occupancy, uptime) are sampled
+/// by the caller so this module stays free of server plumbing.
+pub struct PromSnapshot<'a> {
+    /// Request counters and the latency histogram.
+    pub metrics: &'a Metrics,
+    /// Aggregate event totals from eventful runs.
+    pub events: &'a EventTotals,
+    /// Daemon uptime, milliseconds.
+    pub uptime_ms: u64,
+    /// Result-cache entries currently held.
+    pub cache_entries: usize,
+    /// Result-cache capacity.
+    pub cache_capacity: usize,
+    /// Admission-queue depth right now.
+    pub queue_depth: usize,
+    /// Admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Pool workers.
+    pub workers: usize,
+    /// Jobs the pool has completed.
+    pub completed: u64,
+}
+
+fn header(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    header(out, name, "counter", help);
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn gauge(out: &mut String, name: &str, help: &str, value: u64) {
+    header(out, name, "gauge", help);
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// One labelled counter family: `name{label="key"} value` per sample.
+fn labelled(out: &mut String, name: &str, help: &str, label: &str, samples: &[(&str, u64)]) {
+    header(out, name, "counter", help);
+    for (key, value) in samples {
+        let _ = writeln!(out, "{name}{{{label}=\"{key}\"}} {value}");
+    }
+}
+
+/// Render a histogram in exposition format: cumulative `_bucket{le=..}`
+/// series (bounds in microseconds, overflow as `+Inf`), then `_sum` and
+/// `_count`. The cumulative sums are folded from the same
+/// non-cumulative [`Histogram::buckets`] table the JSON surface
+/// renders, so the two can't disagree on bounds or counts.
+pub fn render_histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
+    header(out, name, "histogram", help);
+    let mut cumulative = 0u64;
+    for (bound, count) in h.buckets() {
+        cumulative += count;
+        if bound == u64::MAX {
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        } else {
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+    }
+    let _ = writeln!(out, "{name}_sum {}", h.sum_us());
+    let _ = writeln!(out, "{name}_count {cumulative}");
+}
+
+/// Render the full exposition body.
+pub fn render(snap: &PromSnapshot) -> String {
+    let m = snap.metrics;
+    let mut out = String::new();
+
+    gauge(
+        &mut out,
+        "sp_uptime_ms",
+        "Daemon uptime in milliseconds.",
+        snap.uptime_ms,
+    );
+    counter(
+        &mut out,
+        "sp_requests_total",
+        "Requests received, including malformed ones.",
+        m.requests.load(Ordering::Relaxed),
+    );
+    let by_kind: Vec<(&str, u64)> = KINDS
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, m.by_kind[i].load(Ordering::Relaxed)))
+        .collect();
+    labelled(
+        &mut out,
+        "sp_requests_by_kind_total",
+        "Requests by wire type.",
+        "kind",
+        &by_kind,
+    );
+    counter(
+        &mut out,
+        "sp_cache_hits_total",
+        "Result-cache hits.",
+        m.cache_hits.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "sp_cache_misses_total",
+        "Result-cache misses (cacheable requests only).",
+        m.cache_misses.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "sp_busy_rejections_total",
+        "Requests shed with a busy reply.",
+        m.busy_rejections.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "sp_timeouts_total",
+        "Requests that hit their deadline.",
+        m.timeouts.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "sp_errors_total",
+        "Malformed or failed requests.",
+        m.errors.load(Ordering::Relaxed),
+    );
+    gauge(
+        &mut out,
+        "sp_cache_entries",
+        "Result-cache entries currently held.",
+        snap.cache_entries as u64,
+    );
+    gauge(
+        &mut out,
+        "sp_cache_capacity",
+        "Result-cache capacity.",
+        snap.cache_capacity as u64,
+    );
+    gauge(
+        &mut out,
+        "sp_queue_depth",
+        "Admission-queue depth.",
+        snap.queue_depth as u64,
+    );
+    gauge(
+        &mut out,
+        "sp_queue_capacity",
+        "Admission-queue capacity.",
+        snap.queue_capacity as u64,
+    );
+    gauge(&mut out, "sp_workers", "Pool workers.", snap.workers as u64);
+    counter(
+        &mut out,
+        "sp_jobs_completed_total",
+        "Jobs the pool has completed.",
+        snap.completed,
+    );
+    render_histogram(
+        &mut out,
+        "sp_request_latency_us",
+        "End-to-end request latency, microseconds.",
+        &m.latency,
+    );
+
+    // Aggregate prefetch-event totals. Zero until an eventful request
+    // (`"events":true`) executes; cache hits do not re-record.
+    let ev = snap.events;
+    counter(
+        &mut out,
+        "sp_events_runs_total",
+        "Simulation runs folded into the event totals.",
+        ev.runs.load(Ordering::Relaxed),
+    );
+    let by_class = |arr: &[std::sync::atomic::AtomicU64; 3]| -> Vec<(&'static str, u64)> {
+        PfClass::ALL
+            .iter()
+            .map(|c| (c.name(), arr[c.index()].load(Ordering::Relaxed)))
+            .collect()
+    };
+    labelled(
+        &mut out,
+        "sp_events_prefetch_issued_total",
+        "Prefetches issued, by class.",
+        "class",
+        &by_class(&ev.issued),
+    );
+    labelled(
+        &mut out,
+        "sp_events_prefetch_filled_total",
+        "Prefetch L2 fills, by class.",
+        "class",
+        &by_class(&ev.filled),
+    );
+    labelled(
+        &mut out,
+        "sp_events_prefetch_first_use_total",
+        "Prefetched blocks first used by the main thread, by class.",
+        "class",
+        &by_class(&ev.first_uses),
+    );
+    labelled(
+        &mut out,
+        "sp_events_prefetch_evicted_unused_total",
+        "Prefetched blocks evicted before any use, by class.",
+        "class",
+        &by_class(&ev.evicted_unused),
+    );
+    let by_case: Vec<(&str, u64)> = PollutionCase::ALL
+        .iter()
+        .map(|c| (c.name(), ev.pollution[c.index()].load(Ordering::Relaxed)))
+        .collect();
+    labelled(
+        &mut out,
+        "sp_events_pollution_total",
+        "Pollution evictions, by displacement case.",
+        "case",
+        &by_case,
+    );
+    labelled(
+        &mut out,
+        "sp_events_timeliness_total",
+        "Prefetch first uses, by timeliness.",
+        "timeliness",
+        &[
+            ("late", ev.late.load(Ordering::Relaxed)),
+            ("on_time", ev.on_time.load(Ordering::Relaxed)),
+            ("early", ev.early.load(Ordering::Relaxed)),
+        ],
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EventTotals;
+    use crate::metrics::{Metrics, LATENCY_BOUNDS_US};
+
+    fn snapshot<'a>(m: &'a Metrics, ev: &'a EventTotals) -> PromSnapshot<'a> {
+        PromSnapshot {
+            metrics: m,
+            events: ev,
+            uptime_ms: 1234,
+            cache_entries: 3,
+            cache_capacity: 256,
+            queue_depth: 1,
+            queue_capacity: 64,
+            workers: 4,
+            completed: 9,
+        }
+    }
+
+    #[test]
+    fn exposition_is_well_formed_and_covers_every_family() {
+        let m = Metrics::default();
+        m.count_request("sweep");
+        m.count_request("metrics");
+        m.latency.record(120);
+        m.latency.record(9_999_999);
+        let ev = EventTotals::default();
+        let body = render(&snapshot(&m, &ev));
+        // Every non-comment line is `name{labels} value` with a numeric
+        // value; every sample is preceded by HELP/TYPE for its family.
+        for line in body.lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "bad comment {line:?}"
+                );
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(value.parse::<f64>().is_ok(), "non-numeric sample {line:?}");
+        }
+        for family in [
+            "sp_uptime_ms",
+            "sp_requests_total",
+            "sp_requests_by_kind_total",
+            "sp_cache_hits_total",
+            "sp_request_latency_us",
+            "sp_events_runs_total",
+            "sp_events_prefetch_issued_total",
+            "sp_events_pollution_total",
+            "sp_events_timeliness_total",
+        ] {
+            assert!(
+                body.contains(&format!("# TYPE {family} ")),
+                "missing family {family}"
+            );
+        }
+        assert!(
+            body.contains("sp_requests_by_kind_total{kind=\"metrics\"} 1"),
+            "got {body}"
+        );
+        assert!(
+            body.contains("sp_events_pollution_total{case=\"reuse\"} 0"),
+            "got {body}"
+        );
+    }
+
+    #[test]
+    fn histogram_series_are_cumulative_and_share_the_json_bounds() {
+        let m = Metrics::default();
+        m.latency.record(50);
+        m.latency.record(120);
+        m.latency.record(9_999_999);
+        let mut out = String::new();
+        render_histogram(&mut out, "h_us", "help.", &m.latency);
+        // Cumulative: 1 at le=100, 2 at le=250, held through +Inf = 3.
+        assert!(out.contains("h_us_bucket{le=\"100\"} 1"), "got {out}");
+        assert!(out.contains("h_us_bucket{le=\"250\"} 2"), "got {out}");
+        assert!(out.contains("h_us_bucket{le=\"+Inf\"} 3"), "got {out}");
+        assert!(out.contains(&format!("h_us_sum {}", 50 + 120 + 9_999_999)));
+        assert!(out.contains("h_us_count 3"), "got {out}");
+        // One bucket line per JSON bucket row: same source table.
+        let bucket_lines = out.matches("h_us_bucket{").count();
+        assert_eq!(bucket_lines, LATENCY_BOUNDS_US.len() + 1);
+    }
+}

@@ -14,6 +14,7 @@
 //! {"type":"affinity","bench":"mst","scale":"test"}
 //! {"type":"burn","ms":50}            # load-testing: occupies a worker
 //! {"type":"stats"}                   # metrics snapshot, never queued
+//! {"type":"metrics"}                 # Prometheus text exposition, never queued
 //! {"type":"ping"}
 //! {"type":"shutdown"}                # graceful drain
 //! ```
@@ -114,6 +115,10 @@ pub struct SimSpec {
     pub rp: f64,
     /// Engine options (helper model, passes).
     pub opts: EngineOptions,
+    /// Attach event sinks to every run, adding per-point lifecycle /
+    /// timeliness / pollution-case summaries to the result (and feeding
+    /// the daemon's aggregate event counters).
+    pub events: bool,
 }
 
 impl SimSpec {
@@ -138,18 +143,23 @@ impl SimSpec {
             }
             opts.passes = p as usize;
         }
+        let events = match v.get("events") {
+            None => false,
+            Some(e) => e.as_bool().ok_or("events must be a boolean")?,
+        };
         Ok(SimSpec {
             bench,
             scale,
             cache,
             rp,
             opts,
+            events,
         })
     }
 
     fn key_fragment(&self) -> String {
         format!(
-            "bench={}|scale={}|{}|rp={}|blocking={}|passes={}",
+            "bench={}|scale={}|{}|rp={}|blocking={}|passes={}|events={}",
             self.bench.name(),
             scale_name(self.scale),
             self.cache.key_fragment(),
@@ -159,7 +169,10 @@ impl SimSpec {
             } else {
                 "off"
             },
-            self.opts.passes
+            self.opts.passes,
+            // Event summaries change the result payload, so eventful and
+            // plain runs of the same spec must not share a cache entry.
+            if self.events { "on" } else { "off" }
         )
     }
 }
@@ -224,6 +237,9 @@ pub enum Command {
     },
     /// Metrics snapshot (handled inline, never queued).
     Stats,
+    /// Prometheus text exposition of the daemon counters, latency
+    /// histogram, and aggregate event totals (handled inline).
+    Metrics,
     /// Graceful drain-and-exit.
     Shutdown,
 }
@@ -258,6 +274,7 @@ impl Request {
         let cmd = match kind {
             "ping" => Command::Ping,
             "stats" => Command::Stats,
+            "metrics" => Command::Metrics,
             "shutdown" => Command::Shutdown,
             "burn" => {
                 let ms = match v.get("ms") {
@@ -326,6 +343,7 @@ impl Request {
             Command::Affinity { .. } => "affinity",
             Command::Burn { .. } => "burn",
             Command::Stats => "stats",
+            Command::Metrics => "metrics",
             Command::Shutdown => "shutdown",
         }
     }
@@ -424,11 +442,35 @@ mod tests {
             "{\"type\":\"sweep\",\"distances\":[2,4],\"hw_prefetch\":false}",
             "{\"type\":\"sweep\",\"distances\":[2,4],\"l2_kb\":128}",
             "{\"type\":\"sweep\",\"distances\":[2,4],\"passes\":2}",
+            "{\"type\":\"sweep\",\"distances\":[2,4],\"events\":true}",
             "{\"type\":\"point\",\"distance\":2}",
         ] {
             let v = Request::parse(variant).unwrap();
             assert_ne!(base.cache_key(), v.cache_key(), "collision for {variant}");
         }
+    }
+
+    #[test]
+    fn metrics_requests_parse_and_stay_uncacheable() {
+        let r = Request::parse("{\"type\":\"metrics\"}").unwrap();
+        assert_eq!(r.kind(), "metrics");
+        assert_eq!(r.cmd, Command::Metrics);
+        assert_eq!(r.cache_key(), None, "metrics must never be cached");
+    }
+
+    #[test]
+    fn events_flag_defaults_off_and_rejects_non_booleans() {
+        let r = Request::parse("{\"type\":\"point\"}").unwrap();
+        match r.cmd {
+            Command::Point { spec, .. } => assert!(!spec.events),
+            other => panic!("wrong command {other:?}"),
+        }
+        let r = Request::parse("{\"type\":\"point\",\"events\":true}").unwrap();
+        match r.cmd {
+            Command::Point { spec, .. } => assert!(spec.events),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(Request::parse("{\"type\":\"point\",\"events\":\"yes\"}").is_err());
     }
 
     #[test]

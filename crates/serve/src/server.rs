@@ -265,6 +265,11 @@ fn serve_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
             let micros = start.elapsed().as_micros() as u64;
             finish(ok_response(&req.id, false, micros, &payload), false)
         }
+        Command::Metrics => {
+            let payload = metrics_payload(shared);
+            let micros = start.elapsed().as_micros() as u64;
+            finish(ok_response(&req.id, false, micros, &payload), false)
+        }
         Command::Shutdown => {
             shared.draining.store(true, Ordering::Relaxed);
             let micros = start.elapsed().as_micros() as u64;
@@ -343,6 +348,28 @@ fn execute_queued(
             )
         }
     }
+}
+
+/// The `metrics` payload: the Prometheus text body (reading the same
+/// atomics `stats` reads), carried as an escaped string so it fits the
+/// one-line NDJSON envelope. A scraping bridge unwraps `body` and
+/// serves it under the declared `content_type`.
+fn metrics_payload(shared: &Shared) -> String {
+    let body = crate::prom::render(&crate::prom::PromSnapshot {
+        metrics: &shared.metrics,
+        events: shared.engine.event_totals(),
+        uptime_ms: shared.started.elapsed().as_millis() as u64,
+        cache_entries: shared.cache.len(),
+        cache_capacity: shared.cache.capacity(),
+        queue_depth: shared.pool.queue_depth(),
+        queue_capacity: shared.pool.capacity(),
+        workers: shared.pool.workers(),
+        completed: shared.pool.completed(),
+    });
+    Json::obj()
+        .push("content_type", Json::str("text/plain; version=0.0.4"))
+        .push("body", Json::str(body))
+        .encode()
 }
 
 /// The `stats` payload: request counters, cache occupancy and hit

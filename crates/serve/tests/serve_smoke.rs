@@ -125,6 +125,48 @@ fn serves_caches_reports_and_drains() {
         "latency histogram present"
     );
 
+    // An eventful sweep keys separately from the plain one (miss, not
+    // hit) and its points carry event summaries.
+    let eventful = c.roundtrip(
+        "{\"id\":4,\"type\":\"sweep\",\"bench\":\"em3d\",\"distances\":[2,4],\"events\":true}",
+    );
+    assert!(ok(&eventful), "{eventful:?}");
+    assert_eq!(cached(&eventful), Some(false), "events=true is a new key");
+    let points = eventful
+        .get("result")
+        .and_then(|r| r.get("points"))
+        .and_then(Json::as_arr)
+        .unwrap();
+    assert!(
+        points.iter().all(|p| p.get("events").is_some()),
+        "{eventful:?}"
+    );
+
+    // The Prometheus exposition reflects the daemon and event counters.
+    let prom = c.roundtrip("{\"type\":\"metrics\"}");
+    assert!(ok(&prom), "{prom:?}");
+    let r = prom.get("result").unwrap();
+    assert_eq!(
+        r.get("content_type").and_then(Json::as_str),
+        Some("text/plain; version=0.0.4")
+    );
+    let body = r.get("body").and_then(Json::as_str).unwrap();
+    assert!(body.contains("# TYPE sp_request_latency_us histogram"));
+    assert!(
+        body.contains("sp_request_latency_us_bucket{le=\"+Inf\"}"),
+        "histogram buckets exposed"
+    );
+    assert!(body.contains("sp_cache_hits_total 2"), "got {body}");
+    // The eventful sweep above fed the aggregate event totals: a
+    // baseline plus two points.
+    assert!(body.contains("sp_events_runs_total 3"), "got {body}");
+    let issued_line = body
+        .lines()
+        .find(|l| l.starts_with("sp_events_prefetch_issued_total{class=\"helper\"}"))
+        .expect("helper issued series");
+    let issued: u64 = issued_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(issued > 0, "eventful runs issued helper prefetches");
+
     // Graceful drain: shutdown is acknowledged, the connection closes,
     // and the accept loop exits cleanly.
     let bye = c.roundtrip("{\"type\":\"shutdown\"}");
