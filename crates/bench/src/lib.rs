@@ -21,8 +21,8 @@ pub mod plot;
 pub mod report;
 
 pub use baseline::{
-    bench_json, check_against, parse_refs_per_sec, render_entries, run_baseline, BenchEntry,
-    SUITE_NAMES,
+    bench_json, check_against, parse_refs_per_sec, prior_trajectory, render_entries, run_baseline,
+    BenchEntry, SUITE_NAMES,
 };
 pub use experiments::{
     distances_for, fig2, fig2_at, fig_behavior, fig_behavior_at, table2, table2_at, table2_row,

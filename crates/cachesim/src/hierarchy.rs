@@ -730,6 +730,7 @@ impl MemorySystem {
     /// fills landing in this final drain carry `at = u64::MAX` (they
     /// complete after the last access).
     pub fn finish_stats_ev<S: EventSink>(&mut self, sink: &mut S) -> MemStats {
+        let _sp = sp_obs::span!("fold");
         self.stats.bus_busy_cycles = self.bus.busy_cycles();
         self.drain(Cycle::MAX, sink);
         self.stats.clone()

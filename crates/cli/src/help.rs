@@ -3,7 +3,7 @@
 //! usage, so flag changes must update the fixture deliberately.
 
 /// Every `spt` subcommand, in the order the top-level usage lists them.
-pub const COMMANDS: [&str; 12] = [
+pub const COMMANDS: [&str; 13] = [
     "affinity",
     "sweep",
     "delinquent",
@@ -14,6 +14,7 @@ pub const COMMANDS: [&str; 12] = [
     "dump",
     "bench",
     "events",
+    "trace",
     "serve",
     "loadgen",
 ];
@@ -102,9 +103,13 @@ pub fn command_help(cmd: &str) -> Option<String> {
             "Run the pinned cachesim benchmark suite (synthetic set-hammer,\n\
              fig2 EM3D test-scale sweep, fig5 MCF test-scale sweep) and\n\
              print median ns/ref, refs/sec, wall time, and simulator\n\
-             builds per run. The suite is the repository's tracked\n\
-             baseline: `--out` writes BENCH_cachesim.json, `--check`\n\
-             compares refs/sec against a committed baseline file.\n\
+             builds per run. One extra pass per suite runs with the span\n\
+             recorder on and stores a per-stage wall-time breakdown; the\n\
+             timed repetitions stay recording-disabled. The suite is the\n\
+             repository's tracked baseline: `--out` writes\n\
+             BENCH_cachesim.json (carrying the existing file's\n\
+             measurement history forward as trajectory points),\n\
+             `--check` compares refs/sec against a committed baseline.\n\
              \n\
              FLAGS:\n  \
              --smoke                  fewer repetitions (same workloads)\n  \
@@ -133,6 +138,22 @@ pub fn command_help(cmd: &str) -> Option<String> {
              (0 = unbounded; the summary always\n                           \
              folds every event)\n",
         ),
+        "trace" => (
+            "spt trace --out FILE [flags]",
+            "Run a distance sweep with the runtime span recorder enabled\n\
+             and export the collected wall-clock spans as Chrome\n\
+             trace-event JSON, loadable in Perfetto (ui.perfetto.dev) or\n\
+             chrome://tracing. Spans cover the whole pipeline — trace\n\
+             load, compile, per-point simulate, event fold — nested under\n\
+             one correlation ID, with worker threads on separate rows. A\n\
+             per-stage wall-time table is printed on exit.\n\
+             \n\
+             FLAGS:\n  \
+             --out FILE               Chrome trace JSON destination (required)\n  \
+             --rp R                   prefetch ratio (default 0.5)\n  \
+             --distances d1,d2,...    grid (default brackets the bound)\n  \
+             --jobs N                 fan out on N threads (0 = all cores)\n",
+        ),
         "serve" => (
             "spt serve [flags]",
             "Run the sp-serve simulation daemon: accepts sweep / point /\n\
@@ -147,7 +168,13 @@ pub fn command_help(cmd: &str) -> Option<String> {
              --queue N                admission-queue slots (default 64)\n  \
              --cache-entries N        result-cache entries (default 256)\n  \
              --shards N               result-cache shards (default 8)\n  \
-             --timeout-ms N           default request deadline (default 30000)\n",
+             --timeout-ms N           default request deadline (default 30000)\n  \
+             --slow-ms N              access-log lines for requests slower\n                           \
+             than this escalate to warn (default 1000)\n\
+             \n\
+             LOGGING:\n  \
+             SP_LOG=info enables the per-request access log on stderr;\n  \
+             SP_LOG_FORMAT=ndjson switches it to structured NDJSON.\n",
         ),
         "loadgen" => (
             "spt loadgen [flags]",

@@ -11,6 +11,7 @@
 //! spt dump       [--bench B] [--size S] --out trace.spt
 //! spt bench      [--smoke] [--out F] [--check BASELINE] [--tolerance F]
 //! spt events     [--bench B] [--distance D] [--rp R] [--original] [--out F.ndjson]
+//! spt trace      [--bench B] [--distances d1,...] [--jobs N] --out profile.json
 //! ```
 //!
 //! Every analysis command also accepts `--trace FILE` to replay a trace
@@ -52,6 +53,7 @@ fn main() {
         }
         return;
     }
+    sp_obs::logger::init_from_env();
     match Args::parse(argv).and_then(run) {
         Ok(()) => {}
         Err(e) => {
@@ -83,6 +85,9 @@ COMMANDS:
   events       replay one run with the prefetch-lifecycle event sink
                attached: timeliness, pollution cases, per-set pressure;
                --out writes the raw event stream as NDJSON
+  trace        run a distance sweep with runtime spans recorded and
+               export them as Chrome trace-event JSON (--out F, load
+               into Perfetto / chrome://tracing)
   serve        run the simulation service daemon (NDJSON over TCP)
   loadgen      replay a seeded request mix against a running daemon
 
@@ -108,6 +113,7 @@ fn run(a: Args) -> Result<(), String> {
         "dump" => dump(&a),
         "bench" => bench(&a),
         "events" => events(&a),
+        "trace" => trace_cmd(&a),
         "serve" => serve_cmd::serve(&a),
         "loadgen" => serve_cmd::loadgen(&a),
         other => Err(format!(
@@ -251,6 +257,74 @@ fn sweep(a: &Args) -> Result<(), String> {
             );
         }
     }
+    println!("{}", sp_bench::render_runner_summary(&rep));
+    Ok(())
+}
+
+/// `spt trace`: run a distance sweep with the span recorder enabled and
+/// export the collected spans as Chrome trace-event JSON (loadable in
+/// Perfetto or chrome://tracing). Every span carries the same root
+/// correlation ID, so the load → compile → simulate → fold pipeline for
+/// each grid point can be followed across worker threads.
+fn trace_cmd(a: &Args) -> Result<(), String> {
+    let out = a
+        .get("out")
+        .ok_or("trace needs --out FILE (Chrome trace JSON)")?
+        .to_string();
+    let cfg = a.cache_config()?;
+    let rp: f64 = a.get_or("rp", 0.5)?;
+    let jobs: usize = a.get_or("jobs", 0)?; // 0 = all cores
+
+    sp_obs::span::start_recording();
+    let corr = sp_obs::CorrId::next_root();
+    let (spans, n_points, rep) = {
+        let _cg = sp_obs::corr::set_current(corr);
+        let trace = {
+            let _sp = sp_obs::span!("load");
+            a.trace()?
+        };
+        let rec = recommend_distance(&trace, &cfg);
+        let bound = rec.max_distance.unwrap_or(u32::MAX);
+        let mut default: Vec<u32> = [
+            bound / 4,
+            bound / 2,
+            bound,
+            bound.saturating_mul(2),
+            bound.saturating_mul(4),
+        ]
+        .into_iter()
+        .filter(|&d| d >= 1)
+        .collect();
+        default.dedup();
+        let ds = a.distances(&default)?;
+        let ct = std::sync::Arc::new(sp_core::compile_trace(&trace, &cfg));
+        let (s, rep) = sp_core::sweep_compiled_jobs_with(
+            &ct,
+            cfg,
+            rp,
+            &ds,
+            sp_core::EngineOptions::default(),
+            jobs,
+        )
+        .map_err(|e| e.to_string())?;
+        (sp_obs::span::drain(), s.points.len(), rep)
+    };
+    sp_obs::span::stop_recording();
+
+    sp_bench::write_atomic(
+        std::path::Path::new(&out),
+        &sp_obs::chrome::trace_json(&spans),
+    )
+    .map_err(|e| format!("--out {out}: {e}"))?;
+
+    println!("{:>12} {:>12} {:>7}", "stage", "total_us", "spans");
+    for (name, total_us, count) in sp_obs::span::stage_totals(&spans) {
+        println!("{name:>12} {total_us:>12} {count:>7}");
+    }
+    println!(
+        "(traced {n_points} grid points, correlation {corr}; wrote {} spans to {out})",
+        spans.len()
+    );
     println!("{}", sp_bench::render_runner_summary(&rep));
     Ok(())
 }
@@ -510,12 +584,17 @@ fn bench(a: &Args) -> Result<(), String> {
     let entries = sp_bench::run_baseline(smoke);
     print!("{}", sp_bench::render_entries(&entries));
     if let Some(out) = a.get("out") {
+        // Carry the existing document's trajectory forward; this
+        // measurement becomes its newest point.
+        let prior = std::fs::read_to_string(out)
+            .map(|doc| sp_bench::prior_trajectory(&doc))
+            .unwrap_or_default();
         sp_bench::write_atomic(
             std::path::Path::new(out),
-            &sp_bench::bench_json(&entries, smoke),
+            &sp_bench::bench_json(&entries, smoke, &prior),
         )
         .map_err(|e| format!("--out {out}: {e}"))?;
-        println!("(wrote {out})");
+        println!("(wrote {out}, trajectory point {})", prior.len());
     }
     if let Some(baseline_path) = a.get("check") {
         let tolerance: f64 = a.get_or("tolerance", 0.2)?;

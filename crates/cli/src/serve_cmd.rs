@@ -18,6 +18,7 @@ pub fn serve(a: &Args) -> Result<(), String> {
         cache_entries: a.get_or("cache-entries", 256)?,
         shards: a.get_or("shards", 8)?,
         default_timeout_ms: a.get_or("timeout-ms", 30_000)?,
+        slow_ms: a.get_or("slow-ms", 1_000)?,
     };
     let server = Server::bind(&cfg).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
     println!(

@@ -14,7 +14,7 @@ use std::process::Command;
 /// Must match `help::COMMANDS` in the binary (asserted indirectly: a
 /// command missing here would leave its page out of the fixture, and a
 /// page for an unknown command exits non-zero below).
-const COMMANDS: [&str; 12] = [
+const COMMANDS: [&str; 13] = [
     "affinity",
     "sweep",
     "delinquent",
@@ -25,6 +25,7 @@ const COMMANDS: [&str; 12] = [
     "dump",
     "bench",
     "events",
+    "trace",
     "serve",
     "loadgen",
 ];

@@ -129,15 +129,25 @@ pub fn sweep_compiled_jobs_with(
     jobs: usize,
 ) -> Result<(Sweep, RunnerReport), GeometryMismatch> {
     ct.ensure_geometry(cache_cfg.trace_geometry())?;
+    // Each grid point gets a deterministic child of the caller's
+    // correlation ID (baseline = .1, distance i = .i+2), captured here
+    // and re-established inside the job so spans recorded on pool
+    // threads still correlate with the originating request.
+    let corr = sp_obs::corr::current();
+    let _sp = sp_obs::span!("sweep", points = distances.len());
     let mut grid: Vec<Job<'static, RunResult>> = Vec::with_capacity(distances.len() + 1);
     let base_ct = Arc::clone(ct);
     grid.push(Box::new(move || {
+        let _cg = corr.map(|c| sp_obs::corr::set_current(c.child(1)));
+        let _sp = sp_obs::span!("point", baseline = true);
         run_original_passes_compiled(&base_ct, cache_cfg, opts.passes).expect("geometry checked")
     }));
-    for &d in distances {
+    for (i, &d) in distances.iter().enumerate() {
         let params = SpParams::from_distance_rp(d, rp);
         let point_ct = Arc::clone(ct);
         grid.push(Box::new(move || {
+            let _cg = corr.map(|c| sp_obs::corr::set_current(c.child(i as u32 + 2)));
+            let _sp = sp_obs::span!("point", distance = d);
             run_sp_with_compiled(&point_ct, cache_cfg, params, opts).expect("geometry checked")
         }));
     }
@@ -174,19 +184,25 @@ pub fn sweep_events_compiled_jobs_with(
 ) -> Result<(Sweep, SweepEvents, RunnerReport), GeometryMismatch> {
     ct.ensure_geometry(cache_cfg.trace_geometry())?;
     let threshold = default_early_threshold(&cache_cfg.latency);
+    let corr = sp_obs::corr::current();
+    let _sp = sp_obs::span!("sweep", points = distances.len(), events = true);
     let mut grid: Vec<Job<'static, (RunResult, EventSummary)>> =
         Vec::with_capacity(distances.len() + 1);
     let base_ct = Arc::clone(ct);
     grid.push(Box::new(move || {
+        let _cg = corr.map(|c| sp_obs::corr::set_current(c.child(1)));
+        let _sp = sp_obs::span!("point", baseline = true);
         let mut sink = SummarySink::new(threshold);
         let run = run_original_passes_compiled_ev(&base_ct, cache_cfg, opts.passes, &mut sink)
             .expect("geometry checked");
         (run, sink.summary)
     }));
-    for &d in distances {
+    for (i, &d) in distances.iter().enumerate() {
         let params = SpParams::from_distance_rp(d, rp);
         let point_ct = Arc::clone(ct);
         grid.push(Box::new(move || {
+            let _cg = corr.map(|c| sp_obs::corr::set_current(c.child(i as u32 + 2)));
+            let _sp = sp_obs::span!("point", distance = d);
             let mut sink = SummarySink::new(threshold);
             let run = run_sp_with_compiled_ev(&point_ct, cache_cfg, params, opts, &mut sink)
                 .expect("geometry checked");

@@ -61,6 +61,7 @@ fn release_sim(cfg: CacheConfig, sim: MemorySystem) {
 /// projections every replay of this (trace, geometry) pair shares. Wrap
 /// the result in an `Arc` to fan it out across sweep grid points.
 pub fn compile_trace(trace: &HotLoopTrace, cache_cfg: &CacheConfig) -> CompiledTrace {
+    let _sp = sp_obs::span!("compile", refs = trace.total_refs());
     CompiledTrace::compile(trace, cache_cfg.trace_geometry())
 }
 
@@ -156,6 +157,7 @@ pub fn run_original_passes_compiled_ev<S: EventSink>(
 ) -> Result<RunResult, GeometryMismatch> {
     assert!(passes > 0, "need at least one pass");
     ct.ensure_geometry(cache_cfg.trace_geometry())?;
+    let _sp = sp_obs::span!("simulate", mode = "original", passes = passes);
     let mut mem = acquire_sim(cache_cfg);
     let mut clock: Cycle = 0;
     for _ in 0..passes {
@@ -309,6 +311,7 @@ pub fn run_scheduled_compiled_ev<S: EventSink>(
 ) -> Result<RunResult, GeometryMismatch> {
     assert!(opts.passes > 0, "need at least one pass");
     ct.ensure_geometry(cache_cfg.trace_geometry())?;
+    let _sp = sp_obs::span!("simulate", mode = "scheduled", passes = opts.passes);
     // Virtual iteration space: `passes` back-to-back executions of the
     // hot loop; iteration v executes trace iteration v % len.
     let n = ct.outer_iters() * opts.passes;

@@ -1,0 +1,108 @@
+//! Chrome trace-event export: the collected spans as one JSON document
+//! loadable in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`.
+//!
+//! Each span becomes a complete event (`"ph":"X"`) with microsecond
+//! `ts`/`dur` on the process-monotonic clock, the sp-obs thread index
+//! as `tid`, and args carrying the span/parent IDs, the correlation ID
+//! (`corr`, plus `corr_root` so one request's whole tree matches a
+//! single search term) and any span fields. Events are sorted by
+//! `(ts, id)` so the same span set always serialises identically.
+
+use crate::json_escape_into;
+use crate::span::SpanRecord;
+use std::fmt::Write as _;
+
+/// Serialise spans as a Chrome trace-event JSON document (trailing
+/// newline included).
+pub fn trace_json(spans: &[SpanRecord]) -> String {
+    let mut sorted: Vec<&SpanRecord> = spans.iter().collect();
+    sorted.sort_by_key(|r| (r.start_us, r.id));
+
+    let mut out = String::with_capacity(64 + 160 * sorted.len());
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, rec) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n{\"name\":\"");
+        json_escape_into(&mut out, rec.name);
+        let _ = write!(
+            out,
+            "\",\"cat\":\"sp\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}",
+            rec.start_us, rec.dur_us, rec.tid
+        );
+        let _ = write!(out, ",\"args\":{{\"span\":\"{}\"", rec.id);
+        if rec.parent != 0 {
+            let _ = write!(out, ",\"parent\":\"{}\"", rec.parent);
+        }
+        if let Some(corr) = rec.corr {
+            let _ = write!(
+                out,
+                ",\"corr\":\"{corr}\",\"corr_root\":\"{}\"",
+                corr.root_tag()
+            );
+        }
+        for (k, v) in &rec.fields {
+            out.push_str(",\"");
+            json_escape_into(&mut out, k);
+            out.push_str("\":\"");
+            json_escape_into(&mut out, v);
+            out.push('"');
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corr::CorrId;
+
+    fn rec(id: u64, parent: u64, name: &'static str, start_us: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name,
+            corr: None,
+            start_us,
+            dur_us: 7,
+            tid: 1,
+            fields: vec![],
+        }
+    }
+
+    #[test]
+    fn events_are_complete_sorted_and_escaped() {
+        let corr = CorrId::next_root();
+        let mut b = rec(2, 1, "si\"m", 50);
+        b.corr = Some(corr.child(3));
+        b.fields = vec![("distance", "8".to_string())];
+        let doc = trace_json(&[b, rec(1, 0, "load", 10)]);
+        // Sorted by ts: load first despite input order.
+        let load_at = doc.find("\"name\":\"load\"").unwrap();
+        let sim_at = doc.find("\"name\":\"si\\\"m\"").unwrap();
+        assert!(load_at < sim_at, "events not time-sorted: {doc}");
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"ts\":50,\"dur\":7"));
+        assert!(doc.contains(&format!(
+            "\"corr\":\"{}\",\"corr_root\":\"{}\"",
+            corr.child(3),
+            corr.root_tag()
+        )));
+        assert!(doc.contains("\"parent\":\"1\""));
+        assert!(doc.contains("\"distance\":\"8\""));
+        assert!(doc.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(doc.ends_with("\n]}\n"));
+    }
+
+    #[test]
+    fn empty_input_is_still_a_valid_document() {
+        assert_eq!(
+            trace_json(&[]),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n]}\n"
+        );
+    }
+}

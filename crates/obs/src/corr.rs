@@ -1,0 +1,132 @@
+//! Correlation IDs: a process-unique root minted per external unit of
+//! work (one sp-serve request, one `spt trace` invocation) plus a
+//! deterministic sub-index per internal unit (one sweep grid point).
+//!
+//! The current ID is thread-local; [`set_current`] returns a guard that
+//! restores the previous ID on drop, so nested scopes (request → grid
+//! point) compose. Spans and log lines capture [`current`] when they are
+//! created, which is how a request's ID follows its work onto pool
+//! worker threads: the worker task sets the captured ID before running.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_ROOT: AtomicU64 = AtomicU64::new(1);
+
+/// A correlation ID: `root` identifies the external request, `sub`
+/// (when non-zero) one grid point inside it. Renders as `c3` / `c3.7`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct CorrId {
+    root: u64,
+    sub: u32,
+}
+
+impl CorrId {
+    /// Mint a fresh root ID (process-unique, monotonically increasing).
+    pub fn next_root() -> CorrId {
+        CorrId {
+            root: NEXT_ROOT.fetch_add(1, Ordering::Relaxed),
+            sub: 0,
+        }
+    }
+
+    /// A child sharing this ID's root. Grid point `i` uses `child(i+1)`
+    /// so the sub-index is deterministic for a given sweep shape —
+    /// span trees are comparable across `--jobs` widths.
+    pub fn child(self, sub: u32) -> CorrId {
+        CorrId {
+            root: self.root,
+            sub,
+        }
+    }
+
+    /// The root counter value.
+    pub fn root(self) -> u64 {
+        self.root
+    }
+
+    /// The sub-index (0 for a root ID).
+    pub fn sub(self) -> u32 {
+        self.sub
+    }
+
+    /// The root rendered alone (`c3`), shared by an ID and all its
+    /// children — what "same request" means in an export.
+    pub fn root_tag(self) -> String {
+        format!("c{}", self.root)
+    }
+}
+
+impl fmt::Display for CorrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sub == 0 {
+            write!(f, "c{}", self.root)
+        } else {
+            write!(f, "c{}.{}", self.root, self.sub)
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<CorrId>> = const { Cell::new(None) };
+}
+
+/// The correlation ID currently in scope on this thread, if any.
+pub fn current() -> Option<CorrId> {
+    CURRENT.with(Cell::get)
+}
+
+/// Restores the previously-current correlation ID when dropped.
+#[must_use = "dropping the guard immediately unsets the correlation ID"]
+pub struct CorrGuard {
+    prev: Option<CorrId>,
+}
+
+/// Make `id` the current correlation ID for this thread until the
+/// returned guard drops.
+pub fn set_current(id: CorrId) -> CorrGuard {
+    CorrGuard {
+        prev: CURRENT.with(|c| c.replace(Some(id))),
+    }
+}
+
+impl Drop for CorrGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roots_are_unique_and_children_share_them() {
+        let a = CorrId::next_root();
+        let b = CorrId::next_root();
+        assert_ne!(a.root(), b.root());
+        let kid = a.child(3);
+        assert_eq!(kid.root(), a.root());
+        assert_eq!(kid.sub(), 3);
+        assert_eq!(kid.root_tag(), a.root_tag());
+        assert_eq!(format!("{a}"), format!("c{}", a.root()));
+        assert_eq!(format!("{kid}"), format!("c{}.3", a.root()));
+    }
+
+    #[test]
+    fn guard_nests_and_restores() {
+        assert_eq!(current(), None);
+        let a = CorrId::next_root();
+        let g1 = set_current(a);
+        assert_eq!(current(), Some(a));
+        {
+            let b = a.child(1);
+            let _g2 = set_current(b);
+            assert_eq!(current(), Some(b));
+        }
+        assert_eq!(current(), Some(a));
+        drop(g1);
+        assert_eq!(current(), None);
+    }
+}

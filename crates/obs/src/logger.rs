@@ -1,0 +1,243 @@
+//! Leveled structured logger. One line per record on stderr, either
+//! human-readable or NDJSON, selected once per process:
+//!
+//! * `SP_LOG` — `error`, `warn` (default), `info`, `debug`.
+//! * `SP_LOG_FORMAT` — `human` (default) or `ndjson`.
+//!
+//! Lines carry a monotonic microsecond timestamp (process-relative, the
+//! same clock spans use), the level, a target (subsystem name), the
+//! message, the current correlation ID when one is in scope, and any
+//! structured fields. NDJSON flattens fields into the top-level object
+//! so consumers can grep for `"corr":"c12"` or `"id":"41"` directly;
+//! field keys should therefore avoid the built-in keys (`ts_us`,
+//! `level`, `target`, `msg`, `corr`).
+
+use crate::corr;
+use crate::json_escape_into;
+use crate::span::now_us;
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Once;
+
+/// Log severity, most severe first. `SP_LOG` picks the threshold; a
+/// record is emitted when its level is at or above the threshold.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[repr(u8)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+}
+
+impl Level {
+    /// Parse an `SP_LOG` value (case-insensitive).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+
+    /// Lower-case name, as rendered in log lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Output shape: aligned human text or one JSON object per line.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LogFormat {
+    Human,
+    Ndjson,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Warn as u8);
+static FORMAT: AtomicU8 = AtomicU8::new(0);
+static INIT: Once = Once::new();
+
+/// Read `SP_LOG` / `SP_LOG_FORMAT` once; later calls are no-ops. Called
+/// lazily by [`enabled`], so embedding code never has to remember it.
+pub fn init_from_env() {
+    INIT.call_once(|| {
+        if let Ok(v) = std::env::var("SP_LOG") {
+            if let Some(l) = Level::parse(&v) {
+                LEVEL.store(l as u8, Ordering::Relaxed);
+            }
+        }
+        if let Ok(v) = std::env::var("SP_LOG_FORMAT") {
+            if v.trim().eq_ignore_ascii_case("ndjson") {
+                FORMAT.store(1, Ordering::Relaxed);
+            }
+        }
+    });
+}
+
+/// Override the threshold programmatically (tests, embedders). Wins over
+/// the environment because it also marks initialisation as done.
+pub fn set_level(level: Level) {
+    INIT.call_once(|| {});
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Override the output format programmatically.
+pub fn set_format(format: LogFormat) {
+    INIT.call_once(|| {});
+    FORMAT.store(
+        match format {
+            LogFormat::Human => 0,
+            LogFormat::Ndjson => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The format currently in effect.
+pub fn format() -> LogFormat {
+    init_from_env();
+    if FORMAT.load(Ordering::Relaxed) == 1 {
+        LogFormat::Ndjson
+    } else {
+        LogFormat::Human
+    }
+}
+
+/// Would a record at `level` be emitted? The cheap pre-check the log
+/// macros use before building fields.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    init_from_env();
+    level as u8 <= LEVEL.load(Ordering::Relaxed)
+}
+
+/// Render one record to a line (no trailing newline). Pure, so the
+/// formats are unit-testable without capturing stderr.
+pub fn render_line(
+    format: LogFormat,
+    ts_us: u64,
+    level: Level,
+    target: &str,
+    msg: &str,
+    corr: Option<corr::CorrId>,
+    fields: &[(&'static str, String)],
+) -> String {
+    let mut out = String::with_capacity(64 + msg.len());
+    match format {
+        LogFormat::Ndjson => {
+            let _ = write!(out, "{{\"ts_us\":{ts_us},\"level\":\"{}\"", level.name());
+            out.push_str(",\"target\":\"");
+            json_escape_into(&mut out, target);
+            out.push_str("\",\"msg\":\"");
+            json_escape_into(&mut out, msg);
+            out.push('"');
+            if let Some(c) = corr {
+                let _ = write!(out, ",\"corr\":\"{c}\"");
+            }
+            for (k, v) in fields {
+                out.push_str(",\"");
+                json_escape_into(&mut out, k);
+                out.push_str("\":\"");
+                json_escape_into(&mut out, v);
+                out.push('"');
+            }
+            out.push('}');
+        }
+        LogFormat::Human => {
+            let _ = write!(
+                out,
+                "[{:>10.3}ms {:<5} {target}] {msg}",
+                ts_us as f64 / 1_000.0,
+                level.name()
+            );
+            if let Some(c) = corr {
+                let _ = write!(out, " corr={c}");
+            }
+            for (k, v) in fields {
+                let _ = write!(out, " {k}={v}");
+            }
+        }
+    }
+    out
+}
+
+/// Emit one record at `level`. The log macros are the intended entry
+/// point; they pre-check [`enabled`] so fields are only built when the
+/// record will actually be written.
+pub fn log(level: Level, target: &str, msg: &dyn Display, fields: &[(&'static str, String)]) {
+    if !enabled(level) {
+        return;
+    }
+    let line = render_line(
+        format(),
+        now_us(),
+        level,
+        target,
+        &msg.to_string(),
+        corr::current(),
+        fields,
+    );
+    let stderr = std::io::stderr();
+    let mut lock = stderr.lock();
+    let _ = writeln!(lock, "{line}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corr::CorrId;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!(Level::parse("DEBUG"), Some(Level::Debug));
+        assert_eq!(Level::parse(" info "), Some(Level::Info));
+        assert_eq!(Level::parse("verbose"), None);
+        assert!(Level::Error < Level::Debug);
+    }
+
+    #[test]
+    fn ndjson_lines_are_flat_json_objects() {
+        let corr = CorrId::next_root().child(2);
+        let line = render_line(
+            LogFormat::Ndjson,
+            1234,
+            Level::Info,
+            "access",
+            "request \"quoted\"",
+            Some(corr),
+            &[("kind", "point".to_string()), ("id", "41".to_string())],
+        );
+        assert!(line.starts_with("{\"ts_us\":1234,\"level\":\"info\""));
+        assert!(line.contains("\"msg\":\"request \\\"quoted\\\"\""));
+        assert!(line.contains(&format!("\"corr\":\"{corr}\"")));
+        assert!(line.contains("\"kind\":\"point\""));
+        assert!(line.contains("\"id\":\"41\""));
+        assert!(line.ends_with('}'));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn human_lines_carry_fields_inline() {
+        let line = render_line(
+            LogFormat::Human,
+            2_500,
+            Level::Warn,
+            "serve",
+            "slow request",
+            None,
+            &[("total_us", "120000".to_string())],
+        );
+        assert!(line.contains("warn"));
+        assert!(line.contains("serve"));
+        assert!(line.contains("slow request total_us=120000"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Golden-fixture test for the Chrome trace-event export: a small
+//! hand-built span forest serializes byte-for-byte to the committed
+//! fixture, so any format drift (field order, escaping, sorting, the
+//! document frame) is a deliberate fixture update.
+//!
+//! Re-bless after an intentional change:
+//!
+//! ```text
+//! SP_BLESS=1 cargo test -p sp-obs --test chrome_golden
+//! ```
+
+use sp_obs::{CorrId, SpanRecord};
+use std::path::PathBuf;
+
+#[test]
+fn export_matches_golden_fixture() {
+    // The first root minted in this process: deterministic `c1` (this
+    // binary contains exactly this one test).
+    let corr = CorrId::next_root();
+    assert_eq!(corr.root_tag(), "c1", "fixture assumes the first root");
+
+    let spans = vec![
+        // Deliberately out of order: the exporter sorts by (ts, id).
+        SpanRecord {
+            id: 2,
+            parent: 1,
+            name: "simulate",
+            corr: Some(corr.child(1)),
+            start_us: 120,
+            dur_us: 3400,
+            tid: 2,
+            fields: vec![("mode", "scheduled".into()), ("passes", "1".into())],
+        },
+        SpanRecord {
+            id: 1,
+            parent: 0,
+            name: "sweep",
+            corr: Some(corr),
+            start_us: 100,
+            dur_us: 5000,
+            tid: 1,
+            fields: vec![("points", "2".into())],
+        },
+        // No correlation ID, escaped field value, zero duration.
+        SpanRecord {
+            id: 3,
+            parent: 0,
+            name: "load",
+            corr: None,
+            start_us: 0,
+            dur_us: 0,
+            tid: 1,
+            fields: vec![("path", "a\"b\\c\n".into())],
+        },
+    ];
+    let doc = sp_obs::chrome::trace_json(&spans);
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/chrome_trace.json");
+    if std::env::var_os("SP_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &doc).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run with SP_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, doc,
+        "Chrome export drifted; if intentional, re-bless with SP_BLESS=1"
+    );
+}

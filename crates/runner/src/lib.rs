@@ -168,7 +168,9 @@ pub fn run_jobs<T: Send>(jobs: Vec<Job<'_, T>>, jobs_n: usize) -> (Vec<T>, Runne
     if workers <= 1 {
         for (i, job) in jobs.into_iter().enumerate() {
             let t0 = Instant::now();
+            let _sp = sp_obs::span!("job", index = i, worker = 0);
             slots.push(Some(job()));
+            drop(_sp);
             metrics[i] = Some(JobMetric {
                 worker: 0,
                 wall: t0.elapsed(),
@@ -200,7 +202,9 @@ pub fn run_jobs<T: Send>(jobs: Vec<Job<'_, T>>, jobs_n: usize) -> (Vec<T>, Runne
                             .take()
                             .expect("each ticket is claimed exactly once");
                         let t0 = Instant::now();
+                        let sp = sp_obs::span!("job", index = i, worker = worker);
                         let out = job();
+                        drop(sp);
                         local.push((
                             i,
                             out,

@@ -43,7 +43,9 @@ impl std::fmt::Display for SubmitError {
 }
 
 struct PoolState {
-    tasks: VecDeque<Task>,
+    /// Queued tasks with their admission timestamp (sp-obs microsecond
+    /// clock), so the claiming worker can attribute queue wait.
+    tasks: VecDeque<(Task, u64)>,
     shutdown: bool,
 }
 
@@ -127,7 +129,7 @@ impl WorkerPool {
             self.shared.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::Busy);
         }
-        st.tasks.push_back(task);
+        st.tasks.push_back((task, sp_obs::span::now_us()));
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         drop(st);
         self.shared.available.notify_one();
@@ -234,11 +236,25 @@ fn worker_loop(shared: &PoolShared, worker: usize) {
                 st = shared.available.wait(st).unwrap_or_else(|p| p.into_inner());
             }
         };
-        let Some(task) = task else { return };
+        let Some((task, submitted_us)) = task else {
+            return;
+        };
+        if sp_obs::span::recording() {
+            let claimed_us = sp_obs::span::now_us();
+            sp_obs::span::record_complete(
+                "queue_wait",
+                submitted_us,
+                claimed_us.saturating_sub(submitted_us),
+                vec![("worker", worker.to_string())],
+            );
+        }
         let t0 = Instant::now();
+        let sp = sp_obs::span!("task", worker = worker);
         if std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)).is_err() {
             shared.panicked.fetch_add(1, Ordering::Relaxed);
+            sp_obs::log_warn!("runner", "pool task panicked", worker = worker);
         }
+        drop(sp);
         shared.worker_busy_nanos[worker]
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         shared.worker_jobs[worker].fetch_add(1, Ordering::Relaxed);

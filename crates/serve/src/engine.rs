@@ -115,6 +115,7 @@ impl SimEngine {
         // Synthesize outside the lock — scaled traces take a while, and
         // a second thread racing to the same key just recomputes the
         // identical (deterministic) trace.
+        let _sp = sp_obs::span!("load", bench = bench.name(), scale = format!("{scale:?}"));
         let t = Arc::new(scale.workload(bench).trace());
         self.traces
             .lock()
@@ -190,6 +191,7 @@ impl SimEngine {
             for point in &events.points {
                 self.events.record(point);
             }
+            let _sp = sp_obs::span!("serialize");
             return sweep_json(spec, bound, &sweep, Some(&events)).encode();
         }
         let (sweep, _report) = sweep_compiled_jobs_with(
@@ -201,6 +203,7 @@ impl SimEngine {
             1, // requests parallelize across the pool, not within a job
         )
         .expect("compiled for this request's geometry");
+        let _sp = sp_obs::span!("serialize");
         sweep_json(spec, bound, &sweep, None).encode()
     }
 }

@@ -40,7 +40,7 @@ pub mod server;
 pub use cache::{fnv1a64, ResultCache};
 pub use engine::{EventTotals, SimEngine};
 pub use json::Json;
-pub use metrics::Metrics;
-pub use prom::{render as render_prometheus, PromSnapshot};
+pub use metrics::{Metrics, StageTimes, STAGES};
+pub use prom::{render as render_prometheus, render_stage_seconds, PromSnapshot};
 pub use protocol::{error_response, ok_response, Command, Request, SimSpec};
 pub use server::{Server, ServerConfig};

@@ -80,6 +80,54 @@ impl Histogram {
     }
 }
 
+/// Pipeline stages folded into the `sp_stage_seconds` histograms — the
+/// span names the request path emits (see `sp-obs` and DESIGN.md §9).
+/// Spans with other names (e.g. `request`, `sweep`, `point`) are
+/// covered by the latency histogram or are grouping-only and are not
+/// folded.
+pub const STAGES: [&str; 8] = [
+    "load",
+    "compile",
+    "simulate",
+    "fold",
+    "serialize",
+    "cache_lookup",
+    "queue_wait",
+    "execute",
+];
+
+/// Per-stage wall-time histograms, one [`Histogram`] per [`STAGES`]
+/// entry. Recorded in microseconds (the sp-obs span clock); the
+/// Prometheus renderer converts bounds to seconds for the
+/// `sp_stage_seconds` family.
+#[derive(Debug, Default)]
+pub struct StageTimes {
+    hists: [Histogram; STAGES.len()],
+}
+
+impl StageTimes {
+    /// Fold one span duration into its stage. Unknown stage names are
+    /// ignored — the span stream also carries grouping spans.
+    pub fn record_us(&self, stage: &str, micros: u64) {
+        if let Some(idx) = STAGES.iter().position(|&s| s == stage) {
+            self.hists[idx].record(micros);
+        }
+    }
+
+    /// The histogram for `stage`, when it is a [`STAGES`] member.
+    pub fn get(&self, stage: &str) -> Option<&Histogram> {
+        STAGES
+            .iter()
+            .position(|&s| s == stage)
+            .map(|idx| &self.hists[idx])
+    }
+
+    /// Iterate `(stage, histogram)` in [`STAGES`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &Histogram)> {
+        STAGES.iter().copied().zip(self.hists.iter())
+    }
+}
+
 /// All daemon counters.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -169,6 +217,20 @@ mod tests {
         let json = h.to_json().encode();
         assert!(json.contains("\"le_us\":100"), "got {json}");
         assert!(json.contains("\"le_us\":\"inf\""), "got {json}");
+    }
+
+    #[test]
+    fn stage_times_fold_known_stages_only() {
+        let s = StageTimes::default();
+        s.record_us("simulate", 1_000);
+        s.record_us("simulate", 3_000_000);
+        s.record_us("request", 5); // grouping span, not a stage
+        let h = s.get("simulate").unwrap();
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.sum_us(), 3_001_000);
+        assert!(s.get("request").is_none());
+        assert_eq!(s.iter().count(), STAGES.len());
+        assert!(s.iter().all(|(name, _)| STAGES.contains(&name)));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! so the body stays byte-deterministic for a given counter state.
 
 use crate::engine::EventTotals;
-use crate::metrics::{Histogram, Metrics, KINDS};
+use crate::metrics::{Histogram, Metrics, StageTimes, KINDS};
 use sp_cachesim::{PfClass, PollutionCase};
 use std::fmt::Write;
 use std::sync::atomic::Ordering;
@@ -37,6 +37,8 @@ pub struct PromSnapshot<'a> {
     pub workers: usize,
     /// Jobs the pool has completed.
     pub completed: u64,
+    /// Per-stage wall-time histograms folded from sp-obs spans.
+    pub stages: &'a StageTimes,
 }
 
 fn header(out: &mut String, name: &str, kind: &str, help: &str) {
@@ -80,6 +82,42 @@ pub fn render_histogram(out: &mut String, name: &str, help: &str, h: &Histogram)
     }
     let _ = writeln!(out, "{name}_sum {}", h.sum_us());
     let _ = writeln!(out, "{name}_count {cumulative}");
+}
+
+/// A microsecond quantity as a seconds string. `f64` `Display` prints
+/// the shortest round-tripping form, so the fixed bucket bounds render
+/// as stable literals (`100` → `0.0001`, `5_000_000` → `5`).
+fn seconds(us: u64) -> String {
+    format!("{}", us as f64 / 1e6)
+}
+
+/// Render the per-stage wall-time histograms as one family with a
+/// `stage` label. Bounds are the shared [`Histogram`] bucket table
+/// converted to seconds; all [`crate::metrics::STAGES`] series appear
+/// even at zero counts, so dashboards see a stable label set.
+pub fn render_stage_seconds(out: &mut String, name: &str, help: &str, stages: &StageTimes) {
+    header(out, name, "histogram", help);
+    for (stage, h) in stages.iter() {
+        let mut cumulative = 0u64;
+        for (bound, count) in h.buckets() {
+            cumulative += count;
+            let le = if bound == u64::MAX {
+                "+Inf".to_string()
+            } else {
+                seconds(bound)
+            };
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{stage=\"{stage}\",le=\"{le}\"}} {cumulative}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{name}_sum{{stage=\"{stage}\"}} {}",
+            seconds(h.sum_us())
+        );
+        let _ = writeln!(out, "{name}_count{{stage=\"{stage}\"}} {cumulative}");
+    }
 }
 
 /// Render the full exposition body.
@@ -178,6 +216,12 @@ pub fn render(snap: &PromSnapshot) -> String {
         "End-to-end request latency, microseconds.",
         &m.latency,
     );
+    render_stage_seconds(
+        &mut out,
+        "sp_stage_seconds",
+        "Wall-clock time per pipeline stage, seconds (folded from runtime spans).",
+        snap.stages,
+    );
 
     // Aggregate prefetch-event totals. Zero until an eventful request
     // (`"events":true`) executes; cache hits do not re-record.
@@ -251,9 +295,13 @@ pub fn render(snap: &PromSnapshot) -> String {
 mod tests {
     use super::*;
     use crate::engine::EventTotals;
-    use crate::metrics::{Metrics, LATENCY_BOUNDS_US};
+    use crate::metrics::{Metrics, LATENCY_BOUNDS_US, STAGES};
 
-    fn snapshot<'a>(m: &'a Metrics, ev: &'a EventTotals) -> PromSnapshot<'a> {
+    fn snapshot<'a>(
+        m: &'a Metrics,
+        ev: &'a EventTotals,
+        stages: &'a StageTimes,
+    ) -> PromSnapshot<'a> {
         PromSnapshot {
             metrics: m,
             events: ev,
@@ -264,6 +312,7 @@ mod tests {
             queue_capacity: 64,
             workers: 4,
             completed: 9,
+            stages,
         }
     }
 
@@ -275,7 +324,9 @@ mod tests {
         m.latency.record(120);
         m.latency.record(9_999_999);
         let ev = EventTotals::default();
-        let body = render(&snapshot(&m, &ev));
+        let stages = StageTimes::default();
+        stages.record_us("simulate", 120);
+        let body = render(&snapshot(&m, &ev, &stages));
         // Every non-comment line is `name{labels} value` with a numeric
         // value; every sample is preceded by HELP/TYPE for its family.
         for line in body.lines() {
@@ -299,6 +350,7 @@ mod tests {
             "sp_events_prefetch_issued_total",
             "sp_events_pollution_total",
             "sp_events_timeliness_total",
+            "sp_stage_seconds",
         ] {
             assert!(
                 body.contains(&format!("# TYPE {family} ")),
@@ -332,5 +384,38 @@ mod tests {
         // One bucket line per JSON bucket row: same source table.
         let bucket_lines = out.matches("h_us_bucket{").count();
         assert_eq!(bucket_lines, LATENCY_BOUNDS_US.len() + 1);
+    }
+
+    #[test]
+    fn stage_seconds_renders_every_stage_with_seconds_bounds() {
+        let stages = StageTimes::default();
+        stages.record_us("simulate", 120); // le 250us = 0.00025s
+        stages.record_us("queue_wait", 9_999_999); // overflow
+        let mut out = String::new();
+        render_stage_seconds(&mut out, "sp_stage_seconds", "help.", &stages);
+        assert!(
+            out.contains("sp_stage_seconds_bucket{stage=\"simulate\",le=\"0.0001\"} 0"),
+            "got {out}"
+        );
+        assert!(
+            out.contains("sp_stage_seconds_bucket{stage=\"simulate\",le=\"0.00025\"} 1"),
+            "got {out}"
+        );
+        assert!(
+            out.contains("sp_stage_seconds_bucket{stage=\"simulate\",le=\"+Inf\"} 1"),
+            "got {out}"
+        );
+        assert!(out.contains("sp_stage_seconds_sum{stage=\"simulate\"} 0.00012"));
+        assert!(out.contains("sp_stage_seconds_count{stage=\"queue_wait\"} 1"));
+        // Stable label set: every stage appears even with zero counts.
+        for stage in STAGES {
+            assert!(
+                out.contains(&format!("sp_stage_seconds_count{{stage=\"{stage}\"}}")),
+                "missing stage {stage}"
+            );
+        }
+        // Exactly one bucket line per bound per stage.
+        let bucket_lines = out.matches("sp_stage_seconds_bucket{").count();
+        assert_eq!(bucket_lines, STAGES.len() * (LATENCY_BOUNDS_US.len() + 1));
     }
 }

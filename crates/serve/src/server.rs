@@ -27,13 +27,14 @@
 use crate::cache::ResultCache;
 use crate::engine::SimEngine;
 use crate::json::Json;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, StageTimes};
 use crate::protocol::{error_response, ok_response, Command, Request};
+use sp_obs::CorrId;
 use sp_runner::{SubmitError, WorkerPool};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Unix signal plumbing without a libc dependency: `signal(2)` is in
@@ -91,6 +92,9 @@ pub struct ServerConfig {
     pub shards: usize,
     /// Deadline for requests that don't set `timeout_ms`.
     pub default_timeout_ms: u64,
+    /// Requests slower than this log their access line at `warn`
+    /// instead of `info`.
+    pub slow_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -102,7 +106,26 @@ impl Default for ServerConfig {
             cache_entries: 256,
             shards: 8,
             default_timeout_ms: 30_000,
+            slow_ms: 1_000,
         }
+    }
+}
+
+/// Per-stage wall-time histograms, process-wide. Spans are collected in
+/// one process-global buffer (see `sp_obs::span`), so the fold lives at
+/// the same scope; every `Server` in the process exposes the same
+/// stage histograms, exactly as every server shares one span stream.
+fn stage_times() -> &'static StageTimes {
+    static STAGES: OnceLock<StageTimes> = OnceLock::new();
+    STAGES.get_or_init(StageTimes::default)
+}
+
+/// Drain the span collector and fold stage durations into the
+/// process-wide histograms. Called after each request and before each
+/// `metrics` render, so scrapes see the freshest completed spans.
+fn fold_stages() {
+    for rec in sp_obs::span::drain() {
+        stage_times().record_us(rec.name, rec.dur_us);
     }
 }
 
@@ -114,6 +137,7 @@ struct Shared {
     pool: WorkerPool,
     draining: AtomicBool,
     default_timeout_ms: u64,
+    slow_ms: u64,
     started: Instant,
 }
 
@@ -135,6 +159,11 @@ impl Server {
     /// Bind the listen socket and build the worker pool. The daemon is
     /// not serving until [`run`](Server::run).
     pub fn bind(cfg: &ServerConfig) -> std::io::Result<Server> {
+        // The daemon leaves span recording on: spans are coarse (one
+        // per pipeline stage, not per access) and feed the per-stage
+        // histograms and the access log's queue attribution.
+        sp_obs::logger::init_from_env();
+        sp_obs::span::start_recording();
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -148,6 +177,7 @@ impl Server {
                 pool: WorkerPool::new(cfg.workers, cfg.queue),
                 draining: AtomicBool::new(false),
                 default_timeout_ms: cfg.default_timeout_ms,
+                slow_ms: cfg.slow_ms,
                 started: Instant::now(),
             }),
         })
@@ -167,6 +197,14 @@ impl Server {
     /// handler, so ctrl-c and `kill` drain instead of aborting.
     pub fn run(self) -> std::io::Result<()> {
         sig::install();
+        sp_obs::log_info!(
+            "serve",
+            "listening",
+            addr = self.local_addr,
+            workers = self.shared.pool.workers(),
+            queue = self.shared.pool.capacity(),
+            cache_entries = self.shared.cache.capacity(),
+        );
         let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
         while !self.shared.draining() {
             match self.listener.accept() {
@@ -185,10 +223,17 @@ impl Server {
             // list stays bounded by the number of *live* connections.
             handlers.retain(|h| !h.is_finished());
         }
+        sp_obs::log_info!(
+            "serve",
+            "draining",
+            live_connections = handlers.iter().filter(|h| !h.is_finished()).count(),
+            queued = self.shared.pool.queue_depth(),
+        );
         for h in handlers {
             let _ = h.join();
         }
         self.shared.pool.shutdown();
+        sp_obs::log_info!("serve", "drained", completed = self.shared.pool.completed());
         Ok(())
     }
 }
@@ -233,29 +278,94 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
     }
 }
 
+/// What the access log reports about one request, filled in along the
+/// request path.
+struct ReqCtx {
+    /// The client's `id` field, re-encoded (JSON), when present.
+    id: Option<String>,
+    /// Wire `type`; `invalid` until the line parses.
+    kind: &'static str,
+    /// Served from the result cache?
+    cached: bool,
+    /// Admission-queue wait, microseconds (0 for inline answers).
+    queue_us: u64,
+    /// `ok`, or the error code sent back.
+    outcome: &'static str,
+}
+
+impl ReqCtx {
+    fn new() -> ReqCtx {
+        ReqCtx {
+            id: None,
+            kind: "invalid",
+            cached: false,
+            queue_us: 0,
+            outcome: "ok",
+        }
+    }
+}
+
 /// Serve one request line; returns `(reply, close_connection)`.
+///
+/// Wraps the real work in a correlation ID and a `request` span, then —
+/// once the span tree has flushed — folds stage durations into the
+/// process histograms and emits one structured access-log line
+/// (escalated to `warn` past the configured `slow_ms`).
 fn serve_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
     let start = Instant::now();
-    let finish = |reply: String, close: bool| {
-        shared
-            .metrics
-            .latency
-            .record(start.elapsed().as_micros() as u64);
-        (reply, close)
+    let corr = CorrId::next_root();
+    let _cg = sp_obs::corr::set_current(corr);
+    let mut ctx = ReqCtx::new();
+    let (reply, close) = {
+        let _sp = sp_obs::span!("request");
+        serve_request(shared, line, start, &mut ctx)
     };
+    let total_us = start.elapsed().as_micros() as u64;
+    shared.metrics.latency.record(total_us);
+    fold_stages();
+    let level = if total_us >= shared.slow_ms.saturating_mul(1_000) {
+        sp_obs::Level::Warn
+    } else {
+        sp_obs::Level::Info
+    };
+    sp_obs::sp_log!(
+        level,
+        "access",
+        "request",
+        id = ctx.id.as_deref().unwrap_or("-"),
+        kind = ctx.kind,
+        cached = ctx.cached,
+        queue_us = ctx.queue_us,
+        total_us = total_us,
+        outcome = ctx.outcome,
+    );
+    (reply, close)
+}
+
+/// The request path proper: parse, answer inline kinds, or go through
+/// cache → pool → engine. Mutates `ctx` for [`serve_line`]'s access log.
+fn serve_request(
+    shared: &Arc<Shared>,
+    line: &str,
+    start: Instant,
+    ctx: &mut ReqCtx,
+) -> (String, bool) {
     let req = match Request::parse(line) {
         Ok(req) => req,
         Err(detail) => {
             shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
             shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
-            return finish(error_response(&None, "bad_request", &detail), false);
+            ctx.outcome = "bad_request";
+            return (error_response(&None, "bad_request", &detail), false);
         }
     };
     shared.metrics.count_request(req.kind());
+    ctx.kind = req.kind();
+    ctx.id = req.id.as_ref().map(|id| id.encode());
     match &req.cmd {
         Command::Ping => {
             let micros = start.elapsed().as_micros() as u64;
-            finish(
+            (
                 ok_response(&req.id, false, micros, "{\"pong\":true}"),
                 false,
             )
@@ -263,32 +373,40 @@ fn serve_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
         Command::Stats => {
             let payload = stats_json(shared).encode();
             let micros = start.elapsed().as_micros() as u64;
-            finish(ok_response(&req.id, false, micros, &payload), false)
+            (ok_response(&req.id, false, micros, &payload), false)
         }
         Command::Metrics => {
             let payload = metrics_payload(shared);
             let micros = start.elapsed().as_micros() as u64;
-            finish(ok_response(&req.id, false, micros, &payload), false)
+            (ok_response(&req.id, false, micros, &payload), false)
         }
         Command::Shutdown => {
             shared.draining.store(true, Ordering::Relaxed);
             let micros = start.elapsed().as_micros() as u64;
-            finish(
+            (
                 ok_response(&req.id, false, micros, "{\"draining\":true}"),
                 true,
             )
         }
         cmd => {
             let key = req.cache_key();
-            if let Some(hit) = key.as_deref().and_then(|k| shared.cache.get(k)) {
+            let hit = {
+                let _sp = sp_obs::span!("cache_lookup");
+                key.as_deref().and_then(|k| shared.cache.get(k))
+            };
+            if let Some(hit) = hit {
                 shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                ctx.cached = true;
                 let micros = start.elapsed().as_micros() as u64;
-                return finish(ok_response(&req.id, true, micros, &hit), false);
+                return (ok_response(&req.id, true, micros, &hit), false);
             }
             if key.is_some() {
                 shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
             }
-            finish(execute_queued(shared, &req, cmd.clone(), key, start), false)
+            (
+                execute_queued(shared, &req, cmd.clone(), key, start, ctx),
+                false,
+            )
         }
     }
 }
@@ -302,13 +420,27 @@ fn execute_queued(
     cmd: Command,
     key: Option<String>,
     start: Instant,
+    ctx: &mut ReqCtx,
 ) -> String {
     let (tx, rx) = mpsc::channel::<Result<String, String>>();
+    // Written by the worker when it claims the task, so the handler can
+    // report queue wait in the access log even though the span stream is
+    // folded asynchronously.
+    let queue_us = Arc::new(AtomicU64::new(0));
     let task = {
         // The handler may have given up by the time this runs; a dead
         // receiver is fine, the cache insert already happened.
         let shared = Arc::clone(shared);
+        let queue_us = Arc::clone(&queue_us);
+        let submitted = Instant::now();
+        // Re-establish the request's correlation ID on the worker so
+        // the engine's spans (and the runner's queue_wait attribution)
+        // correlate with this request.
+        let corr = sp_obs::corr::current();
         Box::new(move || {
+            queue_us.store(submitted.elapsed().as_micros() as u64, Ordering::Relaxed);
+            let _cg = corr.map(sp_obs::corr::set_current);
+            let _sp = sp_obs::span!("execute");
             let outcome = shared.engine.execute(&cmd);
             if let (Some(k), Ok(payload)) = (&key, &outcome) {
                 shared.cache.put(k, payload.clone());
@@ -323,31 +455,37 @@ fn execute_queued(
                 .metrics
                 .busy_rejections
                 .fetch_add(1, Ordering::Relaxed);
+            ctx.outcome = "busy";
             return error_response(&req.id, "busy", "admission queue full; retry later");
         }
         Err(SubmitError::ShuttingDown) => {
+            ctx.outcome = "shutting_down";
             return error_response(&req.id, "shutting_down", "server is draining");
         }
     }
     let deadline = Duration::from_millis(req.timeout_ms.unwrap_or(shared.default_timeout_ms));
-    match rx.recv_timeout(deadline) {
+    let reply = match rx.recv_timeout(deadline) {
         Ok(Ok(payload)) => {
             let micros = start.elapsed().as_micros() as u64;
             ok_response(&req.id, false, micros, &payload)
         }
         Ok(Err(detail)) => {
             shared.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            ctx.outcome = "internal";
             error_response(&req.id, "internal", &detail)
         }
         Err(_) => {
             shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+            ctx.outcome = "timeout";
             error_response(
                 &req.id,
                 "timeout",
                 "deadline reached; result will be cached when the run finishes",
             )
         }
-    }
+    };
+    ctx.queue_us = queue_us.load(Ordering::Relaxed);
+    reply
 }
 
 /// The `metrics` payload: the Prometheus text body (reading the same
@@ -355,6 +493,9 @@ fn execute_queued(
 /// one-line NDJSON envelope. A scraping bridge unwraps `body` and
 /// serves it under the declared `content_type`.
 fn metrics_payload(shared: &Shared) -> String {
+    // Fold whatever the span collector holds right now, so a scrape
+    // reflects every request whose span tree has flushed.
+    fold_stages();
     let body = crate::prom::render(&crate::prom::PromSnapshot {
         metrics: &shared.metrics,
         events: shared.engine.event_totals(),
@@ -365,6 +506,7 @@ fn metrics_payload(shared: &Shared) -> String {
         queue_capacity: shared.pool.capacity(),
         workers: shared.pool.workers(),
         completed: shared.pool.completed(),
+        stages: stage_times(),
     });
     Json::obj()
         .push("content_type", Json::str("text/plain; version=0.0.4"))

@@ -167,6 +167,24 @@ fn serves_caches_reports_and_drains() {
     let issued: u64 = issued_line.rsplit(' ').next().unwrap().parse().unwrap();
     assert!(issued > 0, "eventful runs issued helper prefetches");
 
+    // Per-stage wall-time histograms, folded from the runtime spans.
+    // cache_lookup spans flush with the handler's request span before
+    // the reply is written, so the sweeps above are already folded.
+    assert!(
+        body.contains("# TYPE sp_stage_seconds histogram"),
+        "got {body}"
+    );
+    let lookup_line = body
+        .lines()
+        .find(|l| l.starts_with("sp_stage_seconds_count{stage=\"cache_lookup\"}"))
+        .expect("cache_lookup stage series");
+    let lookups: u64 = lookup_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(lookups > 0, "cache lookups folded, got {body}");
+    assert!(
+        body.contains("sp_stage_seconds_bucket{stage=\"simulate\",le=\"+Inf\"}"),
+        "simulate stage exposed, got {body}"
+    );
+
     // Graceful drain: shutdown is acknowledged, the connection closes,
     // and the accept loop exits cleanly.
     let bye = c.roundtrip("{\"type\":\"shutdown\"}");

@@ -22,6 +22,7 @@
 pub use sp_cachesim as cachesim;
 pub use sp_core as core;
 pub use sp_native as native;
+pub use sp_obs as obs;
 pub use sp_profiler as profiler;
 pub use sp_trace as trace;
 pub use sp_workloads as workloads;
