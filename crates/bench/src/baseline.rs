@@ -11,6 +11,9 @@
 //!   grid point) as every figure driver runs it.
 //! * `fig5_mcf_sweep` — the Figure 5 MCF distance sweep at test scale,
 //!   serial: the acceptance benchmark of the hot-path overhaul.
+//! * `lds` — the hash-join probe kernel on the pointer-chase backend at
+//!   test scale, serial: pins the workload-builder and extension-backend
+//!   paths into the same trajectory.
 //!
 //! Each entry reports median ns per simulated reference, the derived
 //! refs/sec, the median per-run wall time, the number of `MemorySystem`
@@ -27,7 +30,7 @@
 //! and fails on a >20% refs/sec regression against the committed
 //! baseline.
 
-use crate::experiments::{fig2_at, fig_behavior_at, Scale};
+use crate::experiments::{fig2_at, fig_behavior_at, lds_sweep_at, Scale};
 use sp_cachesim::{sim_build_count, CacheConfig};
 use sp_core::{run_original_passes, RunResult, Sweep};
 use sp_trace::synth;
@@ -62,7 +65,7 @@ pub struct BenchEntry {
 }
 
 /// Every suite the baseline runs, in order.
-pub const SUITE_NAMES: [&str; 3] = ["set_hammer", "fig2_em3d_sweep", "fig5_mcf_sweep"];
+pub const SUITE_NAMES: [&str; 4] = ["set_hammer", "fig2_em3d_sweep", "fig5_mcf_sweep", "lds"];
 
 /// Demand accesses simulated by one run (all threads, all grid points).
 fn sweep_refs(s: &Sweep) -> u64 {
@@ -124,6 +127,9 @@ pub fn run_baseline(smoke: bool) -> Vec<BenchEntry> {
         }),
         measure("fig5_mcf_sweep", runs, || {
             sweep_refs(&fig_behavior_at(Benchmark::Mcf, cfg, Scale::Test, 1).0.sweep)
+        }),
+        measure("lds", runs, || {
+            sweep_refs(&lds_sweep_at(cfg, Scale::Test, 1).0)
         }),
     ]
 }

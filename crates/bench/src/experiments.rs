@@ -5,11 +5,11 @@
 //! the executor's timing report alongside the artifact; the plain forms
 //! are serial (`jobs = 1`) wrappers kept for callers that don't care.
 
-use sp_cachesim::CacheConfig;
+use sp_cachesim::{CacheConfig, HwBackend};
 use sp_core::prelude::*;
 use sp_core::{estimate_calr, map_jobs, run_jobs, sampled_set_affinity, RunnerReport, Sweep};
 use sp_profiler::{select_benchmarks, BurstSampler, SelectionRow};
-use sp_workloads::{Benchmark, Candidate, Workload};
+use sp_workloads::{Benchmark, Candidate, KernelKind, ScaleTier, Workload, WorkloadBuilder};
 
 /// Which input sizes the drivers simulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +29,14 @@ impl Scale {
             Scale::Scaled => Workload::scaled(b),
         }
     }
+
+    /// The workload-builder tier this scale maps to.
+    pub fn tier(self) -> ScaleTier {
+        match self {
+            Scale::Test => ScaleTier::Tiny,
+            Scale::Scaled => ScaleTier::Scaled,
+        }
+    }
 }
 
 /// Distance grid for the EM3D sweeps (Figures 2 and 4). The paper sweeps
@@ -44,12 +52,24 @@ pub const DISTANCES_MCF: &[u32] = &[10, 50, 200, 400, 800, 1600, 3200];
 /// flattening past 30 — our scaled bound is ~330, bracketed likewise).
 pub const DISTANCES_MST: &[u32] = &[5, 15, 30, 60, 120, 240, 480, 960];
 
+/// Distance grid shared by the extension kernels (TreeAdd, Health,
+/// MatMul, and the four LDS kernels): their working sets — and hence
+/// Set-Affinity bounds — sit well below the trio's, so a shorter
+/// log-spaced grid brackets every bound.
+pub const DISTANCES_LDS: &[u32] = &[2, 4, 8, 16, 32, 64, 128, 256];
+
 /// The sweep grid for a benchmark.
 pub fn distances_for(b: Benchmark) -> &'static [u32] {
-    match b {
-        Benchmark::Em3d => DISTANCES_EM3D,
-        Benchmark::Mcf => DISTANCES_MCF,
-        Benchmark::Mst => DISTANCES_MST,
+    distances_for_kernel(KernelKind::from_benchmark(b))
+}
+
+/// The sweep grid for any workload-builder kernel.
+pub fn distances_for_kernel(k: KernelKind) -> &'static [u32] {
+    match k {
+        KernelKind::Em3d => DISTANCES_EM3D,
+        KernelKind::Mcf => DISTANCES_MCF,
+        KernelKind::Mst => DISTANCES_MST,
+        _ => DISTANCES_LDS,
     }
 }
 
@@ -84,7 +104,14 @@ pub fn table2(cfg: &CacheConfig) -> Vec<Table2Row> {
 /// distance-bound pipeline. Shared by [`table2_at`] (which fans the
 /// three benchmarks out) and the sp-serve `affinity` request handler.
 pub fn table2_row(cfg: &CacheConfig, scale: Scale, b: Benchmark) -> Table2Row {
-    let w = scale.workload(b);
+    kernel_row(cfg, scale, KernelKind::from_benchmark(b))
+}
+
+/// [`table2_row`] generalized over every workload-builder kernel: the
+/// same profile pipeline applies unchanged to the extension kernels,
+/// so the sp-serve `affinity` handler and the LDS drivers reuse it.
+pub fn kernel_row(cfg: &CacheConfig, scale: Scale, kind: KernelKind) -> Table2Row {
+    let w = WorkloadBuilder::new(kind).tier(scale.tier()).build();
     let trace = w.trace();
     let rec = recommend_distance(&trace, cfg);
     // Adaptive burst sampling: a burst can only observe Set
@@ -100,7 +127,7 @@ pub fn table2_row(cfg: &CacheConfig, scale: Scale, b: Benchmark) -> Table2Row {
     }
     let calr = estimate_calr(&trace, cfg.l1, cfg.l2, cfg.policy, cfg.latency).calr;
     Table2Row {
-        benchmark: b.name(),
+        benchmark: kind.name(),
         input: w.input_description(),
         iterations: w.hot_iterations(),
         sa_range: rec.affinity.range(),
@@ -236,6 +263,24 @@ pub fn fig2(cfg: CacheConfig) -> Sweep {
 pub fn fig2_at(cfg: CacheConfig, scale: Scale, jobs: usize) -> (Sweep, RunnerReport) {
     let w = scale.workload(Benchmark::Em3d);
     sweep_distances_jobs(&w.trace(), cfg, 0.5, distances_for(Benchmark::Em3d), jobs)
+}
+
+/// The LDS extension sweep: the hash-join probe kernel on the
+/// pointer-chase backend over the LDS grid — the benchmark suite's
+/// pinned sample of the workload-builder and backend paths (the other
+/// kernels and backends are covered by the CI smoke matrix).
+pub fn lds_sweep_at(cfg: CacheConfig, scale: Scale, jobs: usize) -> (Sweep, RunnerReport) {
+    let cfg = cfg.with_hw_backend(HwBackend::PointerChase);
+    let trace = WorkloadBuilder::new(KernelKind::HashJoin)
+        .tier(scale.tier())
+        .trace();
+    sweep_distances_jobs(
+        &trace,
+        cfg,
+        0.5,
+        distances_for_kernel(KernelKind::HashJoin),
+        jobs,
+    )
 }
 
 /// The behaviour series of Figures 4(a)/5(a)/6(a) plus the runtime curve

@@ -25,8 +25,9 @@ pub use baseline::{
     BenchEntry, SUITE_NAMES,
 };
 pub use experiments::{
-    distances_for, fig2, fig2_at, fig_behavior, fig_behavior_at, table2, table2_at, table2_row,
-    BehaviorSeries, Scale, Table2Row, DISTANCES_EM3D, DISTANCES_MCF, DISTANCES_MST,
+    distances_for, distances_for_kernel, fig2, fig2_at, fig_behavior, fig_behavior_at, kernel_row,
+    lds_sweep_at, table2, table2_at, table2_row, BehaviorSeries, Scale, Table2Row, DISTANCES_EM3D,
+    DISTANCES_LDS, DISTANCES_MCF, DISTANCES_MST,
 };
 pub use plot::{line_chart, save_svg, ChartConfig, Series};
 pub use report::{

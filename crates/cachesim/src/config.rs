@@ -17,6 +17,64 @@ pub enum Inclusion {
     NonInclusive,
 }
 
+/// Which hardware-prefetcher backend the per-core slots run.
+///
+/// The paper's machine pairs a streamer with a DPL stride prefetcher
+/// per core ([`HwBackend::StreamerDpl`], the default); the other
+/// variants swap that pair for a single backend so sweeps can compare
+/// prefetching strategies on the same workload. Selection is
+/// orthogonal to [`CacheConfig::hw_prefetchers`], which turns the
+/// hardware path off entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HwBackend {
+    /// The Core 2 pair: streaming + DPL stride prefetchers (default).
+    #[default]
+    StreamerDpl,
+    /// Streaming (sequential) prefetcher only.
+    Streamer,
+    /// DPL (IP-indexed stride) prefetcher only.
+    Dpl,
+    /// Pointer-chase (content-directed) prefetcher: learns block
+    /// successor edges and chases them to a depth budget.
+    PointerChase,
+    /// Perceptron-gated stride prefetcher: stride candidates filtered
+    /// by a learned feature-weight gate.
+    Perceptron,
+}
+
+impl HwBackend {
+    /// Every backend, in wire order.
+    pub const ALL: [HwBackend; 5] = [
+        HwBackend::StreamerDpl,
+        HwBackend::Streamer,
+        HwBackend::Dpl,
+        HwBackend::PointerChase,
+        HwBackend::Perceptron,
+    ];
+
+    /// Wire/flag spelling (`--prefetcher` values, serve request keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            HwBackend::StreamerDpl => "streamer+dpl",
+            HwBackend::Streamer => "streamer",
+            HwBackend::Dpl => "dpl",
+            HwBackend::PointerChase => "pointer-chase",
+            HwBackend::Perceptron => "perceptron",
+        }
+    }
+
+    /// Parse a wire spelling; the error lists every valid backend.
+    pub fn parse(s: &str) -> Result<HwBackend, String> {
+        HwBackend::ALL
+            .into_iter()
+            .find(|b| b.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = HwBackend::ALL.iter().map(|b| b.name()).collect();
+                format!("unknown prefetcher {s}; expected {}", names.join("|"))
+            })
+    }
+}
+
 /// Configuration of the simulated CMP memory system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -47,6 +105,12 @@ pub struct CacheConfig {
     pub dpl_entries: usize,
     /// Strides prefetched ahead per DPL trigger.
     pub dpl_degree: u32,
+    /// Which backend the hardware-prefetcher slots run.
+    pub hw_backend: HwBackend,
+    /// Pointer-chase correlation-table entries per core.
+    pub pchase_entries: usize,
+    /// Blocks the pointer-chase backend chases per trigger.
+    pub pchase_depth: u32,
 }
 
 impl CacheConfig {
@@ -68,6 +132,9 @@ impl CacheConfig {
             stream_degree: 2,
             dpl_entries: 16,
             dpl_degree: 2,
+            hw_backend: HwBackend::StreamerDpl,
+            pchase_entries: 256,
+            pchase_depth: 2,
         }
     }
 
@@ -92,6 +159,14 @@ impl CacheConfig {
     /// Replace the L2 replacement policy (for the replacement ablation).
     pub fn with_policy(mut self, policy: Policy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Select the hardware-prefetcher backend (and enable the hardware
+    /// path, which a backend choice implies).
+    pub fn with_hw_backend(mut self, backend: HwBackend) -> Self {
+        self.hw_backend = backend;
+        self.hw_prefetchers = true;
         self
     }
 
@@ -122,6 +197,10 @@ impl CacheConfig {
             "L1 and L2 must share a line size"
         );
         assert!(self.mshr_entries > 0, "need at least one MSHR");
+        assert!(
+            self.pchase_entries > 0 && self.pchase_depth > 0,
+            "pointer-chase table and depth must be non-zero"
+        );
     }
 }
 
@@ -172,6 +251,29 @@ mod tests {
             "non-inclusive by default"
         );
         assert_eq!(c.inclusive().inclusion, Inclusion::Inclusive);
+    }
+
+    #[test]
+    fn backend_names_round_trip_and_unknowns_list_the_valid_set() {
+        for b in HwBackend::ALL {
+            assert_eq!(HwBackend::parse(b.name()), Ok(b));
+        }
+        assert_eq!(HwBackend::default(), HwBackend::StreamerDpl);
+        let err = HwBackend::parse("markov").unwrap_err();
+        assert!(err.contains("unknown prefetcher markov"), "{err}");
+        for b in HwBackend::ALL {
+            assert!(err.contains(b.name()), "{err} missing {}", b.name());
+        }
+    }
+
+    #[test]
+    fn with_hw_backend_selects_and_enables() {
+        let c = CacheConfig::scaled_default()
+            .without_hw_prefetchers()
+            .with_hw_backend(HwBackend::PointerChase);
+        assert_eq!(c.hw_backend, HwBackend::PointerChase);
+        assert!(c.hw_prefetchers, "choosing a backend implies enabling");
+        c.validate();
     }
 
     #[test]

@@ -44,7 +44,8 @@ use sp_trace::VAddr;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Software/hardware prefetch class, indexing the same
-/// `[helper, stream, dpl]` arrays as [`crate::stats::MemStats`].
+/// `[helper, stream, dpl, pchase, perceptron]` arrays as
+/// [`crate::stats::MemStats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PfClass {
     /// Helper-thread software prefetch (including speculative backbone
@@ -54,6 +55,10 @@ pub enum PfClass {
     Stream,
     /// Hardware DPL (stride) prefetcher.
     Dpl,
+    /// Pointer-chase (content-directed) prefetcher.
+    Pchase,
+    /// Perceptron-gated stride prefetcher.
+    Perceptron,
 }
 
 impl PfClass {
@@ -64,15 +69,20 @@ impl PfClass {
             Entity::Helper => Some(PfClass::Helper),
             Entity::HwStream(_) => Some(PfClass::Stream),
             Entity::HwDpl(_) => Some(PfClass::Dpl),
+            Entity::HwPchase(_) => Some(PfClass::Pchase),
+            Entity::HwPerceptron(_) => Some(PfClass::Perceptron),
         }
     }
 
-    /// Index into the `[helper, stream, dpl]` stat arrays.
+    /// Index into the `[helper, stream, dpl, pchase, perceptron]` stat
+    /// arrays.
     pub fn index(self) -> usize {
         match self {
             PfClass::Helper => 0,
             PfClass::Stream => 1,
             PfClass::Dpl => 2,
+            PfClass::Pchase => 3,
+            PfClass::Perceptron => 4,
         }
     }
 
@@ -82,11 +92,19 @@ impl PfClass {
             PfClass::Helper => "helper",
             PfClass::Stream => "stream",
             PfClass::Dpl => "dpl",
+            PfClass::Pchase => "pchase",
+            PfClass::Perceptron => "perceptron",
         }
     }
 
     /// All classes, in stat-array order.
-    pub const ALL: [PfClass; 3] = [PfClass::Helper, PfClass::Stream, PfClass::Dpl];
+    pub const ALL: [PfClass; 5] = [
+        PfClass::Helper,
+        PfClass::Stream,
+        PfClass::Dpl,
+        PfClass::Pchase,
+        PfClass::Perceptron,
+    ];
 }
 
 /// Provenance of an L2 line: who brought it in, and was it demanded or
@@ -527,13 +545,13 @@ pub struct EventSummary {
     /// First-use deltas above this are classified [`Timeliness::Early`].
     pub early_threshold: Cycle,
     /// Prefetches issued, by class.
-    pub issued: [u64; 3],
+    pub issued: [u64; 5],
     /// Speculative L2 fills, by class.
-    pub filled: [u64; 3],
+    pub filled: [u64; 5],
     /// First main-thread uses, by class (the useful prefetches).
-    pub first_uses: [u64; 3],
+    pub first_uses: [u64; 5],
     /// Never-used prefetches evicted, by class.
-    pub evicted_unused: [u64; 3],
+    pub evicted_unused: [u64; 5],
     /// Pollution events, by case `[reuse, unused_helper, unused_hw]`.
     pub pollution: [u64; 3],
     /// Useful prefetches whose fill was still in flight at first use.
@@ -554,10 +572,10 @@ impl EventSummary {
     pub fn new(early_threshold: Cycle) -> EventSummary {
         EventSummary {
             early_threshold,
-            issued: [0; 3],
-            filled: [0; 3],
-            first_uses: [0; 3],
-            evicted_unused: [0; 3],
+            issued: [0; 5],
+            filled: [0; 5],
+            first_uses: [0; 5],
+            evicted_unused: [0; 5],
             pollution: [0; 3],
             late: 0,
             on_time: 0,
@@ -625,11 +643,13 @@ impl EventSummary {
     /// fills are not carried over — they belong to the other run's
     /// block-address space.
     pub fn merge(&mut self, other: &EventSummary) {
-        for i in 0..3 {
+        for i in 0..PfClass::ALL.len() {
             self.issued[i] += other.issued[i];
             self.filled[i] += other.filled[i];
             self.first_uses[i] += other.first_uses[i];
             self.evicted_unused[i] += other.evicted_unused[i];
+        }
+        for i in 0..PollutionCase::ALL.len() {
             self.pollution[i] += other.pollution[i];
         }
         self.late += other.late;
@@ -752,9 +772,9 @@ mod tests {
             set: 3,
             at: 60,
         });
-        assert_eq!(s.issued, [1, 0, 0]);
-        assert_eq!(s.filled, [1, 1, 0]);
-        assert_eq!(s.first_uses, [2, 1, 0]);
+        assert_eq!(s.issued, [1, 0, 0, 0, 0]);
+        assert_eq!(s.filled, [1, 1, 0, 0, 0]);
+        assert_eq!(s.first_uses, [2, 1, 0, 0, 0]);
         assert_eq!((s.late, s.on_time, s.early), (1, 1, 1));
         assert_eq!(s.unresolved(), 0);
         assert!((s.accuracy(PfClass::Helper) - 2.0).abs() < 1e-12);

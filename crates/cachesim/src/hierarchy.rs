@@ -38,10 +38,12 @@
 use crate::bus::Bus;
 use crate::cache::SetAssocCache;
 use crate::clock::Cycle;
-use crate::config::CacheConfig;
+use crate::config::{CacheConfig, HwBackend};
 use crate::events::{Event, EventSink, FillOrigin, NullSink, PfClass, PollutionCase};
 use crate::mshr::{InFlight, MshrFile};
-use crate::prefetcher::{DplPrefetcher, HwPrefetcher, StreamPrefetcher};
+use crate::prefetcher::{
+    DplPrefetcher, HwPrefetcher, PerceptronPrefetcher, PointerChasePrefetcher, StreamPrefetcher,
+};
 use crate::stats::{prefetch_class, MemStats};
 use sp_trace::{AccessKind, CompiledRef, MemRef, VAddr};
 use std::collections::HashSet;
@@ -128,6 +130,8 @@ pub struct MemorySystem {
     bus: Bus,
     streamers: Vec<StreamPrefetcher>,
     dpls: Vec<DplPrefetcher>,
+    pchases: Vec<PointerChasePrefetcher>,
+    perceptrons: Vec<PerceptronPrefetcher>,
     stats: MemStats,
     /// Blocks whose L2 eviction was caused by a prefetch fill and that
     /// held demanded data — candidates for a case-1 pollution re-miss.
@@ -157,6 +161,12 @@ impl MemorySystem {
                 .collect(),
             dpls: (0..cfg.cores)
                 .map(|_| DplPrefetcher::new(cfg.dpl_entries, cfg.dpl_degree, line))
+                .collect(),
+            pchases: (0..cfg.cores)
+                .map(|_| PointerChasePrefetcher::new(cfg.pchase_entries, cfg.pchase_depth))
+                .collect(),
+            perceptrons: (0..cfg.cores)
+                .map(|_| PerceptronPrefetcher::new(cfg.dpl_entries, 32, cfg.dpl_degree, line))
                 .collect(),
             stats: MemStats::default(),
             prefetch_victims: HashSet::default(),
@@ -189,6 +199,12 @@ impl MemorySystem {
         for d in &mut self.dpls {
             d.reset();
         }
+        for p in &mut self.pchases {
+            p.reset();
+        }
+        for p in &mut self.perceptrons {
+            p.reset();
+        }
         self.stats = MemStats::default();
         self.prefetch_victims.clear();
         self.hw_cands.clear();
@@ -211,7 +227,10 @@ impl MemorySystem {
         match entity {
             Entity::Main => 0,
             Entity::Helper => 1,
-            Entity::HwStream(c) | Entity::HwDpl(c) => c as usize,
+            Entity::HwStream(c)
+            | Entity::HwDpl(c)
+            | Entity::HwPchase(c)
+            | Entity::HwPerceptron(c) => c as usize,
         }
     }
 
@@ -296,6 +315,8 @@ impl MemorySystem {
             Entity::Helper => 1,
             Entity::HwStream(_) => 2,
             Entity::HwDpl(_) => 3,
+            Entity::HwPchase(_) => 4,
+            Entity::HwPerceptron(_) => 5,
         }] += 1;
         if S::ENABLED {
             let set = self.cfg.l2.set_of(block) as u32;
@@ -604,16 +625,44 @@ impl MemorySystem {
         // of `self` so issuing can borrow the system mutably).
         if self.cfg.hw_prefetchers {
             let mut cands = std::mem::take(&mut self.hw_cands);
-            self.streamers[core].observe(cr.site, block, &mut cands);
-            let n_stream = cands.len();
-            self.dpls[core].observe(cr.site, cr.vaddr, &mut cands);
-            for (i, &b) in cands.iter().enumerate() {
-                let who = if i < n_stream {
-                    Entity::HwStream(core as u8)
-                } else {
-                    Entity::HwDpl(core as u8)
-                };
-                self.issue_prefetch_block(b, who, t_l2, sink);
+            match self.cfg.hw_backend {
+                HwBackend::StreamerDpl => {
+                    self.streamers[core].observe(cr.site, block, &mut cands);
+                    let n_stream = cands.len();
+                    self.dpls[core].observe(cr.site, cr.vaddr, &mut cands);
+                    for (i, &b) in cands.iter().enumerate() {
+                        let who = if i < n_stream {
+                            Entity::HwStream(core as u8)
+                        } else {
+                            Entity::HwDpl(core as u8)
+                        };
+                        self.issue_prefetch_block(b, who, t_l2, sink);
+                    }
+                }
+                HwBackend::Streamer => {
+                    self.streamers[core].observe(cr.site, block, &mut cands);
+                    for &b in &cands {
+                        self.issue_prefetch_block(b, Entity::HwStream(core as u8), t_l2, sink);
+                    }
+                }
+                HwBackend::Dpl => {
+                    self.dpls[core].observe(cr.site, cr.vaddr, &mut cands);
+                    for &b in &cands {
+                        self.issue_prefetch_block(b, Entity::HwDpl(core as u8), t_l2, sink);
+                    }
+                }
+                HwBackend::PointerChase => {
+                    self.pchases[core].observe(cr.site, block, &mut cands);
+                    for &b in &cands {
+                        self.issue_prefetch_block(b, Entity::HwPchase(core as u8), t_l2, sink);
+                    }
+                }
+                HwBackend::Perceptron => {
+                    self.perceptrons[core].observe(cr.site, cr.vaddr, &mut cands);
+                    for &b in &cands {
+                        self.issue_prefetch_block(b, Entity::HwPerceptron(core as u8), t_l2, sink);
+                    }
+                }
             }
             cands.clear();
             self.hw_cands = cands;

@@ -44,7 +44,7 @@ pub mod stats;
 pub use bus::Bus;
 pub use cache::SetAssocCache;
 pub use clock::{Cycle, LatencyConfig};
-pub use config::{CacheConfig, Inclusion};
+pub use config::{CacheConfig, HwBackend, Inclusion};
 pub use events::{
     default_early_threshold, Event, EventSink, EventSummary, FillOrigin, NullSink, PfClass,
     PollutionCase, QuartileRow, RingSink, SetPressure, SummarySink, Timeliness,

@@ -3,16 +3,25 @@
 //! The Core 2 the paper ran on has, per core, a **streaming prefetcher**
 //! (sequential/adjacent-line) and a **DPL** (Data Prefetch Logic,
 //! IP-indexed stride) prefetcher; the paper counts them among the six
-//! access entities that share the L2 (§III.B). Both models observe the
-//! demand-access stream of their core and emit candidate block addresses;
-//! the [`MemorySystem`](crate::MemorySystem) turns candidates into L2
-//! fills attributed to [`Entity::HwStream`](crate::Entity) /
-//! [`Entity::HwDpl`](crate::Entity).
+//! access entities that share the L2 (§III.B). Two further backends
+//! extend the study beyond the Core 2 pair: a **pointer-chase**
+//! (content-directed) prefetcher for linked data structures and a
+//! **perceptron-gated** stride prefetcher that learns where issuing
+//! pays off. All models observe the demand-access stream of their core
+//! and emit candidate block addresses; the
+//! [`MemorySystem`](crate::MemorySystem) turns candidates into L2
+//! fills attributed to the matching [`Entity`](crate::Entity) variant.
+//! Which backend a simulation runs is selected by
+//! [`HwBackend`](crate::config::HwBackend).
 
 pub mod dpl;
+pub mod pchase;
+pub mod perceptron;
 pub mod streamer;
 
 pub use dpl::DplPrefetcher;
+pub use pchase::PointerChasePrefetcher;
+pub use perceptron::PerceptronPrefetcher;
 pub use streamer::StreamPrefetcher;
 
 use sp_trace::{SiteId, VAddr};

@@ -1,0 +1,209 @@
+//! Pointer-chase (content-directed) prefetcher.
+//!
+//! Linked data structures defeat stride detection: successive delinquent
+//! loads land on unrelated blocks. What *is* stable across traversals is
+//! the **transition** between blocks — walking a chain touches the same
+//! block pairs in the same order every time. This model learns those
+//! pairs from the demand stream (a Markov-style correlation table, one
+//! successor per block) and, on every demand access, chases the learned
+//! edges forward up to a configurable depth budget.
+//!
+//! A trace-driven simulator has no memory *contents*, so the model
+//! cannot decode pointers out of fetched lines the way a real
+//! content-directed prefetcher (e.g. Cooksey's CDP) does; learning
+//! block-to-block transitions from the observed access stream is the
+//! standard trace-level substitution (DESIGN.md §10 documents the
+//! deviation). The consequence is one trained traversal before the
+//! prefetcher fires, like a stride table's confirmation pass.
+
+use super::HwPrefetcher;
+use sp_trace::{SiteId, VAddr};
+
+/// One correlation-table slot: `from` was last followed by `succ`.
+#[derive(Debug, Clone, Copy)]
+struct Edge {
+    from: VAddr,
+    succ: VAddr,
+    valid: bool,
+}
+
+/// A correlation-table prefetcher chasing learned block successors.
+///
+/// The table is direct-mapped on a multiplicative hash of the block
+/// address; a collision simply retrains the slot (small tables forget
+/// cold edges first in practice, since hot edges are re-learned on
+/// every traversal).
+#[derive(Debug, Clone)]
+pub struct PointerChasePrefetcher {
+    table: Vec<Edge>,
+    /// Blocks chased (and prefetched) per trigger.
+    depth: u32,
+    /// Last demand block, the `from` side of the next learned edge.
+    last: Option<VAddr>,
+}
+
+impl PointerChasePrefetcher {
+    /// A prefetcher with `entries` correlation slots chasing `depth`
+    /// successors per demand access.
+    pub fn new(entries: usize, depth: u32) -> Self {
+        assert!(entries > 0 && depth > 0);
+        PointerChasePrefetcher {
+            table: vec![
+                Edge {
+                    from: 0,
+                    succ: 0,
+                    valid: false
+                };
+                entries
+            ],
+            depth,
+            last: None,
+        }
+    }
+
+    fn slot_of(&self, block: VAddr) -> usize {
+        ((block.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % self.table.len()
+    }
+}
+
+impl HwPrefetcher for PointerChasePrefetcher {
+    fn observe(&mut self, _site: SiteId, block: VAddr, out: &mut Vec<VAddr>) {
+        // Learn the edge from the previous demand block to this one.
+        // Self-edges (consecutive touches of one block) carry no
+        // traversal information and would make the chase spin in place.
+        if let Some(prev) = self.last {
+            if prev != block {
+                let slot = self.slot_of(prev);
+                self.table[slot] = Edge {
+                    from: prev,
+                    succ: block,
+                    valid: true,
+                };
+            }
+        }
+        self.last = Some(block);
+
+        // Chase learned successors up to the depth budget. Dedup within
+        // this emission (a cyclic edge chain would otherwise re-emit),
+        // and never emit the trigger block itself.
+        let start = out.len();
+        let mut cur = block;
+        for _ in 0..self.depth {
+            let e = self.table[self.slot_of(cur)];
+            if !e.valid || e.from != cur {
+                break;
+            }
+            cur = e.succ;
+            if cur == block || out[start..].contains(&cur) {
+                break;
+            }
+            out.push(cur);
+        }
+    }
+
+    fn reset(&mut self) {
+        for e in &mut self.table {
+            e.valid = false;
+        }
+        self.last = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pc() -> PointerChasePrefetcher {
+        PointerChasePrefetcher::new(64, 3)
+    }
+
+    fn obs(p: &mut PointerChasePrefetcher, block: VAddr) -> Vec<VAddr> {
+        let mut out = Vec::new();
+        p.observe(SiteId::ANON, block, &mut out);
+        out
+    }
+
+    /// Walk a chain of arbitrary (non-strided) blocks once.
+    fn train(p: &mut PointerChasePrefetcher, chain: &[VAddr]) {
+        for &b in chain {
+            obs(p, b);
+        }
+    }
+
+    #[test]
+    fn first_traversal_trains_second_chases() {
+        let mut p = pc();
+        let chain = [0x1_0000, 0x9_0c0, 0x44_0040, 0x2_0080];
+        for &b in &chain {
+            assert!(obs(&mut p, b).is_empty(), "untrained chase must be empty");
+        }
+        // Revisit the head: the whole learned chain comes back, up to depth.
+        let out = obs(&mut p, chain[0]);
+        assert_eq!(out, vec![chain[1], chain[2], chain[3]]);
+    }
+
+    #[test]
+    fn chase_stops_at_depth_budget() {
+        let mut p = PointerChasePrefetcher::new(64, 2);
+        let chain = [0x40, 0x1040, 0x2040, 0x3040, 0x4040];
+        train(&mut p, &chain);
+        let out = obs(&mut p, chain[0]);
+        assert_eq!(out.len(), 2, "depth 2 chases two edges");
+        assert_eq!(out, vec![chain[1], chain[2]]);
+    }
+
+    #[test]
+    fn mid_chain_trigger_chases_the_suffix() {
+        let mut p = pc();
+        let chain = [0x40, 0x1040, 0x2040, 0x3040];
+        train(&mut p, &chain);
+        let out = obs(&mut p, chain[1]);
+        // Observing chain[1] first learns nothing new (edge 3040->1040
+        // replaces nothing relevant) and chases 2040, 3040 ... then the
+        // freshly-learned wrap edge 3040->1040 ends at the dedup guard.
+        assert!(out.starts_with(&[chain[2], chain[3]]), "{out:?}");
+    }
+
+    #[test]
+    fn relearned_edge_replaces_old_successor() {
+        let mut p = pc();
+        train(&mut p, &[0x40, 0x1040]);
+        train(&mut p, &[0x40, 0x2040]);
+        let out = obs(&mut p, 0x40);
+        assert_eq!(out[0], 0x2040, "newest successor wins");
+    }
+
+    #[test]
+    fn self_edges_are_not_learned() {
+        let mut p = pc();
+        obs(&mut p, 0x40);
+        obs(&mut p, 0x40);
+        assert!(obs(&mut p, 0x40).is_empty(), "no self-loop chase");
+    }
+
+    #[test]
+    fn cycle_chase_terminates_with_dedup() {
+        let mut p = PointerChasePrefetcher::new(64, 8);
+        train(&mut p, &[0x40, 0x1040, 0x40, 0x1040]);
+        let out = obs(&mut p, 0x40);
+        assert!(out.len() < 8, "cycle must not exhaust the depth budget");
+        assert!(!out.contains(&0x40), "the trigger block is never emitted");
+    }
+
+    #[test]
+    fn observe_appends_without_clearing() {
+        let mut p = pc();
+        train(&mut p, &[0x40, 0x1040]);
+        let mut out = vec![7];
+        p.observe(SiteId::ANON, 0x40, &mut out);
+        assert_eq!(out, vec![7, 0x1040], "caller owns the buffer contents");
+    }
+
+    #[test]
+    fn reset_forgets_edges() {
+        let mut p = pc();
+        train(&mut p, &[0x40, 0x1040, 0x2040]);
+        p.reset();
+        assert!(obs(&mut p, 0x40).is_empty(), "must retrain after reset");
+    }
+}

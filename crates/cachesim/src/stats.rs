@@ -6,8 +6,11 @@ use crate::clock::Cycle;
 ///
 /// The paper (§III.B) counts "at least six data access entities" once
 /// helper-threaded prefetching is enabled: the main thread, the helper
-/// thread, two streaming prefetchers and two DPL prefetchers (one pair per
-/// core). This enum is exactly that taxonomy.
+/// thread, two streaming prefetchers and two DPL prefetchers (one pair
+/// per core). This enum is that taxonomy plus the two extension
+/// backends ([`crate::config::HwBackend`]): per-core pointer-chase and
+/// perceptron-gated prefetchers. At most one backend's entities appear
+/// in any single run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Entity {
     /// The main computation thread.
@@ -18,6 +21,10 @@ pub enum Entity {
     HwStream(u8),
     /// The hardware DPL (stride) prefetcher of the given core.
     HwDpl(u8),
+    /// The pointer-chase (content-directed) prefetcher of the given core.
+    HwPchase(u8),
+    /// The perceptron-gated stride prefetcher of the given core.
+    HwPerceptron(u8),
 }
 
 impl Entity {
@@ -29,7 +36,10 @@ impl Entity {
 
     /// `true` for the hardware prefetchers.
     pub fn is_hw(self) -> bool {
-        matches!(self, Entity::HwStream(_) | Entity::HwDpl(_))
+        matches!(
+            self,
+            Entity::HwStream(_) | Entity::HwDpl(_) | Entity::HwPchase(_) | Entity::HwPerceptron(_)
+        )
     }
 }
 
@@ -116,15 +126,17 @@ pub struct MemStats {
     pub main: ThreadStats,
     /// Helper-thread demand counters (its loads, not its prefetches).
     pub helper: ThreadStats,
-    /// Prefetches issued, per entity class: `[helper, stream, dpl]`.
-    pub prefetches_issued: [u64; 3],
+    /// Prefetches issued, per entity class:
+    /// `[helper, stream, dpl, pchase, perceptron]`.
+    pub prefetches_issued: [u64; 5],
     /// Prefetched L2 lines that were later demanded (useful prefetches),
-    /// per entity class: `[helper, stream, dpl]`.
-    pub prefetches_useful: [u64; 3],
+    /// per entity class: `[helper, stream, dpl, pchase, perceptron]`.
+    pub prefetches_useful: [u64; 5],
     /// L2 fills performed (demand + prefetch).
     pub l2_fills: u64,
-    /// L2 fills broken down by filler: `[main, helper, stream, dpl]`.
-    pub l2_fills_by: [u64; 4],
+    /// L2 fills broken down by filler:
+    /// `[main, helper, stream, dpl, pchase, perceptron]`.
+    pub l2_fills_by: [u64; 6],
     /// L2 evictions of valid lines.
     pub l2_evictions: u64,
     /// Dirty L2 lines written back to memory (each occupies the bus).
@@ -147,6 +159,8 @@ pub fn prefetch_class(e: Entity) -> Option<usize> {
         Entity::Helper => Some(0),
         Entity::HwStream(_) => Some(1),
         Entity::HwDpl(_) => Some(2),
+        Entity::HwPchase(_) => Some(3),
+        Entity::HwPerceptron(_) => Some(4),
     }
 }
 
@@ -171,6 +185,8 @@ mod tests {
         assert!(Entity::Helper.is_prefetcher());
         assert!(Entity::HwStream(0).is_prefetcher());
         assert!(Entity::HwDpl(1).is_hw());
+        assert!(Entity::HwPchase(0).is_hw());
+        assert!(Entity::HwPerceptron(1).is_hw());
         assert!(!Entity::Helper.is_hw());
     }
 
@@ -205,6 +221,8 @@ mod tests {
         assert_eq!(prefetch_class(Entity::Helper), Some(0));
         assert_eq!(prefetch_class(Entity::HwStream(1)), Some(1));
         assert_eq!(prefetch_class(Entity::HwDpl(0)), Some(2));
+        assert_eq!(prefetch_class(Entity::HwPchase(1)), Some(3));
+        assert_eq!(prefetch_class(Entity::HwPerceptron(0)), Some(4));
     }
 
     #[test]

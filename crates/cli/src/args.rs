@@ -1,9 +1,9 @@
 //! Tiny hand-rolled flag parser (the workspace deliberately carries no
 //! CLI dependency).
 
-use sp_cachesim::{CacheConfig, CacheGeometry};
+use sp_cachesim::{CacheConfig, CacheGeometry, HwBackend};
 use sp_trace::HotLoopTrace;
-use sp_workloads::Candidate;
+use sp_workloads::{KernelKind, ScaleTier, WorkloadBuilder};
 
 /// Flags that may appear without a value (`spt bench --smoke`,
 /// `spt sweep --events`, `spt events --original`).
@@ -71,19 +71,10 @@ impl Args {
         }
     }
 
-    /// The `--bench` selection (default em3d).
-    pub fn candidate(&self) -> Result<Candidate, String> {
-        match self.get("bench").unwrap_or("em3d") {
-            "em3d" => Ok(Candidate::Em3d),
-            "mcf" => Ok(Candidate::Mcf),
-            "mst" => Ok(Candidate::Mst),
-            "treeadd" => Ok(Candidate::TreeAdd),
-            "health" => Ok(Candidate::Health),
-            "matmul" => Ok(Candidate::Matmul),
-            other => Err(format!(
-                "unknown benchmark {other}; expected em3d|mcf|mst|treeadd|health|matmul"
-            )),
-        }
+    /// The `--bench` selection (default em3d): any workload-builder
+    /// kernel, including the LDS extension kernels.
+    pub fn kernel(&self) -> Result<KernelKind, String> {
+        KernelKind::parse(self.get("bench").unwrap_or("em3d"))
     }
 
     /// Obtain the trace to analyze: `--trace FILE` replays a recorded
@@ -93,16 +84,18 @@ impl Args {
             return sp_trace::load_trace(std::path::Path::new(path))
                 .map_err(|e| format!("--trace {path}: {e}"));
         }
-        let c = self.candidate()?;
-        match self.get("size").unwrap_or("scaled") {
-            "scaled" => Ok(c.trace_scaled()),
-            "tiny" => Ok(c.trace_tiny()),
-            other => Err(format!("unknown size {other}; expected scaled|tiny")),
-        }
+        let k = self.kernel()?;
+        let tier = match self.get("size").unwrap_or("scaled") {
+            "scaled" => ScaleTier::Scaled,
+            "tiny" => ScaleTier::Tiny,
+            other => return Err(format!("unknown size {other}; expected scaled|tiny")),
+        };
+        Ok(WorkloadBuilder::new(k).tier(tier).trace())
     }
 
     /// The cache configuration from `--l2-kb`, `--ways`, `--line`,
-    /// `--hw-prefetch on|off` (defaults: the scaled preset).
+    /// `--prefetcher NAME`, `--hw-prefetch on|off` (defaults: the
+    /// scaled preset).
     pub fn cache_config(&self) -> Result<CacheConfig, String> {
         let mut cfg = match self.get("cache").unwrap_or("scaled") {
             "scaled" => CacheConfig::scaled_default(),
@@ -117,6 +110,9 @@ impl Args {
         let ways: u32 = self.get_or("ways", cfg.l2.ways)?;
         let line: u64 = self.get_or("line", cfg.l2.line_size)?;
         cfg.l2 = CacheGeometry::new(l2_kb * 1024, ways, line);
+        if let Some(pf) = self.get("prefetcher") {
+            cfg.hw_backend = HwBackend::parse(pf)?;
+        }
         match self.get("hw-prefetch") {
             None => {}
             Some("on") => cfg.hw_prefetchers = true,
@@ -186,13 +182,18 @@ mod tests {
     }
 
     #[test]
-    fn candidate_mapping() {
+    fn kernel_mapping_covers_every_builder_kernel() {
         assert_eq!(
-            args("x --bench mst").unwrap().candidate().unwrap(),
-            Candidate::Mst
+            args("x --bench mst").unwrap().kernel().unwrap(),
+            KernelKind::Mst
         );
-        assert_eq!(args("x").unwrap().candidate().unwrap(), Candidate::Em3d);
-        assert!(args("x --bench nope").unwrap().candidate().is_err());
+        assert_eq!(args("x").unwrap().kernel().unwrap(), KernelKind::Em3d);
+        for k in KernelKind::ALL {
+            let line = format!("x --bench {}", k.flag());
+            assert_eq!(args(&line).unwrap().kernel().unwrap(), k);
+        }
+        let err = args("x --bench nope").unwrap().kernel().unwrap_err();
+        assert!(err.contains("unknown benchmark"), "{err}");
     }
 
     #[test]
@@ -208,6 +209,25 @@ mod tests {
                 .unwrap()
                 .hw_prefetchers
         );
+    }
+
+    #[test]
+    fn prefetcher_selects_a_backend_and_rejects_unknowns() {
+        let c = args("x").unwrap().cache_config().unwrap();
+        assert_eq!(c.hw_backend, HwBackend::StreamerDpl);
+        let c = args("x --prefetcher pointer-chase")
+            .unwrap()
+            .cache_config()
+            .unwrap();
+        assert_eq!(c.hw_backend, HwBackend::PointerChase);
+        let err = args("x --prefetcher markov")
+            .unwrap()
+            .cache_config()
+            .unwrap_err();
+        assert!(err.contains("unknown prefetcher markov"), "{err}");
+        for b in HwBackend::ALL {
+            assert!(err.contains(b.name()), "{err} missing {}", b.name());
+        }
     }
 
     #[test]

@@ -21,7 +21,9 @@ pub const COMMANDS: [&str; 13] = [
 
 const COMMON: &str = "\
 COMMON FLAGS:
-  --bench em3d|mcf|mst|treeadd|health|matmul  workload (default em3d)
+  --bench KERNEL             workload (default em3d); one of
+                             em3d|mcf|mst|treeadd|health|matmul|
+                             hashjoin|bfs|skiplist|btree
   --size scaled|tiny         input size (default scaled)
   --trace FILE               replay a trace recorded with `spt dump`
   --cache scaled|core2       geometry preset (default scaled)
@@ -29,6 +31,9 @@ COMMON FLAGS:
   --ways N                   L2 associativity override
   --line N                   L2 line size override, bytes
   --hw-prefetch on|off       hardware prefetchers (default on)
+  --prefetcher NAME          hardware-prefetcher backend (default
+                             streamer+dpl): streamer+dpl|streamer|dpl|
+                             pointer-chase|perceptron
 ";
 
 /// The help page for `cmd`, or `None` if it is not a command.

@@ -17,8 +17,10 @@
 //! Every analysis command also accepts `--trace FILE` to replay a trace
 //! recorded with `spt dump` instead of building a workload.
 //!
-//! Common flags: `--bench em3d|mcf|mst|treeadd|matmul`,
+//! Common flags: `--bench` (any workload-builder kernel:
+//! em3d|mcf|mst|treeadd|health|matmul|hashjoin|bfs|skiplist|btree),
 //! `--size scaled|tiny`, `--cache scaled|core2`, `--hw-prefetch on|off`,
+//! `--prefetcher streamer+dpl|streamer|dpl|pointer-chase|perceptron`,
 //! `--l2-kb/--ways/--line` geometry overrides.
 
 mod args;
@@ -92,11 +94,16 @@ COMMANDS:
   loadgen      replay a seeded request mix against a running daemon
 
 COMMON FLAGS:
-  --bench em3d|mcf|mst|treeadd|health|matmul  workload (default em3d)
+  --bench KERNEL                        workload (default em3d); one of
+                                        em3d|mcf|mst|treeadd|health|matmul|
+                                        hashjoin|bfs|skiplist|btree
   --size scaled|tiny                    input size (default scaled)
   --cache scaled|core2                  geometry preset (default scaled)
   --l2-kb N / --ways N / --line N       L2 geometry overrides
   --hw-prefetch on|off                  hardware prefetchers
+  --prefetcher NAME                     hardware-prefetcher backend:
+                                        streamer+dpl|streamer|dpl|
+                                        pointer-chase|perceptron
 
 Run `spt <command> --help` for a command's full flag reference.
 ";

@@ -12,7 +12,7 @@
 
 use crate::json::Json;
 use crate::protocol::{scale_name, Command, SimSpec};
-use sp_bench::{table2_row, Scale};
+use sp_bench::{kernel_row, Scale};
 use sp_cachesim::{EventSummary, PfClass, PollutionCase};
 use sp_core::{
     compile_trace, recommend_distance, sweep_compiled_jobs_with, sweep_events_compiled_jobs_with,
@@ -20,18 +20,17 @@ use sp_core::{
 };
 use sp_native::sync::Mutex;
 use sp_trace::{CompiledTrace, HotLoopTrace, TraceGeometry};
-use sp_workloads::Benchmark;
+use sp_workloads::{KernelKind, WorkloadBuilder};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-fn bench_index(b: Benchmark) -> u8 {
-    match b {
-        Benchmark::Em3d => 0,
-        Benchmark::Mcf => 1,
-        Benchmark::Mst => 2,
-    }
+fn bench_index(k: KernelKind) -> u8 {
+    KernelKind::ALL
+        .iter()
+        .position(|&a| a == k)
+        .expect("ALL holds every kind") as u8
 }
 
 fn scale_index(s: Scale) -> u8 {
@@ -51,13 +50,13 @@ pub struct EventTotals {
     /// Eventful runs folded in (baseline plus one per sweep point).
     pub runs: AtomicU64,
     /// Prefetches issued, indexed by [`PfClass::index`].
-    pub issued: [AtomicU64; 3],
+    pub issued: [AtomicU64; 5],
     /// Prefetch L2 fills, by class.
-    pub filled: [AtomicU64; 3],
+    pub filled: [AtomicU64; 5],
     /// Prefetched blocks first used by the main thread, by class.
-    pub first_uses: [AtomicU64; 3],
+    pub first_uses: [AtomicU64; 5],
     /// Prefetched blocks evicted before any use, by class.
-    pub evicted_unused: [AtomicU64; 3],
+    pub evicted_unused: [AtomicU64; 5],
     /// Pollution evictions, indexed by [`PollutionCase::index`].
     pub pollution: [AtomicU64; 3],
     /// First uses whose fill had not completed when the demand arrived.
@@ -72,11 +71,13 @@ impl EventTotals {
     /// Fold one run's event summary into the totals.
     pub fn record(&self, s: &EventSummary) {
         self.runs.fetch_add(1, Ordering::Relaxed);
-        for i in 0..3 {
+        for i in 0..PfClass::ALL.len() {
             self.issued[i].fetch_add(s.issued[i], Ordering::Relaxed);
             self.filled[i].fetch_add(s.filled[i], Ordering::Relaxed);
             self.first_uses[i].fetch_add(s.first_uses[i], Ordering::Relaxed);
             self.evicted_unused[i].fetch_add(s.evicted_unused[i], Ordering::Relaxed);
+        }
+        for i in 0..PollutionCase::ALL.len() {
             self.pollution[i].fetch_add(s.pollution[i], Ordering::Relaxed);
         }
         self.late.fetch_add(s.late, Ordering::Relaxed);
@@ -107,7 +108,7 @@ impl SimEngine {
         &self.events
     }
 
-    fn trace(&self, bench: Benchmark, scale: Scale) -> Arc<HotLoopTrace> {
+    fn trace(&self, bench: KernelKind, scale: Scale) -> Arc<HotLoopTrace> {
         let key = (bench_index(bench), scale_index(scale));
         if let Some(t) = self.traces.lock().get(&key) {
             return Arc::clone(t);
@@ -116,7 +117,7 @@ impl SimEngine {
         // a second thread racing to the same key just recomputes the
         // identical (deterministic) trace.
         let _sp = sp_obs::span!("load", bench = bench.name(), scale = format!("{scale:?}"));
-        let t = Arc::new(scale.workload(bench).trace());
+        let t = Arc::new(WorkloadBuilder::new(bench).tier(scale.tier()).trace());
         self.traces
             .lock()
             .entry(key)
@@ -157,7 +158,7 @@ impl SimEngine {
                 bench,
                 scale,
                 cache,
-            } => Ok(affinity_json(&table2_row(&cache.config, *scale, *bench)).encode()),
+            } => Ok(affinity_json(&kernel_row(&cache.config, *scale, *bench)).encode()),
             Command::Burn { ms } => {
                 // Occupy this worker for a fixed wall-clock interval —
                 // the load generator's tool for exercising backpressure.
@@ -265,7 +266,7 @@ fn sweep_json(
 /// Encode one run's event summary: lifecycle counts by prefetch class,
 /// pollution evictions by case, and the first-use timeliness split.
 fn event_summary_json(s: &EventSummary) -> Json {
-    let by_class = |vals: &[u64; 3]| {
+    let by_class = |vals: &[u64; 5]| {
         let mut o = Json::obj();
         for c in PfClass::ALL {
             o = o.push(c.name(), Json::num(vals[c.index()] as f64));

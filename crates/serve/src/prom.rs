@@ -232,7 +232,7 @@ pub fn render(snap: &PromSnapshot) -> String {
         "Simulation runs folded into the event totals.",
         ev.runs.load(Ordering::Relaxed),
     );
-    let by_class = |arr: &[std::sync::atomic::AtomicU64; 3]| -> Vec<(&'static str, u64)> {
+    let by_class = |arr: &[std::sync::atomic::AtomicU64; 5]| -> Vec<(&'static str, u64)> {
         PfClass::ALL
             .iter()
             .map(|c| (c.name(), arr[c.index()].load(Ordering::Relaxed)))

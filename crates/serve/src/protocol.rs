@@ -9,7 +9,8 @@
 //! ```text
 //! {"id":7,"type":"sweep","bench":"em3d","scale":"test","rp":0.5,
 //!  "distances":[2,4,8],"cache":"scaled","l2_kb":256,"ways":16,"line":64,
-//!  "hw_prefetch":true,"blocking_helper":true,"passes":1,"timeout_ms":30000}
+//!  "hw_prefetch":true,"prefetcher":"streamer+dpl","blocking_helper":true,
+//!  "passes":1,"timeout_ms":30000}
 //! {"type":"point","bench":"mcf","distance":8}
 //! {"type":"affinity","bench":"mst","scale":"test"}
 //! {"type":"burn","ms":50}            # load-testing: occupies a worker
@@ -35,9 +36,9 @@
 
 use crate::json::Json;
 use sp_bench::Scale;
-use sp_cachesim::{CacheConfig, CacheGeometry};
+use sp_cachesim::{CacheConfig, CacheGeometry, HwBackend};
 use sp_core::EngineOptions;
-use sp_workloads::Benchmark;
+use sp_workloads::KernelKind;
 
 /// Resolved cache selection for a request (preset plus overrides).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,6 +85,10 @@ impl CacheSpec {
             return Err("cache must hold at least one full set".into());
         }
         config.l2 = CacheGeometry::new(l2_kb * 1024, ways, line);
+        if let Some(pf) = v.get("prefetcher") {
+            let name = pf.as_str().ok_or("prefetcher must be a string")?;
+            config.hw_backend = HwBackend::parse(name)?;
+        }
         if let Some(hw) = v.get("hw_prefetch") {
             config.hw_prefetchers = hw.as_bool().ok_or("hw_prefetch must be a boolean")?;
         }
@@ -93,11 +98,12 @@ impl CacheSpec {
     fn key_fragment(&self) -> String {
         let c = &self.config;
         format!(
-            "l2kb={},ways={},line={},hw={}",
+            "l2kb={},ways={},line={},hw={},pf={}",
             c.l2.size_bytes / 1024,
             c.l2.ways,
             c.l2.line_size,
-            if c.hw_prefetchers { "on" } else { "off" }
+            if c.hw_prefetchers { "on" } else { "off" },
+            c.hw_backend.name()
         )
     }
 }
@@ -105,8 +111,8 @@ impl CacheSpec {
 /// The simulation-selecting fields shared by `sweep` and `point`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimSpec {
-    /// Which benchmark to simulate.
-    pub bench: Benchmark,
+    /// Which kernel to simulate (any workload-builder kernel).
+    pub bench: KernelKind,
     /// Input scale (`test` or `scaled`).
     pub scale: Scale,
     /// The resolved cache configuration.
@@ -177,13 +183,8 @@ impl SimSpec {
     }
 }
 
-fn parse_bench(v: &Json) -> Result<Benchmark, String> {
-    match v.get("bench").and_then(Json::as_str).unwrap_or("em3d") {
-        "em3d" => Ok(Benchmark::Em3d),
-        "mcf" => Ok(Benchmark::Mcf),
-        "mst" => Ok(Benchmark::Mst),
-        other => Err(format!("unknown bench {other:?}; expected em3d|mcf|mst")),
-    }
+fn parse_bench(v: &Json) -> Result<KernelKind, String> {
+    KernelKind::parse(v.get("bench").and_then(Json::as_str).unwrap_or("em3d"))
 }
 
 fn parse_scale(v: &Json) -> Result<Scale, String> {
@@ -223,8 +224,8 @@ pub enum Command {
     },
     /// A Table 2 profile (Set Affinity, bound, CALR, RP) for one bench.
     Affinity {
-        /// Which benchmark.
-        bench: Benchmark,
+        /// Which kernel.
+        bench: KernelKind,
         /// Input scale.
         scale: Scale,
         /// Cache configuration.
@@ -307,7 +308,7 @@ impl Request {
             "sweep" => {
                 let spec = SimSpec::parse(&v)?;
                 let distances = match v.get("distances") {
-                    None => sp_bench::distances_for(spec.bench).to_vec(),
+                    None => sp_bench::distances_for_kernel(spec.bench).to_vec(),
                     Some(ds) => {
                         let items = ds.as_arr().ok_or("distances must be an array")?;
                         if items.is_empty() || items.len() > 64 {
@@ -406,13 +407,54 @@ mod tests {
         assert_eq!(r.id, None);
         match &r.cmd {
             Command::Sweep { spec, distances } => {
-                assert_eq!(spec.bench, Benchmark::Em3d);
+                assert_eq!(spec.bench, KernelKind::Em3d);
                 assert_eq!(spec.scale, Scale::Test);
                 assert_eq!(spec.rp, 0.5);
                 assert_eq!(spec.opts, EngineOptions::default());
-                assert_eq!(distances, sp_bench::distances_for(Benchmark::Em3d));
+                assert_eq!(spec.cache.config.hw_backend, HwBackend::StreamerDpl);
+                assert_eq!(distances, sp_bench::distances_for_kernel(KernelKind::Em3d));
             }
             other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_kernel_and_backend_is_addressable() {
+        for k in KernelKind::ALL {
+            for b in HwBackend::ALL {
+                let line = format!(
+                    "{{\"type\":\"sweep\",\"bench\":\"{}\",\"prefetcher\":\"{}\",\
+                     \"distances\":[2]}}",
+                    k.flag(),
+                    b.name()
+                );
+                let r = Request::parse(&line).unwrap();
+                let key = r.cache_key().unwrap();
+                assert!(
+                    key.contains(&format!("bench={}", k.name())),
+                    "key {key} lacks the kernel"
+                );
+                assert!(
+                    key.contains(&format!("pf={}", b.name())),
+                    "key {key} lacks the backend"
+                );
+                match r.cmd {
+                    Command::Sweep { spec, .. } => {
+                        assert_eq!(spec.bench, k);
+                        assert_eq!(spec.cache.config.hw_backend, b);
+                    }
+                    other => panic!("wrong command {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_prefetchers_are_rejected_listing_the_valid_set() {
+        let err = Request::parse("{\"type\":\"sweep\",\"prefetcher\":\"markov\"}").unwrap_err();
+        assert!(err.contains("unknown prefetcher"), "{err}");
+        for b in HwBackend::ALL {
+            assert!(err.contains(b.name()), "{err} missing {}", b.name());
         }
     }
 
@@ -442,6 +484,8 @@ mod tests {
             "{\"type\":\"sweep\",\"distances\":[2,4],\"hw_prefetch\":false}",
             "{\"type\":\"sweep\",\"distances\":[2,4],\"l2_kb\":128}",
             "{\"type\":\"sweep\",\"distances\":[2,4],\"passes\":2}",
+            "{\"type\":\"sweep\",\"distances\":[2,4],\"bench\":\"bfs\"}",
+            "{\"type\":\"sweep\",\"distances\":[2,4],\"prefetcher\":\"perceptron\"}",
             "{\"type\":\"sweep\",\"distances\":[2,4],\"events\":true}",
             "{\"type\":\"point\",\"distance\":2}",
         ] {
@@ -502,6 +546,8 @@ mod tests {
             "{\"type\":\"sweep\",\"distances\":[]}",
             "{\"type\":\"sweep\",\"distances\":\"2\"}",
             "{\"type\":\"sweep\",\"cache\":\"l3\"}",
+            "{\"type\":\"sweep\",\"prefetcher\":\"markov\"}",
+            "{\"type\":\"sweep\",\"prefetcher\":42}",
             "{\"type\":\"sweep\",\"passes\":0}",
             "{\"type\":\"sweep\",\"line\":32}",
             "{\"type\":\"burn\",\"ms\":99999999}",

@@ -11,22 +11,35 @@
 //! * run the same kernel natively (real arrays, real arithmetic) for the
 //!   `sp-native` hardware-prefetch path.
 //!
-//! [`Workload`] is the uniform handle the experiment harness uses.
+//! [`Workload`] is the uniform handle the experiment harness uses;
+//! [`builder::WorkloadBuilder`] is the declarative construction layer
+//! behind it, which also covers the §IV.B screening candidates and the
+//! LDS workload frontier (hash join, BFS, skip list, B-tree).
 
 pub mod arena;
+pub mod bfs;
+pub mod btree;
+pub mod builder;
 pub mod em3d;
+pub mod hashjoin;
 pub mod health;
 pub mod matmul;
 pub mod mcf;
 pub mod mst;
+pub mod skiplist;
 pub mod treeadd;
 
 pub use arena::Arena;
+pub use bfs::{Bfs, BfsConfig};
+pub use btree::{BTree, BTreeConfig};
+pub use builder::{BuiltKernel, KernelKind, KernelSpec, ScaleTier, WorkloadBuilder};
 pub use em3d::{Em3d, Em3dConfig};
+pub use hashjoin::{HashJoin, HashJoinConfig};
 pub use health::{Health, HealthConfig};
 pub use matmul::{Matmul, MatmulConfig};
 pub use mcf::{Mcf, McfConfig};
 pub use mst::{Mst, MstConfig};
+pub use skiplist::{SkipList, SkipListConfig};
 pub use treeadd::{TreeAdd, TreeAddConfig};
 
 use sp_trace::HotLoopTrace;
@@ -67,22 +80,29 @@ pub enum Workload {
 }
 
 impl Workload {
+    /// Build a benchmark at the given scale tier via the builder layer.
+    pub fn at(which: Benchmark, tier: ScaleTier) -> Workload {
+        let spec = KernelSpec {
+            kind: KernelKind::from_benchmark(which),
+            tier,
+            seed: None,
+        };
+        match spec.build() {
+            BuiltKernel::Em3d(w) => Workload::Em3d(w),
+            BuiltKernel::Mcf(w) => Workload::Mcf(w),
+            BuiltKernel::Mst(w) => Workload::Mst(w),
+            other => unreachable!("trio spec built {:?}", other.kind()),
+        }
+    }
+
     /// Build a benchmark at the default scaled size.
     pub fn scaled(which: Benchmark) -> Workload {
-        match which {
-            Benchmark::Em3d => Workload::Em3d(Em3d::build(Em3dConfig::scaled())),
-            Benchmark::Mcf => Workload::Mcf(Mcf::build(McfConfig::scaled())),
-            Benchmark::Mst => Workload::Mst(Mst::build(MstConfig::scaled())),
-        }
+        Workload::at(which, ScaleTier::Scaled)
     }
 
     /// Build a benchmark at the fast test size.
     pub fn tiny(which: Benchmark) -> Workload {
-        match which {
-            Benchmark::Em3d => Workload::Em3d(Em3d::build(Em3dConfig::tiny())),
-            Benchmark::Mcf => Workload::Mcf(Mcf::build(McfConfig::tiny())),
-            Benchmark::Mst => Workload::Mst(Mst::build(MstConfig::tiny())),
-        }
+        Workload::at(which, ScaleTier::Tiny)
     }
 
     /// Which benchmark this is.
@@ -176,28 +196,29 @@ impl Candidate {
         matches!(self, Candidate::Em3d | Candidate::Mcf | Candidate::Mst)
     }
 
+    /// The kernel this candidate maps to in the builder layer.
+    pub fn kind(self) -> KernelKind {
+        KernelKind::from_candidate(self)
+    }
+
+    /// The hot-loop trace at the given scale tier.
+    pub fn trace_at(self, tier: ScaleTier) -> HotLoopTrace {
+        KernelSpec {
+            kind: self.kind(),
+            tier,
+            seed: None,
+        }
+        .trace()
+    }
+
     /// The hot-loop trace at the default scaled size.
     pub fn trace_scaled(self) -> HotLoopTrace {
-        match self {
-            Candidate::Em3d => Workload::scaled(Benchmark::Em3d).trace(),
-            Candidate::Mcf => Workload::scaled(Benchmark::Mcf).trace(),
-            Candidate::Mst => Workload::scaled(Benchmark::Mst).trace(),
-            Candidate::TreeAdd => TreeAdd::build(TreeAddConfig::scaled()).trace(),
-            Candidate::Health => Health::build(HealthConfig::scaled()).trace(),
-            Candidate::Matmul => Matmul::build(MatmulConfig::scaled()).trace(),
-        }
+        self.trace_at(ScaleTier::Scaled)
     }
 
     /// The hot-loop trace at the fast test size.
     pub fn trace_tiny(self) -> HotLoopTrace {
-        match self {
-            Candidate::Em3d => Workload::tiny(Benchmark::Em3d).trace(),
-            Candidate::Mcf => Workload::tiny(Benchmark::Mcf).trace(),
-            Candidate::Mst => Workload::tiny(Benchmark::Mst).trace(),
-            Candidate::TreeAdd => TreeAdd::build(TreeAddConfig::tiny()).trace(),
-            Candidate::Health => Health::build(HealthConfig::tiny()).trace(),
-            Candidate::Matmul => Matmul::build(MatmulConfig::tiny()).trace(),
-        }
+        self.trace_at(ScaleTier::Tiny)
     }
 }
 

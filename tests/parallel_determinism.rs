@@ -6,9 +6,10 @@
 //! their inputs and the runner reassembles results in submission order,
 //! so any divergence is a bug.
 
+use sp_cachesim::{CacheConfig, HwBackend};
 use sp_core::prelude::*;
 use sp_core::sweep_distances_jobs;
-use sp_workloads::{Benchmark, Workload};
+use sp_workloads::{Benchmark, KernelKind, ScaleTier, Workload, WorkloadBuilder};
 
 fn grid(b: Benchmark) -> Vec<u32> {
     // Small per-benchmark grids spanning below/above each tiny-scale
@@ -52,6 +53,40 @@ fn mcf_parallel_sweep_equals_serial() {
 #[test]
 fn mst_parallel_sweep_equals_serial() {
     sweeps_identical(Benchmark::Mst);
+}
+
+/// The LDS frontier obeys the same contract: for every
+/// linked-data-structure kernel, under each of the *learned-state*
+/// backends (the ones with cross-access history most likely to betray
+/// a scheduling dependence), the parallel sweep must equal the serial
+/// one exactly — and the trace handed to every width must be the same
+/// bytes (builder digest equality).
+#[test]
+fn lds_parallel_sweeps_equal_serial_under_new_backends() {
+    for kind in KernelKind::LDS {
+        let trace = WorkloadBuilder::new(kind).tier(ScaleTier::Tiny).trace();
+        assert_eq!(
+            sp_trace::codec::digest(&trace),
+            sp_trace::codec::digest(&WorkloadBuilder::new(kind).tier(ScaleTier::Tiny).trace()),
+            "{}: builder digest unstable",
+            kind.name()
+        );
+        for backend in [HwBackend::PointerChase, HwBackend::Perceptron] {
+            let cfg = CacheConfig::scaled_default().with_hw_backend(backend);
+            let ds = vec![2, 4, 8, 16, 32];
+            let (serial, _) = sweep_distances_jobs(&trace, cfg, 0.5, &ds, 1);
+            for jobs in [2, 4] {
+                let (parallel, _) = sweep_distances_jobs(&trace, cfg, 0.5, &ds, jobs);
+                assert_eq!(
+                    serial,
+                    parallel,
+                    "{} under {}: --jobs {jobs} diverged from serial",
+                    kind.name(),
+                    backend.name()
+                );
+            }
+        }
+    }
 }
 
 /// The raw `RunResult`s (not just the normalized sweep) must match too:
