@@ -14,6 +14,11 @@
 //! * `lds` — the hash-join probe kernel on the pointer-chase backend at
 //!   test scale, serial: pins the workload-builder and extension-backend
 //!   paths into the same trajectory.
+//! * `batched_sweep` — the Figure 2 grid again, but scheduled as
+//!   lane-batches of [`BATCHED_SWEEP_LANES`] grid points through the
+//!   lane-parallel engine (`run_trace_batched`): the batched sweep path
+//!   end to end, bit-identical to `fig2_em3d_sweep` by the lane-vs-
+//!   scalar differential suite.
 //!
 //! Each entry reports median ns per simulated reference, the derived
 //! refs/sec, the median per-run wall time, the number of `MemorySystem`
@@ -27,10 +32,12 @@
 //! is the latest measurement (and what [`check_against`] reads), and
 //! its `trajectory` section carries every prior committed measurement
 //! forward as one point per line. CI re-runs the suite in smoke mode
-//! and fails on a >20% refs/sec regression against the committed
-//! baseline.
+//! and fails on a >20% refs/sec regression against the **rolling
+//! median** of the last few committed trajectory points (not the single
+//! newest point, whose own measurement noise would otherwise become the
+//! gate).
 
-use crate::experiments::{fig2_at, fig_behavior_at, lds_sweep_at, Scale};
+use crate::experiments::{fig2_at, fig2_batched_at, fig_behavior_at, lds_sweep_at, Scale};
 use sp_cachesim::{sim_build_count, CacheConfig};
 use sp_core::{run_original_passes, RunResult, Sweep};
 use sp_trace::synth;
@@ -65,7 +72,18 @@ pub struct BenchEntry {
 }
 
 /// Every suite the baseline runs, in order.
-pub const SUITE_NAMES: [&str; 4] = ["set_hammer", "fig2_em3d_sweep", "fig5_mcf_sweep", "lds"];
+pub const SUITE_NAMES: [&str; 5] = [
+    "set_hammer",
+    "fig2_em3d_sweep",
+    "fig5_mcf_sweep",
+    "lds",
+    "batched_sweep",
+];
+
+/// Lane width of the `batched_sweep` suite — the same EM3D grid as
+/// `fig2_em3d_sweep`, scheduled as lane-batches of grid points through
+/// [`sp_core::run_trace_batched`] instead of one run per point.
+pub const BATCHED_SWEEP_LANES: usize = 4;
 
 /// Demand accesses simulated by one run (all threads, all grid points).
 fn sweep_refs(s: &Sweep) -> u64 {
@@ -73,11 +91,22 @@ fn sweep_refs(s: &Sweep) -> u64 {
     one(&s.baseline) + s.points.iter().map(|p| one(&p.run)).sum::<u64>()
 }
 
-/// Time `f` over `runs` repetitions (after one untimed warmup) and fold
-/// the samples into a [`BenchEntry`]. `f` returns the number of
-/// references the run simulated.
-fn measure(suite: &'static str, runs: usize, mut f: impl FnMut() -> u64) -> BenchEntry {
-    let refs = f(); // warmup; also establishes the per-run ref count
+/// Time `f` over `runs` repetitions (after `warmup` untimed runs) and
+/// fold the samples into a [`BenchEntry`]. `f` returns the number of
+/// references the run simulated. At least one warmup always runs — it
+/// establishes the per-run ref count, faults in the parked simulators,
+/// and lets the host frequency settle before the timed repetitions.
+fn measure(
+    suite: &'static str,
+    warmup: usize,
+    runs: usize,
+    mut f: impl FnMut() -> u64,
+) -> BenchEntry {
+    let refs = f(); // first warmup; also establishes the per-run ref count
+    for _ in 1..warmup.max(1) {
+        let got = f();
+        assert_eq!(got, refs, "{suite}: runs must simulate identical work");
+    }
     let builds_before = sim_build_count();
     let mut samples = Vec::with_capacity(runs);
     for _ in 0..runs {
@@ -114,22 +143,39 @@ fn measure(suite: &'static str, runs: usize, mut f: impl FnMut() -> u64) -> Benc
 /// refs/sec stays comparable to a full-mode baseline) but takes the
 /// median over fewer repetitions.
 pub fn run_baseline(smoke: bool) -> Vec<BenchEntry> {
-    let runs = if smoke { 3 } else { 9 };
+    run_baseline_with(smoke, None, None)
+}
+
+/// [`run_baseline`] with explicit repetition counts: `runs` timed
+/// repetitions (default 3 smoke / 9 full) after `warmup` untimed ones
+/// (default 2). More warmup + more runs tightens the median on noisy
+/// hosts — the bench-trajectory drift across committed points was run-
+/// to-run machine noise, not hot-path change.
+pub fn run_baseline_with(
+    smoke: bool,
+    runs: Option<usize>,
+    warmup: Option<usize>,
+) -> Vec<BenchEntry> {
+    let runs = runs.unwrap_or(if smoke { 3 } else { 9 }).max(1);
+    let warmup = warmup.unwrap_or(2);
     let cfg = CacheConfig::scaled_default();
     let hammer = synth::set_hammer(4096, 2, 0, cfg.l2.sets(), cfg.l2.line_size);
     vec![
-        measure("set_hammer", runs, || {
+        measure("set_hammer", warmup, runs, || {
             let r = run_original_passes(&hammer, cfg, 2);
             r.stats.main.demand_accesses()
         }),
-        measure("fig2_em3d_sweep", runs, || {
+        measure("fig2_em3d_sweep", warmup, runs, || {
             sweep_refs(&fig2_at(cfg, Scale::Test, 1).0)
         }),
-        measure("fig5_mcf_sweep", runs, || {
+        measure("fig5_mcf_sweep", warmup, runs, || {
             sweep_refs(&fig_behavior_at(Benchmark::Mcf, cfg, Scale::Test, 1).0.sweep)
         }),
-        measure("lds", runs, || {
+        measure("lds", warmup, runs, || {
             sweep_refs(&lds_sweep_at(cfg, Scale::Test, 1).0)
+        }),
+        measure("batched_sweep", warmup, runs, || {
+            sweep_refs(&fig2_batched_at(cfg, Scale::Test, 1, BATCHED_SWEEP_LANES).0)
         }),
     ]
 }
@@ -245,15 +291,54 @@ pub fn parse_refs_per_sec(json: &str) -> Vec<(String, f64)> {
     out
 }
 
-/// Compare `current` against a committed baseline document. Returns one
-/// human-readable line per suite, or `Err` naming the first suite whose
-/// refs/sec regressed by more than `tolerance` (a fraction, e.g. 0.2).
+/// Trajectory points a suite's rolling baseline is the median of.
+pub const ROLLING_WINDOW: usize = 3;
+
+/// Per-suite rolling baseline: each suite's **median refs/sec over the
+/// last [`ROLLING_WINDOW`] trajectory points** of `doc` that measured
+/// it. One outlier committed point (a loaded or thermally throttled
+/// runner) then no longer becomes the sole reference the next check
+/// regresses against — the drift across trajectory points 1→3 was
+/// exactly that. Falls back to the entries section for documents with
+/// no trajectory, and tolerates suites that only appear in recent
+/// points (newly added suites contribute the points they have).
+pub fn rolling_refs_per_sec(doc: &str) -> Vec<(String, f64)> {
+    let points: Vec<&str> = doc
+        .lines()
+        .filter(|l| l.trim_start().starts_with("{\"point\":"))
+        .collect();
+    let mut per_suite: Vec<(String, Vec<f64>)> = Vec::new();
+    for p in points.iter().rev().take(ROLLING_WINDOW) {
+        for (name, v) in parse_refs_per_sec(p) {
+            match per_suite.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, vs)) => vs.push(v),
+                None => per_suite.push((name, vec![v])),
+            }
+        }
+    }
+    if per_suite.is_empty() {
+        return parse_refs_per_sec(doc);
+    }
+    per_suite
+        .into_iter()
+        .map(|(n, mut vs)| {
+            vs.sort_by(f64::total_cmp);
+            (n, vs[vs.len() / 2])
+        })
+        .collect()
+}
+
+/// Compare `current` against a committed baseline document: each
+/// suite's refs/sec must stay within `tolerance` (a fraction, e.g. 0.2)
+/// of its rolling trajectory median ([`rolling_refs_per_sec`]). Returns
+/// one human-readable line per suite, or `Err` naming the first suite
+/// that regressed.
 pub fn check_against(
     baseline_json: &str,
     current: &[BenchEntry],
     tolerance: f64,
 ) -> Result<Vec<String>, String> {
-    let baseline = parse_refs_per_sec(baseline_json);
+    let baseline = rolling_refs_per_sec(baseline_json);
     if baseline.is_empty() {
         return Err("baseline contains no suite entries".into());
     }

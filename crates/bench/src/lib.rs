@@ -21,13 +21,14 @@ pub mod plot;
 pub mod report;
 
 pub use baseline::{
-    bench_json, check_against, parse_refs_per_sec, prior_trajectory, render_entries, run_baseline,
-    BenchEntry, SUITE_NAMES,
+    bench_json, check_against, parse_refs_per_sec, prior_trajectory, render_entries,
+    rolling_refs_per_sec, run_baseline, run_baseline_with, BenchEntry, BATCHED_SWEEP_LANES,
+    ROLLING_WINDOW, SUITE_NAMES,
 };
 pub use experiments::{
-    distances_for, distances_for_kernel, fig2, fig2_at, fig_behavior, fig_behavior_at, kernel_row,
-    lds_sweep_at, table2, table2_at, table2_row, BehaviorSeries, Scale, Table2Row, DISTANCES_EM3D,
-    DISTANCES_LDS, DISTANCES_MCF, DISTANCES_MST,
+    distances_for, distances_for_kernel, fig2, fig2_at, fig2_batched_at, fig_behavior,
+    fig_behavior_at, kernel_row, lds_sweep_at, table2, table2_at, table2_row, BehaviorSeries,
+    Scale, Table2Row, DISTANCES_EM3D, DISTANCES_LDS, DISTANCES_MCF, DISTANCES_MST,
 };
 pub use plot::{line_chart, save_svg, ChartConfig, Series};
 pub use report::{

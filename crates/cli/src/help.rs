@@ -56,6 +56,9 @@ pub fn command_help(cmd: &str) -> Option<String> {
              --distances d1,d2,...    grid (default brackets the bound)\n  \
              --jobs N                 fan out on N threads (0 = all cores;\n                           \
              output identical whatever N is)\n  \
+             --lanes K                simulate K grid points per trace pass\n                           \
+             (1..=64, default 1; counters and events\n                           \
+             identical whatever K is)\n  \
              --events                 attach event sinks and also report\n                           \
              pollution cases and prefetch timeliness\n                           \
              per distance\n  \
@@ -106,18 +109,24 @@ pub fn command_help(cmd: &str) -> Option<String> {
         "bench" => (
             "spt bench [flags]",
             "Run the pinned cachesim benchmark suite (synthetic set-hammer,\n\
-             fig2 EM3D test-scale sweep, fig5 MCF test-scale sweep) and\n\
-             print median ns/ref, refs/sec, wall time, and simulator\n\
-             builds per run. One extra pass per suite runs with the span\n\
-             recorder on and stores a per-stage wall-time breakdown; the\n\
-             timed repetitions stay recording-disabled. The suite is the\n\
+             fig2 EM3D test-scale sweep, fig5 MCF test-scale sweep, LDS\n\
+             backend sweep, batched lane-engine sweep) and print median\n\
+             ns/ref, refs/sec, wall time, and simulator builds per run.\n\
+             One extra pass per suite runs with the span recorder on and\n\
+             stores a per-stage wall-time breakdown; the timed\n\
+             repetitions stay recording-disabled. The suite is the\n\
              repository's tracked baseline: `--out` writes\n\
              BENCH_cachesim.json (carrying the existing file's\n\
              measurement history forward as trajectory points),\n\
-             `--check` compares refs/sec against a committed baseline.\n\
+             `--check` compares refs/sec against the rolling median of\n\
+             the baseline's recent trajectory points.\n\
              \n\
              FLAGS:\n  \
              --smoke                  fewer repetitions (same workloads)\n  \
+             --runs N                 timed repetitions per suite\n                           \
+             (default 9, or 3 with --smoke)\n  \
+             --warmup N               untimed warmup runs per suite\n                           \
+             (default 2)\n  \
              --out FILE               write BENCH_cachesim.json here\n  \
              --check FILE             fail on refs/sec regression vs FILE\n  \
              --tolerance F            allowed fraction (default 0.2)\n",

@@ -179,20 +179,33 @@ fn sweep(a: &Args) -> Result<(), String> {
     let ds = a.distances(&default)?;
     let rp: f64 = a.get_or("rp", 0.5)?;
     let jobs: usize = a.get_or("jobs", 0)?; // 0 = all cores
+    let lanes: usize = a.get_or("lanes", 1)?;
+    if lanes == 0 || lanes > 64 {
+        return Err(format!("--lanes {lanes}: expected 1..=64"));
+    }
     let (s, ev, rep) = if a.switch("events") {
         let ct = std::sync::Arc::new(sp_core::compile_trace(&trace, &cfg));
-        let (s, ev, rep) = sp_core::sweep_events_compiled_jobs_with(
+        let (s, ev, rep) = sp_core::sweep_events_compiled_batched_jobs_with(
             &ct,
             cfg,
             rp,
             &ds,
             sp_core::EngineOptions::default(),
             jobs,
+            lanes,
         )
         .map_err(|e| e.to_string())?;
         (s, Some(ev), rep)
     } else {
-        let (s, rep) = sweep_distances_jobs(&trace, cfg, rp, &ds, jobs);
+        let (s, rep) = sp_core::sweep_distances_batched_jobs_with(
+            &trace,
+            cfg,
+            rp,
+            &ds,
+            sp_core::EngineOptions::default(),
+            jobs,
+            lanes,
+        );
         (s, None, rep)
     };
     println!("bound = {bound}; RP = {rp}");
@@ -588,7 +601,25 @@ fn sp_prefetch_save(t: &sp_trace::HotLoopTrace, path: &std::path::Path) -> Resul
 
 fn bench(a: &Args) -> Result<(), String> {
     let smoke = a.switch("smoke");
-    let entries = sp_bench::run_baseline(smoke);
+    // Timed repetitions and untimed warmup runs; defaults live in
+    // `run_baseline_with` (3 smoke / 9 full, warmup 2).
+    let runs = a
+        .get("runs")
+        .map(|v| {
+            v.parse::<usize>()
+                .ok()
+                .filter(|&r| r > 0)
+                .ok_or_else(|| format!("--runs {v}: expected a positive count"))
+        })
+        .transpose()?;
+    let warmup = a
+        .get("warmup")
+        .map(|v| {
+            v.parse::<usize>()
+                .map_err(|_| format!("--warmup {v}: expected a count"))
+        })
+        .transpose()?;
+    let entries = sp_bench::run_baseline_with(smoke, runs, warmup);
     print!("{}", sp_bench::render_entries(&entries));
     if let Some(out) = a.get("out") {
         // Carry the existing document's trajectory forward; this

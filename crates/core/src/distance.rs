@@ -4,7 +4,8 @@
 use crate::affinity::{original_set_affinity, SetAffinityReport};
 use crate::engine::{
     compile_trace, run_original_passes_compiled, run_original_passes_compiled_ev,
-    run_sp_with_compiled, run_sp_with_compiled_ev, EngineOptions, RunResult,
+    run_sp_with_compiled, run_sp_with_compiled_ev, run_trace_batched, run_trace_batched_ev,
+    EngineOptions, LaneSpec, RunResult,
 };
 use crate::params::SpParams;
 use crate::pollution::{BehaviorChange, PollutionSummary};
@@ -156,6 +157,75 @@ pub fn sweep_compiled_jobs_with(
     Ok((assemble_sweep(baseline, distances, rp, results), report))
 }
 
+/// The sweep grid as lane specs: the baseline first, then one SP lane
+/// per distance — the submission order every sweep driver shares.
+fn sweep_specs(rp: f64, distances: &[u32]) -> Vec<LaneSpec> {
+    std::iter::once(LaneSpec::Original)
+        .chain(
+            distances
+                .iter()
+                .map(|&d| LaneSpec::Sp(SpParams::from_distance_rp(d, rp))),
+        )
+        .collect()
+}
+
+/// [`sweep_compiled_jobs_with`] on the lane-batched engine: consecutive
+/// grid points ride the same trace pass, `lanes` at a time, so the
+/// decode/set-index work is paid once per batch instead of once per
+/// point. Each batch is one job for the runner — `jobs` and `lanes`
+/// compose — and results are flattened in submission order, so the
+/// assembled `Sweep` is **identical** to the scalar sweep's at any
+/// (jobs, lanes) combination. `lanes <= 1` delegates to the scalar
+/// per-point path.
+pub fn sweep_compiled_batched_jobs_with(
+    ct: &Arc<CompiledTrace>,
+    cache_cfg: CacheConfig,
+    rp: f64,
+    distances: &[u32],
+    opts: EngineOptions,
+    jobs: usize,
+    lanes: usize,
+) -> Result<(Sweep, RunnerReport), GeometryMismatch> {
+    if lanes <= 1 {
+        return sweep_compiled_jobs_with(ct, cache_cfg, rp, distances, opts, jobs);
+    }
+    ct.ensure_geometry(cache_cfg.trace_geometry())?;
+    let corr = sp_obs::corr::current();
+    let _sp = sp_obs::span!("sweep", points = distances.len(), lanes = lanes);
+    let specs = sweep_specs(rp, distances);
+    let mut grid: Vec<Job<'static, Vec<RunResult>>> =
+        Vec::with_capacity(specs.len().div_ceil(lanes));
+    for (ci, chunk) in specs.chunks(lanes).enumerate() {
+        let chunk = chunk.to_vec();
+        let batch_ct = Arc::clone(ct);
+        grid.push(Box::new(move || {
+            let _cg = corr.map(|c| sp_obs::corr::set_current(c.child(ci as u32 + 1)));
+            let _sp = sp_obs::span!("batch", lanes = chunk.len());
+            run_trace_batched(&batch_ct, cache_cfg, &chunk, opts).expect("geometry checked")
+        }));
+    }
+    let (results, report) = run_jobs(grid, jobs);
+    let mut flat: Vec<RunResult> = results.into_iter().flatten().collect();
+    let baseline = flat.remove(0);
+    Ok((assemble_sweep(baseline, distances, rp, flat), report))
+}
+
+/// [`sweep_compiled_batched_jobs_with`] over an uncompiled trace — the
+/// CLI's entry point.
+pub fn sweep_distances_batched_jobs_with(
+    trace: &HotLoopTrace,
+    cache_cfg: CacheConfig,
+    rp: f64,
+    distances: &[u32],
+    opts: EngineOptions,
+    jobs: usize,
+    lanes: usize,
+) -> (Sweep, RunnerReport) {
+    let ct = Arc::new(compile_trace(trace, &cache_cfg));
+    sweep_compiled_batched_jobs_with(&ct, cache_cfg, rp, distances, opts, jobs, lanes)
+        .expect("compiled for this geometry")
+}
+
 /// Per-point event summaries of an observed sweep, parallel to
 /// [`Sweep::points`].
 #[derive(Debug, Clone, PartialEq)]
@@ -212,6 +282,67 @@ pub fn sweep_events_compiled_jobs_with(
     let (mut results, report) = run_jobs(grid, jobs);
     let (baseline, base_events) = results.remove(0);
     let (runs, points): (Vec<RunResult>, Vec<EventSummary>) = results.into_iter().unzip();
+    let sweep = assemble_sweep(baseline, distances, rp, runs);
+    Ok((
+        sweep,
+        SweepEvents {
+            baseline: base_events,
+            points,
+        },
+        report,
+    ))
+}
+
+/// [`sweep_events_compiled_jobs_with`] on the lane-batched engine: one
+/// [`SummarySink`] per lane, so every grid point's fold is exactly what
+/// its scalar observed run would produce. `lanes <= 1` delegates to the
+/// scalar per-point path.
+#[allow(clippy::type_complexity)]
+pub fn sweep_events_compiled_batched_jobs_with(
+    ct: &Arc<CompiledTrace>,
+    cache_cfg: CacheConfig,
+    rp: f64,
+    distances: &[u32],
+    opts: EngineOptions,
+    jobs: usize,
+    lanes: usize,
+) -> Result<(Sweep, SweepEvents, RunnerReport), GeometryMismatch> {
+    if lanes <= 1 {
+        return sweep_events_compiled_jobs_with(ct, cache_cfg, rp, distances, opts, jobs);
+    }
+    ct.ensure_geometry(cache_cfg.trace_geometry())?;
+    let threshold = default_early_threshold(&cache_cfg.latency);
+    let corr = sp_obs::corr::current();
+    let _sp = sp_obs::span!(
+        "sweep",
+        points = distances.len(),
+        lanes = lanes,
+        events = true
+    );
+    let specs = sweep_specs(rp, distances);
+    let mut grid: Vec<Job<'static, Vec<(RunResult, EventSummary)>>> =
+        Vec::with_capacity(specs.len().div_ceil(lanes));
+    for (ci, chunk) in specs.chunks(lanes).enumerate() {
+        let chunk = chunk.to_vec();
+        let batch_ct = Arc::clone(ct);
+        grid.push(Box::new(move || {
+            let _cg = corr.map(|c| sp_obs::corr::set_current(c.child(ci as u32 + 1)));
+            let _sp = sp_obs::span!("batch", lanes = chunk.len(), events = true);
+            let mut sinks: Vec<SummarySink> = (0..chunk.len())
+                .map(|_| SummarySink::new(threshold))
+                .collect();
+            let runs = run_trace_batched_ev(&batch_ct, cache_cfg, &chunk, opts, &mut sinks)
+                .expect("geometry checked");
+            runs.into_iter()
+                .zip(sinks)
+                .map(|(r, s)| (r, s.summary))
+                .collect()
+        }));
+    }
+    let (results, report) = run_jobs(grid, jobs);
+    let mut flat: Vec<(RunResult, EventSummary)> = results.into_iter().flatten().collect();
+    let (baseline, base_events) = flat.remove(0);
+    let (runs, points): (Vec<RunResult>, Vec<EventSummary>) = flat.into_iter().unzip();
     let sweep = assemble_sweep(baseline, distances, rp, runs);
     Ok((
         sweep,
@@ -416,6 +547,70 @@ mod tests {
                 .unwrap();
         assert_eq!(par.0, observed);
         assert_eq!(par.1, events);
+    }
+
+    #[test]
+    fn batched_sweep_matches_scalar_sweep_at_any_shape() {
+        let t = synth::random(300, 3, 0, 1 << 20, 23, 2);
+        let c = cfg();
+        let ct = std::sync::Arc::new(crate::engine::compile_trace(&t, &c));
+        let ds = [1, 4, 16, 64];
+        let (scalar, _) =
+            sweep_compiled_jobs_with(&ct, c, 0.5, &ds, EngineOptions::default(), 1).unwrap();
+        // Lane widths that divide the 5-point grid evenly, raggedly, and
+        // wider than the grid itself; jobs composed on top.
+        for lanes in [2usize, 3, 5, 8] {
+            for jobs in [1usize, 2] {
+                let (batched, rep) = sweep_compiled_batched_jobs_with(
+                    &ct,
+                    c,
+                    0.5,
+                    &ds,
+                    EngineOptions::default(),
+                    jobs,
+                    lanes,
+                )
+                .unwrap();
+                assert_eq!(batched, scalar, "lanes={lanes} jobs={jobs}");
+                assert_eq!(rep.jobs, 5usize.div_ceil(lanes));
+            }
+        }
+    }
+
+    #[test]
+    fn batched_events_sweep_matches_scalar_events_sweep() {
+        let t = synth::random(300, 3, 0, 1 << 20, 23, 2);
+        let c = cfg();
+        let ct = std::sync::Arc::new(crate::engine::compile_trace(&t, &c));
+        let (sweep, events, _) =
+            sweep_events_compiled_jobs_with(&ct, c, 0.5, &[2, 8, 32], EngineOptions::default(), 1)
+                .unwrap();
+        let (bs, be, _) = sweep_events_compiled_batched_jobs_with(
+            &ct,
+            c,
+            0.5,
+            &[2, 8, 32],
+            EngineOptions::default(),
+            1,
+            2,
+        )
+        .unwrap();
+        assert_eq!(bs, sweep);
+        assert_eq!(be, events, "per-lane folds must match scalar folds");
+    }
+
+    #[test]
+    fn batched_sweep_lanes_one_is_the_scalar_path() {
+        let t = synth::sequential(400, 2, 0, 64, 0);
+        let c = cfg();
+        let ct = std::sync::Arc::new(crate::engine::compile_trace(&t, &c));
+        let (batched, rep) =
+            sweep_compiled_batched_jobs_with(&ct, c, 0.5, &[2, 8], EngineOptions::default(), 1, 1)
+                .unwrap();
+        let (scalar, srep) =
+            sweep_compiled_jobs_with(&ct, c, 0.5, &[2, 8], EngineOptions::default(), 1).unwrap();
+        assert_eq!(batched, scalar);
+        assert_eq!(rep.jobs, srep.jobs, "lanes=1 keeps per-point jobs");
     }
 
     #[test]

@@ -15,8 +15,8 @@ use crate::protocol::{scale_name, Command, SimSpec};
 use sp_bench::{kernel_row, Scale};
 use sp_cachesim::{EventSummary, PfClass, PollutionCase};
 use sp_core::{
-    compile_trace, recommend_distance, sweep_compiled_jobs_with, sweep_events_compiled_jobs_with,
-    Sweep, SweepEvents,
+    compile_trace, recommend_distance, sweep_compiled_batched_jobs_with,
+    sweep_events_compiled_batched_jobs_with, Sweep, SweepEvents,
 };
 use sp_native::sync::Mutex;
 use sp_trace::{CompiledTrace, HotLoopTrace, TraceGeometry};
@@ -178,14 +178,19 @@ impl SimEngine {
         let trace = self.trace(spec.bench, spec.scale);
         let compiled = self.compiled(&trace, &spec.cache.config);
         let bound = recommend_distance(&trace, &spec.cache.config).max_distance;
+        // Requests parallelize across the pool, not within a job
+        // (jobs = 1); `spec.lanes` batches grid points per trace pass
+        // inside this worker. Results are bit-identical at every lane
+        // width, which is why `lanes` stays out of the cache key.
         if spec.events {
-            let (sweep, events, _report) = sweep_events_compiled_jobs_with(
+            let (sweep, events, _report) = sweep_events_compiled_batched_jobs_with(
                 &compiled,
                 spec.cache.config,
                 spec.rp,
                 distances,
                 spec.opts,
-                1, // requests parallelize across the pool, not within a job
+                1,
+                spec.lanes,
             )
             .expect("compiled for this request's geometry");
             self.events.record(&events.baseline);
@@ -195,13 +200,14 @@ impl SimEngine {
             let _sp = sp_obs::span!("serialize");
             return sweep_json(spec, bound, &sweep, Some(&events)).encode();
         }
-        let (sweep, _report) = sweep_compiled_jobs_with(
+        let (sweep, _report) = sweep_compiled_batched_jobs_with(
             &compiled,
             spec.cache.config,
             spec.rp,
             distances,
             spec.opts,
-            1, // requests parallelize across the pool, not within a job
+            1,
+            spec.lanes,
         )
         .expect("compiled for this request's geometry");
         let _sp = sp_obs::span!("serialize");

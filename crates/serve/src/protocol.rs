@@ -125,6 +125,12 @@ pub struct SimSpec {
     /// timeliness / pollution-case summaries to the result (and feeding
     /// the daemon's aggregate event counters).
     pub events: bool,
+    /// Grid points simulated per trace pass for sweep requests (the
+    /// lane-batched engine; 1 = the scalar per-point path). Purely an
+    /// execution knob: results are bit-identical at every width, so it
+    /// is **excluded from the cache key** — sweeps at different lane
+    /// widths share cached results.
+    pub lanes: usize,
 }
 
 impl SimSpec {
@@ -153,6 +159,16 @@ impl SimSpec {
             None => false,
             Some(e) => e.as_bool().ok_or("events must be a boolean")?,
         };
+        let lanes = match v.get("lanes") {
+            None => 1,
+            Some(l) => {
+                let l = l.as_u64().ok_or("lanes must be a positive integer")?;
+                if l == 0 || l > 64 {
+                    return Err("lanes must be in 1..=64".into());
+                }
+                l as usize
+            }
+        };
         Ok(SimSpec {
             bench,
             scale,
@@ -160,6 +176,7 @@ impl SimSpec {
             rp,
             opts,
             events,
+            lanes,
         })
     }
 
@@ -415,6 +432,32 @@ mod tests {
                 assert_eq!(distances, sp_bench::distances_for_kernel(KernelKind::Em3d));
             }
             other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lane_width_is_execution_only_and_shares_the_cache_key() {
+        let at = |lanes: &str| {
+            Request::parse(&format!(
+                "{{\"type\":\"sweep\",\"distances\":[2,16]{lanes}}}"
+            ))
+            .unwrap()
+        };
+        let scalar = at("");
+        let wide = at(",\"lanes\":8");
+        match (&scalar.cmd, &wide.cmd) {
+            (Command::Sweep { spec: s, .. }, Command::Sweep { spec: w, .. }) => {
+                assert_eq!(s.lanes, 1, "lanes defaults to the scalar path");
+                assert_eq!(w.lanes, 8);
+            }
+            other => panic!("wrong commands {other:?}"),
+        }
+        // Results are bit-identical at every lane width, so both
+        // requests must resolve to one cached entry.
+        assert_eq!(scalar.cache_key(), wide.cache_key());
+        for bad in ["0", "65", "\"four\""] {
+            let line = format!("{{\"type\":\"sweep\",\"lanes\":{bad}}}");
+            assert!(Request::parse(&line).is_err(), "lanes {bad} must reject");
         }
     }
 

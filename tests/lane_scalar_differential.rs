@@ -1,0 +1,120 @@
+//! Lane-vs-scalar differential: the batched engine must replay every
+//! lane **bit-identically** to the scalar run of the same spec — full
+//! `RunResult` (counters, per-set pressure, pollution) and the folded
+//! event summary — at every lane width, for every learned-state
+//! prefetcher backend, and at every `--jobs` fan-out of the batched
+//! sweep. This is the contract that lets `--lanes` stay out of result
+//! cache keys and lets the batched bench suite stand in for the scalar
+//! one.
+
+use sp_cachesim::events::{default_early_threshold, SummarySink};
+use sp_cachesim::{CacheConfig, HwBackend};
+use sp_core::{
+    compile_trace, run_original_passes_compiled_ev, run_sp_with_compiled_ev, run_trace_batched_ev,
+    sweep_distances_batched_jobs_with, sweep_distances_jobs_with, EngineOptions, LaneSpec,
+    SpParams,
+};
+use sp_workloads::{Benchmark, Workload};
+
+/// A spec grid mixing the baseline with distances below, around, and
+/// above the tiny EM3D bound, cycled to the requested width.
+fn specs(width: usize) -> Vec<LaneSpec> {
+    let pool = [
+        LaneSpec::Original,
+        LaneSpec::Sp(SpParams::new(2, 2)),
+        LaneSpec::Sp(SpParams::new(8, 8)),
+        LaneSpec::Sp(SpParams::new(32, 32)),
+        LaneSpec::Sp(SpParams::new(4, 12)),
+        LaneSpec::Sp(SpParams::new(64, 64)),
+        LaneSpec::Sp(SpParams::new(1, 3)),
+        LaneSpec::Sp(SpParams::new(16, 48)),
+    ];
+    (0..width).map(|i| pool[i % pool.len()]).collect()
+}
+
+/// Run `specs` batched and scalar with event sinks attached and assert
+/// every lane matches its scalar run bit for bit.
+fn assert_lanes_match(cfg: CacheConfig, specs: &[LaneSpec], opts: EngineOptions, label: &str) {
+    let trace = Workload::tiny(Benchmark::Em3d).trace();
+    let ct = compile_trace(&trace, &cfg);
+    let threshold = default_early_threshold(&cfg.latency);
+    let mut sinks: Vec<SummarySink> = specs.iter().map(|_| SummarySink::new(threshold)).collect();
+    let batched = run_trace_batched_ev(&ct, cfg, specs, opts, &mut sinks).unwrap();
+    for (li, (spec, got)) in specs.iter().zip(&batched).enumerate() {
+        let mut scalar_sink = SummarySink::new(threshold);
+        let scalar = match spec {
+            LaneSpec::Original => {
+                run_original_passes_compiled_ev(&ct, cfg, opts.passes, &mut scalar_sink).unwrap()
+            }
+            LaneSpec::Sp(p) => {
+                run_sp_with_compiled_ev(&ct, cfg, *p, opts, &mut scalar_sink).unwrap()
+            }
+        };
+        assert_eq!(
+            got,
+            &scalar,
+            "{label}: lane {li} ({spec:?}) of width {} diverged from its scalar run",
+            specs.len()
+        );
+        assert_eq!(
+            sinks[li].summary, scalar_sink.summary,
+            "{label}: lane {li} ({spec:?}) event summary diverged"
+        );
+    }
+}
+
+#[test]
+fn every_lane_width_replays_its_scalar_runs() {
+    let cfg = CacheConfig::scaled_default();
+    for width in [1, 2, 4, 8] {
+        assert_lanes_match(cfg, &specs(width), EngineOptions::default(), "streamer+dpl");
+    }
+}
+
+#[test]
+fn learned_state_backends_stay_per_lane() {
+    // Pointer-chase and perceptron carry the most learned state
+    // (correlation tables / weight tables); a batched run must keep
+    // each lane's tables as isolated as its cache lines.
+    for backend in [HwBackend::PointerChase, HwBackend::Perceptron] {
+        let cfg = CacheConfig::scaled_default().with_hw_backend(backend);
+        for width in [2, 4, 8] {
+            assert_lanes_match(cfg, &specs(width), EngineOptions::default(), backend.name());
+        }
+    }
+}
+
+#[test]
+fn multi_pass_batched_runs_match_scalar() {
+    let cfg = CacheConfig::scaled_default();
+    let opts = EngineOptions {
+        passes: 2,
+        ..EngineOptions::default()
+    };
+    assert_lanes_match(cfg, &specs(4), opts, "two passes");
+}
+
+#[test]
+fn batched_sweep_is_deterministic_across_jobs_and_lanes() {
+    let cfg = CacheConfig::scaled_default();
+    let trace = Workload::tiny(Benchmark::Em3d).trace();
+    let ds = [2u32, 5, 10, 20, 40];
+    let opts = EngineOptions::default();
+    let (reference, _) = sweep_distances_jobs_with(&trace, cfg, 0.5, &ds, opts, 1);
+    for jobs in [1, 2, 4] {
+        for lanes in [1, 2, 3, 4, 8] {
+            let (sweep, rep) =
+                sweep_distances_batched_jobs_with(&trace, cfg, 0.5, &ds, opts, jobs, lanes);
+            assert_eq!(
+                sweep, reference,
+                "batched sweep at jobs={jobs} lanes={lanes} diverged from the scalar sweep"
+            );
+            if lanes > 1 {
+                // Jobs schedule lane-batches, not single points: the
+                // 6-point grid (baseline + 5 distances) packs into
+                // ceil(6/lanes) submissions.
+                assert_eq!(rep.jobs, 6usize.div_ceil(lanes), "lanes={lanes}");
+            }
+        }
+    }
+}
