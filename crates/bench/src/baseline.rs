@@ -19,6 +19,13 @@
 //!   lane-parallel engine (`run_trace_batched`): the batched sweep path
 //!   end to end, bit-identical to `fig2_em3d_sweep` by the lane-vs-
 //!   scalar differential suite.
+//! * `epoch_overhead` — the Figure 2 grid once more with the epoch
+//!   flight recorder attached ([`crate::fig2_epochs_at`]): the
+//!   enabled-recorder cost relative to `fig2_em3d_sweep`, kept in the
+//!   same rolling-median gate so the recorder can't silently get more
+//!   expensive. The recorder-*disabled* cost needs no suite of its
+//!   own: the sink rides the `EventSink` generic the other suites
+//!   already measure, compiled out entirely.
 //!
 //! Each entry reports median ns per simulated reference, the derived
 //! refs/sec, the median per-run wall time, the number of `MemorySystem`
@@ -37,7 +44,9 @@
 //! newest point, whose own measurement noise would otherwise become the
 //! gate).
 
-use crate::experiments::{fig2_at, fig2_batched_at, fig_behavior_at, lds_sweep_at, Scale};
+use crate::experiments::{
+    fig2_at, fig2_batched_at, fig2_epochs_at, fig_behavior_at, lds_sweep_at, Scale,
+};
 use sp_cachesim::{sim_build_count, CacheConfig};
 use sp_core::{run_original_passes, RunResult, Sweep};
 use sp_trace::synth;
@@ -72,12 +81,13 @@ pub struct BenchEntry {
 }
 
 /// Every suite the baseline runs, in order.
-pub const SUITE_NAMES: [&str; 5] = [
+pub const SUITE_NAMES: [&str; 6] = [
     "set_hammer",
     "fig2_em3d_sweep",
     "fig5_mcf_sweep",
     "lds",
     "batched_sweep",
+    "epoch_overhead",
 ];
 
 /// Lane width of the `batched_sweep` suite — the same EM3D grid as
@@ -176,6 +186,9 @@ pub fn run_baseline_with(
         }),
         measure("batched_sweep", warmup, runs, || {
             sweep_refs(&fig2_batched_at(cfg, Scale::Test, 1, BATCHED_SWEEP_LANES).0)
+        }),
+        measure("epoch_overhead", warmup, runs, || {
+            sweep_refs(&fig2_epochs_at(cfg, Scale::Test, 1).0)
         }),
     ]
 }

@@ -17,13 +17,13 @@
 //! inputs (what CI runs).
 
 use sp_bench::experiments::{
-    fig2_at, fig_behavior_at, selection_jobs, table2_at, table2_paper_jobs, Scale,
-    SELECTION_THRESHOLD,
+    fig2_at, fig5_epoch_fixture, fig_behavior_at, selection_jobs, table2_at, table2_paper_jobs,
+    Scale, FIG5_EPOCH_L2_KB, FIG5_EPOCH_L2_WAYS, FIG5_EPOCH_LEN, SELECTION_THRESHOLD,
 };
 use sp_bench::plot::{line_chart, save_svg, ChartConfig, Series};
 use sp_bench::report::{
-    render_runner_summary, render_table, sweep_rows, table2_rows, write_csv, SWEEP_HEADER,
-    TABLE2_HEADER,
+    epoch_ndjson, epoch_report_markdown, render_runner_summary, render_table, sweep_rows,
+    table2_rows, write_atomic, write_csv, EpochReportMeta, SWEEP_HEADER, TABLE2_HEADER,
 };
 use sp_cachesim::CacheConfig;
 use sp_core::RunnerReport;
@@ -88,6 +88,9 @@ fn main() {
         if run_all || what == name {
             total.absorb(&print_fig_behavior(name, b, cfg, scale, jobs, &out));
         }
+    }
+    if run_all || what == "fig5" {
+        total.absorb(&print_fig5_epochs(jobs, &out));
     }
     if !run_all
         && ![
@@ -301,6 +304,41 @@ fn print_fig2(cfg: CacheConfig, scale: Scale, jobs: usize, out: &Path) -> Runner
         ChartConfig::default(),
     );
     save_svg(&out.join("fig2_em3d.svg"), &svg).expect("write fig2 svg");
+    report
+}
+
+/// The fig5-MCF epoch flight-recorder fixture: always test scale (see
+/// [`fig5_epoch_fixture`]), so the NDJSON + markdown artifacts are
+/// byte-identical whatever `--smoke` or `--jobs` says — they are the
+/// repository's golden epoch fixtures, pinned by
+/// `tests/report_golden.rs` and the CI `report-smoke` diff.
+fn print_fig5_epochs(jobs: usize, out: &Path) -> RunnerReport {
+    println!(
+        "== Figure 5 epochs: MCF flight recorder (tiny input, {FIG5_EPOCH_L2_KB}KB \
+         {FIG5_EPOCH_L2_WAYS}-way L2, epoch {FIG5_EPOCH_LEN}) ==\n"
+    );
+    let (sweep, epochs, bound, report) = fig5_epoch_fixture(jobs);
+    let meta = EpochReportMeta {
+        bench: "MCF",
+        scale: "tiny",
+        rp: 0.5,
+        bound,
+    };
+    write_atomic(
+        &out.join("fig5_mcf_epochs.ndjson"),
+        &epoch_ndjson(&sweep, &epochs),
+    )
+    .expect("write epoch ndjson");
+    write_atomic(
+        &out.join("fig5_mcf_epoch_report.md"),
+        &epoch_report_markdown(&meta, &sweep, &epochs),
+    )
+    .expect("write epoch report");
+    println!(
+        "bound {:?}; {} baseline windows; wrote fig5_mcf_epochs.ndjson + fig5_mcf_epoch_report.md\n",
+        bound,
+        epochs.baseline.len()
+    );
     report
 }
 

@@ -265,6 +265,77 @@ pub fn fig2_at(cfg: CacheConfig, scale: Scale, jobs: usize) -> (Sweep, RunnerRep
     sweep_distances_jobs(&w.trace(), cfg, 0.5, distances_for(Benchmark::Em3d), jobs)
 }
 
+/// [`fig2_at`] with the epoch flight recorder attached at the default
+/// window length ([`sp_cachesim::DEFAULT_EPOCH_LEN`]). The
+/// `epoch_overhead` bench suite times this against `fig2_em3d_sweep`
+/// to pin the enabled-recorder cost; the recorder-disabled path is
+/// compiled out entirely and gated by the other suites.
+#[allow(clippy::type_complexity)]
+pub fn fig2_epochs_at(
+    cfg: CacheConfig,
+    scale: Scale,
+    jobs: usize,
+) -> (Sweep, sp_core::SweepEpochs, RunnerReport) {
+    let w = scale.workload(Benchmark::Em3d);
+    let ct = std::sync::Arc::new(sp_core::compile_trace(&w.trace(), &cfg));
+    sp_core::sweep_epochs_compiled_jobs_with(
+        &ct,
+        cfg,
+        0.5,
+        distances_for(Benchmark::Em3d),
+        sp_core::EngineOptions::default(),
+        sp_cachesim::DEFAULT_EPOCH_LEN,
+        jobs,
+    )
+    .expect("compiled against this geometry")
+}
+
+/// Epoch window length of the fig5-MCF flight-recorder fixture.
+pub const FIG5_EPOCH_LEN: u64 = 256;
+
+/// L2 geometry of the fig5-MCF flight-recorder fixture: 16KB 2-way —
+/// small enough that the *tiny* MCF working set overflows it the way
+/// the paper's full-size MCF overflows a 4MB L2, so the sweep crosses
+/// the SA/2 bound inside the grid and the displacement cases switch on
+/// past it.
+pub const FIG5_EPOCH_L2_KB: u64 = 16;
+/// See [`FIG5_EPOCH_L2_KB`].
+pub const FIG5_EPOCH_L2_WAYS: u32 = 2;
+
+/// The fig5-MCF epoch fixture: the Figure 5 grid re-run with the epoch
+/// flight recorder on the tiny input and the [`FIG5_EPOCH_L2_KB`]
+/// geometry, plus the SA/2 bound for the report annotation. Always
+/// test scale — the artifacts (`results/fig5_mcf_epochs.ndjson`,
+/// `results/fig5_mcf_epoch_report.md`) are golden-pinned byte-for-byte
+/// (`tests/report_golden.rs`, the CI `report-smoke` diff), so they
+/// must be cheap to regenerate and independent of `--smoke`. Identical
+/// to what `spt report --bench mcf --size tiny --l2-kb 16 --ways 2
+/// --epoch-len 256` computes.
+#[allow(clippy::type_complexity)]
+pub fn fig5_epoch_fixture(jobs: usize) -> (Sweep, sp_core::SweepEpochs, Option<u32>, RunnerReport) {
+    let mut cfg = CacheConfig::scaled_default();
+    cfg.l2 = sp_cachesim::CacheGeometry::new(
+        FIG5_EPOCH_L2_KB * 1024,
+        FIG5_EPOCH_L2_WAYS,
+        cfg.l2.line_size,
+    );
+    cfg.validate();
+    let trace = Scale::Test.workload(Benchmark::Mcf).trace();
+    let bound = recommend_distance(&trace, &cfg).max_distance;
+    let ct = std::sync::Arc::new(sp_core::compile_trace(&trace, &cfg));
+    let (sweep, epochs, report) = sp_core::sweep_epochs_compiled_jobs_with(
+        &ct,
+        cfg,
+        0.5,
+        distances_for(Benchmark::Mcf),
+        sp_core::EngineOptions::default(),
+        FIG5_EPOCH_LEN,
+        jobs,
+    )
+    .expect("compiled against this geometry");
+    (sweep, epochs, bound, report)
+}
+
 /// [`fig2_at`] through the lane-batched engine: jobs schedule
 /// lane-batches of grid points, `lanes` per batch. Bit-identical to
 /// [`fig2_at`] (pinned by the lane-vs-scalar differential suite).

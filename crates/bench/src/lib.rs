@@ -26,12 +26,14 @@ pub use baseline::{
     ROLLING_WINDOW, SUITE_NAMES,
 };
 pub use experiments::{
-    distances_for, distances_for_kernel, fig2, fig2_at, fig2_batched_at, fig_behavior,
-    fig_behavior_at, kernel_row, lds_sweep_at, table2, table2_at, table2_row, BehaviorSeries,
-    Scale, Table2Row, DISTANCES_EM3D, DISTANCES_LDS, DISTANCES_MCF, DISTANCES_MST,
+    distances_for, distances_for_kernel, fig2, fig2_at, fig2_batched_at, fig2_epochs_at,
+    fig5_epoch_fixture, fig_behavior, fig_behavior_at, kernel_row, lds_sweep_at, table2, table2_at,
+    table2_row, BehaviorSeries, Scale, Table2Row, DISTANCES_EM3D, DISTANCES_LDS, DISTANCES_MCF,
+    DISTANCES_MST, FIG5_EPOCH_L2_KB, FIG5_EPOCH_L2_WAYS, FIG5_EPOCH_LEN,
 };
 pub use plot::{line_chart, save_svg, ChartConfig, Series};
 pub use report::{
-    csv_string, render_runner_summary, render_table, sweep_rows, table2_rows, write_atomic,
-    write_csv, SWEEP_HEADER, TABLE2_HEADER,
+    csv_string, epoch_ndjson, epoch_report_markdown, paper_sa_range, render_runner_summary,
+    render_table, sparkline, sweep_rows, table2_rows, write_atomic, write_csv, EpochReportMeta,
+    SWEEP_HEADER, TABLE2_HEADER,
 };

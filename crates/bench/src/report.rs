@@ -1,8 +1,10 @@
-//! Plain-text table rendering, CSV output, and the parallel-execution
-//! summary for the `reproduce` binary.
+//! Plain-text table rendering, CSV output, the parallel-execution
+//! summary for the `reproduce` binary, and the epoch-telemetry report
+//! generators behind `spt report`.
 
 use crate::experiments::Table2Row;
-use sp_core::{RunnerReport, Sweep};
+use sp_cachesim::EpochSeries;
+use sp_core::{RunnerReport, Sweep, SweepEpochs};
 use std::io::Write;
 use std::path::Path;
 
@@ -229,6 +231,190 @@ pub fn render_runner_summary(r: &RunnerReport) -> String {
     out
 }
 
+/// The eight bar glyphs [`sparkline`] renders with, lowest to highest.
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render `values` as a unicode sparkline, each value normalized to
+/// the series maximum (an all-zero or empty series renders flat).
+/// Purely arithmetic — the same series always renders the same string,
+/// so report fixtures can pin it byte-for-byte.
+pub fn sparkline(values: &[u64]) -> String {
+    let max = values.iter().copied().max().unwrap_or(0);
+    values
+        .iter()
+        .map(|&v| {
+            if max == 0 {
+                SPARK[0]
+            } else {
+                // Round-to-nearest level so v == max hits the top bar.
+                let level = (v as u128 * (SPARK.len() as u128 - 1) + max as u128 / 2) / max as u128;
+                SPARK[level as usize]
+            }
+        })
+        .collect()
+}
+
+/// Five-level shade for the displacement heatmap: `·` is exactly zero,
+/// then quartiles of the sweep-wide peak.
+fn shade(v: u64, max: u64) -> char {
+    const CELLS: [char; 4] = ['░', '▒', '▓', '█'];
+    if v == 0 || max == 0 {
+        '·'
+    } else {
+        let level = (v as u128 * CELLS.len() as u128).div_ceil(max as u128);
+        CELLS[(level as usize).clamp(1, CELLS.len()) - 1]
+    }
+}
+
+/// Header metadata for [`epoch_report_markdown`] — everything the
+/// report states that isn't derivable from the sweep itself.
+pub struct EpochReportMeta<'a> {
+    /// Benchmark name as printed (`"MCF"`).
+    pub bench: &'a str,
+    /// Scale tier as printed (`"test"`, `"tiny"`, `"full"`).
+    pub scale: &'a str,
+    /// Helper trigger rate used for the sweep.
+    pub rp: f64,
+    /// The SA/2 prefetch-distance bound, when one was computed —
+    /// distances past it are flagged `!` in the heatmap.
+    pub bound: Option<u32>,
+}
+
+/// Encode a sweep's epoch series as NDJSON: the baseline run's windows
+/// first (tagged `"distance":null`), then each swept distance's
+/// windows in sweep order (tagged `"distance":D`). One window per
+/// line, so the stream greps and folds without a JSON parser.
+pub fn epoch_ndjson(sweep: &Sweep, epochs: &SweepEpochs) -> String {
+    assert_eq!(
+        sweep.points.len(),
+        epochs.points.len(),
+        "sweep and epoch series disagree on the distance grid"
+    );
+    let mut out = epochs.baseline.to_ndjson("\"distance\":null,");
+    for (p, s) in sweep.points.iter().zip(&epochs.points) {
+        out.push_str(&s.to_ndjson(&format!("\"distance\":{},", p.distance)));
+    }
+    out
+}
+
+/// One sparkline row of a series block: label, bars, and the numbers
+/// the bars are normalized to.
+fn spark_row(label: &str, values: &[u64]) -> String {
+    let max = values.iter().copied().max().unwrap_or(0);
+    let total: u64 = values.iter().sum();
+    format!(
+        "{label:<10} {}  max {max}/epoch, total {total}\n",
+        sparkline(values)
+    )
+}
+
+/// Render a sweep's epoch telemetry as a self-contained markdown
+/// report: per-distance sparklines for the miss / displacement / late
+/// series, then a distances-by-epochs heatmap of total displacement
+/// events with the SA/2 bound annotated. No timestamps, no host state
+/// — the same sweep always renders the same bytes, which is what lets
+/// CI pin the fig5-MCF report as a golden fixture.
+pub fn epoch_report_markdown(
+    meta: &EpochReportMeta<'_>,
+    sweep: &Sweep,
+    epochs: &SweepEpochs,
+) -> String {
+    assert_eq!(
+        sweep.points.len(),
+        epochs.points.len(),
+        "sweep and epoch series disagree on the distance grid"
+    );
+    let mut out = format!(
+        "# Epoch telemetry — {} ({} scale)\n\n",
+        meta.bench, meta.scale
+    );
+    out.push_str(
+        "Flight-recorder view of the distance sweep: every series below is \
+         windowed\ninto fixed epochs of main-thread references, so the report \
+         shows *when*\ncache pollution happens, not just the run totals.\n\n",
+    );
+    out.push_str(&format!(
+        "- epoch length: {} main-thread references per window\n",
+        epochs.baseline.epoch_len
+    ));
+    out.push_str(&format!("- helper trigger rate RP: {:.2}\n", meta.rp));
+    match meta.bound {
+        Some(b) => out.push_str(&format!(
+            "- SA/2 distance bound: **{b}** — distances past it are marked `!`\n"
+        )),
+        None => out.push_str("- SA/2 distance bound: not computed for this run\n"),
+    }
+    out.push_str(&format!(
+        "- paper SA range (Table 2): {}\n\n",
+        paper_sa_range(meta.bench)
+    ));
+
+    out.push_str("## Per-distance series\n\n");
+    let over = |d: u32| meta.bound.is_some_and(|b| d > b);
+    let series_block = |out: &mut String, title: &str, s: &EpochSeries| {
+        out.push_str(&format!("### {title}\n\n```\n"));
+        let misses: Vec<u64> = s.epochs.iter().map(|w| w.main[3]).collect();
+        let pollution: Vec<u64> = s.epochs.iter().map(|w| w.total_pollution()).collect();
+        let late: Vec<u64> = s.epochs.iter().map(|w| w.late).collect();
+        out.push_str(&spark_row("misses", &misses));
+        out.push_str(&spark_row("pollution", &pollution));
+        out.push_str(&spark_row("late pf", &late));
+        out.push_str("```\n\n");
+    };
+    series_block(&mut out, "baseline (no helper)", &epochs.baseline);
+    for (p, s) in sweep.points.iter().zip(&epochs.points) {
+        let flag = if over(p.distance) {
+            " `!` over the SA/2 bound"
+        } else {
+            ""
+        };
+        series_block(&mut out, &format!("distance {}{}", p.distance, flag), s);
+    }
+
+    out.push_str("## Displacement heatmap\n\n");
+    out.push_str(
+        "Rows are prefetch distances, columns are epochs; each cell shades the\n\
+         window's total displacement events (reuse + unused-helper + unused-hw\n\
+         evictions) against the sweep-wide peak.\n\n",
+    );
+    let peak = epochs
+        .points
+        .iter()
+        .flat_map(|s| s.epochs.iter())
+        .map(|w| w.total_pollution())
+        .max()
+        .unwrap_or(0);
+    let width = sweep
+        .points
+        .iter()
+        .map(|p| p.distance.to_string().len())
+        .max()
+        .unwrap_or(1);
+    out.push_str("```\n");
+    for (p, s) in sweep.points.iter().zip(&epochs.points) {
+        let mark = if over(p.distance) { "!" } else { " " };
+        let cells: String = s
+            .epochs
+            .iter()
+            .map(|w| shade(w.total_pollution(), peak))
+            .collect();
+        out.push_str(&format!(
+            "{mark} {:>width$}  {cells}\n",
+            p.distance,
+            width = width
+        ));
+    }
+    out.push_str("```\n\n");
+    out.push_str(&format!(
+        "Legend: `·` none, `░`/`▒`/`▓`/`█` quartiles of the peak \
+         ({peak} events/epoch).\n"
+    ));
+    if meta.bound.is_some() {
+        out.push_str("`!` marks distances over the SA/2 bound.\n");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +451,107 @@ mod tests {
         assert!(s.contains("utilization"), "got: {s}");
         assert!(s.contains("w0:"), "per-worker lane missing: {s}");
         assert!(s.contains("w1:"), "per-worker lane missing: {s}");
+    }
+
+    #[test]
+    fn sparkline_normalizes_to_the_series_max() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0, 0, 0]), "▁▁▁");
+        let s = sparkline(&[0, 7, 14]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁'), "zero renders the lowest bar: {s}");
+        assert!(s.ends_with('█'), "the max renders the top bar: {s}");
+        // Normalization is per-series: scaling every value leaves the
+        // rendering unchanged.
+        assert_eq!(sparkline(&[1, 2, 4]), sparkline(&[100, 200, 400]));
+    }
+
+    fn tiny_epoch_sweep() -> (Sweep, SweepEpochs) {
+        let w = sp_workloads::Workload::tiny(sp_workloads::Benchmark::Em3d);
+        let cfg = sp_cachesim::CacheConfig::scaled_default();
+        let ct = std::sync::Arc::new(sp_core::compile_trace(&w.trace(), &cfg));
+        let (sweep, epochs, _) = sp_core::sweep_epochs_compiled_jobs_with(
+            &ct,
+            cfg,
+            0.5,
+            &[2, 8],
+            sp_core::EngineOptions::default(),
+            256,
+            1,
+        )
+        .unwrap();
+        (sweep, epochs)
+    }
+
+    #[test]
+    fn epoch_ndjson_tags_every_window_with_its_distance() {
+        let (sweep, epochs) = tiny_epoch_sweep();
+        let nd = epoch_ndjson(&sweep, &epochs);
+        let lines: Vec<&str> = nd.lines().collect();
+        let windows: usize =
+            epochs.baseline.len() + epochs.points.iter().map(|s| s.len()).sum::<usize>();
+        assert_eq!(lines.len(), windows, "one line per window");
+        assert!(lines[0].starts_with("{\"distance\":null,\"epoch\":0,"));
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.starts_with("{\"distance\":2,"))
+                .count(),
+            epochs.points[0].len()
+        );
+        assert!(
+            lines.iter().all(|l| l.ends_with('}')),
+            "one object per line"
+        );
+        for key in [
+            "\"pollution\":",
+            "\"late\":",
+            "\"top_sets\":",
+            "\"mshr_peak\":",
+        ] {
+            assert!(lines[0].contains(key), "missing {key} in: {}", lines[0]);
+        }
+    }
+
+    #[test]
+    fn epoch_report_flags_distances_over_the_bound() {
+        let (sweep, epochs) = tiny_epoch_sweep();
+        let meta = EpochReportMeta {
+            bench: "EM3D",
+            scale: "test",
+            rp: 0.5,
+            bound: Some(4),
+        };
+        let md = epoch_report_markdown(&meta, &sweep, &epochs);
+        assert!(md.starts_with("# Epoch telemetry — EM3D (test scale)\n"));
+        assert!(md.contains("- SA/2 distance bound: **4**"), "got:\n{md}");
+        assert!(md.contains("paper SA range (Table 2): [40, 360]"));
+        assert!(md.contains("### baseline (no helper)"));
+        assert!(
+            md.contains("### distance 2\n"),
+            "in-bound distance unflagged"
+        );
+        assert!(
+            md.contains("### distance 8 `!` over the SA/2 bound"),
+            "over-bound distance must be flagged:\n{md}"
+        );
+        assert!(md.contains("! 8  "), "heatmap row marker missing:\n{md}");
+        for label in ["misses", "pollution", "late pf"] {
+            assert!(md.contains(label), "sparkline row {label} missing");
+        }
+        // Deterministic: no timestamps or host state leak in.
+        assert_eq!(md, epoch_report_markdown(&meta, &sweep, &epochs));
+        // Without a bound nothing is flagged.
+        let unbounded = epoch_report_markdown(
+            &EpochReportMeta {
+                bound: None,
+                ..meta
+            },
+            &sweep,
+            &epochs,
+        );
+        assert!(unbounded.contains("not computed"));
+        assert!(!unbounded.contains('!'), "no `!` markers without a bound");
     }
 
     #[test]

@@ -39,7 +39,7 @@
 //! runtime instead of only profiled.
 
 use crate::clock::{Cycle, LatencyConfig};
-use crate::stats::{Entity, PollutionStats};
+use crate::stats::{Entity, HitClass, PollutionStats};
 use sp_trace::VAddr;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -356,8 +356,33 @@ pub trait EventSink {
     /// and ignored".
     const ENABLED: bool;
 
+    /// Whether this sink also wants one [`EventSink::demand_tick`] per
+    /// completed access. Separate from `ENABLED` so the existing
+    /// event-stream sinks keep their exact behaviour (and cost): only
+    /// sinks that opt in — the epoch recorder — pay for the tick, and
+    /// the `false` default compiles the call sites out exactly like
+    /// `ENABLED` does for `emit`.
+    const DEMAND_TICKS: bool = false;
+
     /// Receive one event.
     fn emit(&mut self, ev: Event);
+
+    /// Observe one completed access: who issued it, its hit class, the
+    /// L2 set it indexed, the issuing core's MSHR occupancy at
+    /// completion, and the access time. This is the epoch recorder's
+    /// reference clock — demand-tick count, not cycles, advances epoch
+    /// windows, so a window means "the next N references" at any
+    /// distance. Default: ignored (see [`EventSink::DEMAND_TICKS`]).
+    #[inline(always)]
+    fn demand_tick(
+        &mut self,
+        _entity: Entity,
+        _class: HitClass,
+        _set: u32,
+        _mshr: usize,
+        _at: Cycle,
+    ) {
+    }
 }
 
 /// The default sink: observes nothing, costs nothing.

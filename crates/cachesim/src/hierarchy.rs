@@ -603,6 +603,15 @@ impl MemorySystem {
                 complete_at: now + lat.l1_hit,
             };
             self.note(lane, entity, HitClass::L1Hit, result.latency(now));
+            if S::DEMAND_TICKS {
+                sink.demand_tick(
+                    entity,
+                    HitClass::L1Hit,
+                    cr.l2_set,
+                    self.mshr[lane].len(),
+                    now,
+                );
+            }
             return result;
         }
         let t_l2 = now + lat.l1_hit;
@@ -707,6 +716,9 @@ impl MemorySystem {
 
         let result = AccessResult { class, complete_at };
         self.note(lane, entity, class, result.latency(now));
+        if S::DEMAND_TICKS {
+            sink.demand_tick(entity, class, cr.l2_set, self.mshr[lane].len(), now);
+        }
 
         // Train the core's hardware prefetchers on the post-L1 stream,
         // collecting candidates into the reused scratch buffer (taken out

@@ -33,6 +33,7 @@ pub mod bus;
 pub mod cache;
 pub mod clock;
 pub mod config;
+pub mod epoch;
 pub mod events;
 pub mod geometry;
 pub mod hierarchy;
@@ -45,6 +46,7 @@ pub use bus::Bus;
 pub use cache::SetAssocCache;
 pub use clock::{Cycle, LatencyConfig};
 pub use config::{CacheConfig, HwBackend, Inclusion};
+pub use epoch::{EpochSeries, EpochSink, EpochWindow, DEFAULT_EPOCH_LEN};
 pub use events::{
     default_early_threshold, Event, EventSink, EventSummary, FillOrigin, NullSink, PfClass,
     PollutionCase, QuartileRow, RingSink, SetPressure, SummarySink, Timeliness,

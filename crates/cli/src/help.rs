@@ -3,7 +3,7 @@
 //! usage, so flag changes must update the fixture deliberately.
 
 /// Every `spt` subcommand, in the order the top-level usage lists them.
-pub const COMMANDS: [&str; 13] = [
+pub const COMMANDS: [&str; 14] = [
     "affinity",
     "sweep",
     "delinquent",
@@ -15,6 +15,7 @@ pub const COMMANDS: [&str; 13] = [
     "bench",
     "events",
     "trace",
+    "report",
     "serve",
     "loadgen",
 ];
@@ -110,7 +111,8 @@ pub fn command_help(cmd: &str) -> Option<String> {
             "spt bench [flags]",
             "Run the pinned cachesim benchmark suite (synthetic set-hammer,\n\
              fig2 EM3D test-scale sweep, fig5 MCF test-scale sweep, LDS\n\
-             backend sweep, batched lane-engine sweep) and print median\n\
+             backend sweep, batched lane-engine sweep, epoch-recorder\n\
+             overhead sweep) and print median\n\
              ns/ref, refs/sec, wall time, and simulator builds per run.\n\
              One extra pass per suite runs with the span recorder on and\n\
              stores a per-stage wall-time breakdown; the timed\n\
@@ -167,6 +169,34 @@ pub fn command_help(cmd: &str) -> Option<String> {
              --rp R                   prefetch ratio (default 0.5)\n  \
              --distances d1,d2,...    grid (default brackets the bound)\n  \
              --jobs N                 fan out on N threads (0 = all cores)\n",
+        ),
+        "report" => (
+            "spt report [flags]",
+            "Run an epoch-recorded distance sweep — the cache flight\n\
+             recorder — and render the telemetry: every run is windowed\n\
+             into fixed epochs of main-thread references carrying hit /\n\
+             displacement / timeliness / set-pressure / MSHR series, and\n\
+             the report shows *when* pollution happens, not just totals.\n\
+             Emits a self-contained markdown report (per-distance unicode\n\
+             sparklines, a distances-by-epochs displacement heatmap, the\n\
+             SA/2 bound annotated) to --out or stdout, and the raw\n\
+             per-window series as NDJSON to --ndjson. The series is\n\
+             self-checked to fold exactly to the run counters; the\n\
+             command exits non-zero on mismatch.\n\
+             \n\
+             FLAGS:\n  \
+             --rp R                   prefetch ratio (default 0.5)\n  \
+             --distances d1,d2,...    grid (default: the benchmark's\n                           \
+             reproduction grid)\n  \
+             --epoch-len N            window length in main-thread refs\n                           \
+             (default 10000)\n  \
+             --jobs N                 fan out on N threads (0 = all cores)\n  \
+             --lanes K                simulate K grid points per trace pass\n                           \
+             (1..=64, default 1; series identical\n                           \
+             whatever K is)\n  \
+             --out FILE               write the markdown report here\n                           \
+             (default: print to stdout)\n  \
+             --ndjson FILE            write the per-window series as NDJSON\n",
         ),
         "serve" => (
             "spt serve [flags]",

@@ -12,6 +12,7 @@
 //! spt bench      [--smoke] [--out F] [--check BASELINE] [--tolerance F]
 //! spt events     [--bench B] [--distance D] [--rp R] [--original] [--out F.ndjson]
 //! spt trace      [--bench B] [--distances d1,...] [--jobs N] --out profile.json
+//! spt report     [--bench B] [--rp R] [--epoch-len N] [--ndjson F] [--out F.md]
 //! ```
 //!
 //! Every analysis command also accepts `--trace FILE` to replay a trace
@@ -90,6 +91,9 @@ COMMANDS:
   trace        run a distance sweep with runtime spans recorded and
                export them as Chrome trace-event JSON (--out F, load
                into Perfetto / chrome://tracing)
+  report       epoch-windowed flight recorder: sweep with per-window
+               telemetry and render sparklines + displacement heatmap
+               as markdown (--out F.md) and NDJSON series (--ndjson F)
   serve        run the simulation service daemon (NDJSON over TCP)
   loadgen      replay a seeded request mix against a running daemon
 
@@ -121,6 +125,7 @@ fn run(a: Args) -> Result<(), String> {
         "bench" => bench(&a),
         "events" => events(&a),
         "trace" => trace_cmd(&a),
+        "report" => report(&a),
         "serve" => serve_cmd::serve(&a),
         "loadgen" => serve_cmd::loadgen(&a),
         other => Err(format!(
@@ -276,6 +281,111 @@ fn sweep(a: &Args) -> Result<(), String> {
                 s.early,
             );
         }
+    }
+    println!("{}", sp_bench::render_runner_summary(&rep));
+    Ok(())
+}
+
+/// `spt report`: run an epoch-recorded distance sweep — the cache
+/// flight recorder — and render the artifacts: a per-window NDJSON
+/// series (`--ndjson`) and a self-contained markdown report with
+/// per-metric sparklines and the distances-by-epochs displacement
+/// heatmap (`--out`, or stdout). The series is differentially
+/// self-checked against the run-aggregate counters before anything
+/// is written.
+fn report(a: &Args) -> Result<(), String> {
+    let cfg = a.cache_config()?;
+    let trace = a.trace()?;
+    let rec = recommend_distance(&trace, &cfg);
+    let bound = rec.max_distance;
+    let kernel = a.kernel()?;
+    let ds = a.distances(sp_bench::distances_for_kernel(kernel))?;
+    let rp: f64 = a.get_or("rp", 0.5)?;
+    let epoch_len: u64 = a.get_or("epoch-len", sp_cachesim::DEFAULT_EPOCH_LEN)?;
+    if epoch_len == 0 {
+        return Err("--epoch-len 0: a window must cover at least one reference".into());
+    }
+    let jobs: usize = a.get_or("jobs", 0)?; // 0 = all cores
+    let lanes: usize = a.get_or("lanes", 1)?;
+    if lanes == 0 || lanes > 64 {
+        return Err(format!("--lanes {lanes}: expected 1..=64"));
+    }
+    let ct = std::sync::Arc::new(sp_core::compile_trace(&trace, &cfg));
+    let (s, epochs, rep) = sp_core::sweep_epochs_compiled_batched_jobs_with(
+        &ct,
+        cfg,
+        rp,
+        &ds,
+        sp_core::EngineOptions::default(),
+        epoch_len,
+        jobs,
+        lanes,
+    )
+    .map_err(|e| e.to_string())?;
+    // Differential self-check: every series must fold back to its run's
+    // aggregate counters exactly before the artifacts are published.
+    for (series, run) in std::iter::once((&epochs.baseline, &s.baseline))
+        .chain(epochs.points.iter().zip(s.points.iter().map(|p| &p.run)))
+    {
+        let t = series.totals();
+        let m = &run.stats.main;
+        if t.main != [m.l1_hits, m.total_hits, m.partial_hits, m.total_misses]
+            || t.issued != run.stats.prefetches_issued
+            || series.pollution_stats() != run.stats.pollution
+        {
+            return Err(
+                "epoch series totals do not fold to the run counters (recorder drift)".into(),
+            );
+        }
+    }
+    let bench = match a.get("trace") {
+        Some(_) => trace.name.clone(),
+        None => kernel.name().to_string(),
+    };
+    let meta = sp_bench::EpochReportMeta {
+        bench: &bench,
+        scale: a.get("size").unwrap_or("scaled"),
+        rp,
+        bound,
+    };
+    println!(
+        "bound = {}; RP = {rp}; epoch = {epoch_len} refs",
+        bound.map(|b| b.to_string()).unwrap_or_else(|| "-".into())
+    );
+    println!(
+        "{:>9} {:>8} {:>10} {:>8} {:>8}",
+        "distance", "epochs", "pollution", "late", "early"
+    );
+    for (p, series) in s.points.iter().zip(&epochs.points) {
+        let t = series.totals();
+        println!(
+            "{}{:>8} {:>8} {:>10} {:>8} {:>8}",
+            if bound.is_none_or(|b| p.distance <= b) {
+                " "
+            } else {
+                "!"
+            },
+            p.distance,
+            series.len(),
+            t.total_pollution(),
+            t.late,
+            t.early,
+        );
+    }
+    if let Some(nd) = a.get("ndjson") {
+        let text = sp_bench::epoch_ndjson(&s, &epochs);
+        sp_bench::write_atomic(std::path::Path::new(nd), &text)
+            .map_err(|e| format!("--ndjson {nd}: {e}"))?;
+        println!("(wrote {} epoch lines to {nd})", text.lines().count());
+    }
+    let md = sp_bench::epoch_report_markdown(&meta, &s, &epochs);
+    match a.get("out") {
+        Some(out) => {
+            sp_bench::write_atomic(std::path::Path::new(out), &md)
+                .map_err(|e| format!("--out {out}: {e}"))?;
+            println!("(wrote report to {out})");
+        }
+        None => print!("{md}"),
     }
     println!("{}", sp_bench::render_runner_summary(&rep));
     Ok(())

@@ -14,7 +14,7 @@ use std::process::Command;
 /// Must match `help::COMMANDS` in the binary (asserted indirectly: a
 /// command missing here would leave its page out of the fixture, and a
 /// page for an unknown command exits non-zero below).
-const COMMANDS: [&str; 13] = [
+const COMMANDS: [&str; 14] = [
     "affinity",
     "sweep",
     "delinquent",
@@ -26,6 +26,7 @@ const COMMANDS: [&str; 13] = [
     "bench",
     "events",
     "trace",
+    "report",
     "serve",
     "loadgen",
 ];

@@ -9,6 +9,7 @@ use crate::engine::{
 };
 use crate::params::SpParams;
 use crate::pollution::{BehaviorChange, PollutionSummary};
+use sp_cachesim::epoch::{EpochSeries, EpochSink};
 use sp_cachesim::events::{default_early_threshold, EventSummary, SummarySink};
 use sp_cachesim::CacheConfig;
 use sp_runner::{run_jobs, Job, RunnerReport};
@@ -354,6 +355,142 @@ pub fn sweep_events_compiled_batched_jobs_with(
     ))
 }
 
+/// Per-point epoch telemetry series of a recorded sweep, parallel to
+/// [`Sweep::points`]. Named `SweepEpochs` (windows are
+/// [`sp_cachesim::EpochWindow`]s) — distinct from the adaptive
+/// controller's coarse per-interval [`crate::adaptive::EpochRecord`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepEpochs {
+    /// The original (no-helper) run's series.
+    pub baseline: EpochSeries,
+    /// One series per swept distance, in the given order.
+    pub points: Vec<EpochSeries>,
+}
+
+/// [`sweep_compiled_jobs_with`] with an [`EpochSink`] recording every
+/// grid point, so the sweep reports *when* pollution happens — the
+/// per-window displacement/timeliness/pressure series `spt report`
+/// renders and the adaptive controller will steer on — not just the
+/// run totals. `epoch_len` is the window length in main-thread
+/// references ([`sp_cachesim::DEFAULT_EPOCH_LEN`] ≈ 10k); series ride
+/// each job's return value, so the result is submission-order
+/// deterministic at any `jobs` width.
+#[allow(clippy::type_complexity)]
+pub fn sweep_epochs_compiled_jobs_with(
+    ct: &Arc<CompiledTrace>,
+    cache_cfg: CacheConfig,
+    rp: f64,
+    distances: &[u32],
+    opts: EngineOptions,
+    epoch_len: u64,
+    jobs: usize,
+) -> Result<(Sweep, SweepEpochs, RunnerReport), GeometryMismatch> {
+    ct.ensure_geometry(cache_cfg.trace_geometry())?;
+    let threshold = default_early_threshold(&cache_cfg.latency);
+    let corr = sp_obs::corr::current();
+    let _sp = sp_obs::span!("sweep", points = distances.len(), epochs = true);
+    let mut grid: Vec<Job<'static, (RunResult, EpochSeries)>> =
+        Vec::with_capacity(distances.len() + 1);
+    let base_ct = Arc::clone(ct);
+    grid.push(Box::new(move || {
+        let _cg = corr.map(|c| sp_obs::corr::set_current(c.child(1)));
+        let _sp = sp_obs::span!("point", baseline = true);
+        let mut sink = EpochSink::new(epoch_len, threshold);
+        let run = run_original_passes_compiled_ev(&base_ct, cache_cfg, opts.passes, &mut sink)
+            .expect("geometry checked");
+        (run, sink.finish())
+    }));
+    for (i, &d) in distances.iter().enumerate() {
+        let params = SpParams::from_distance_rp(d, rp);
+        let point_ct = Arc::clone(ct);
+        grid.push(Box::new(move || {
+            let _cg = corr.map(|c| sp_obs::corr::set_current(c.child(i as u32 + 2)));
+            let _sp = sp_obs::span!("point", distance = d);
+            let mut sink = EpochSink::new(epoch_len, threshold);
+            let run = run_sp_with_compiled_ev(&point_ct, cache_cfg, params, opts, &mut sink)
+                .expect("geometry checked");
+            (run, sink.finish())
+        }));
+    }
+    let (mut results, report) = run_jobs(grid, jobs);
+    let (baseline, base_epochs) = results.remove(0);
+    let (runs, points): (Vec<RunResult>, Vec<EpochSeries>) = results.into_iter().unzip();
+    let sweep = assemble_sweep(baseline, distances, rp, runs);
+    Ok((
+        sweep,
+        SweepEpochs {
+            baseline: base_epochs,
+            points,
+        },
+        report,
+    ))
+}
+
+/// [`sweep_epochs_compiled_jobs_with`] on the lane-batched engine: one
+/// [`EpochSink`] per lane, so every grid point's series is exactly what
+/// its scalar recorded run would produce (windows advance on the lane's
+/// own demand ticks). `lanes <= 1` delegates to the scalar per-point
+/// path.
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
+pub fn sweep_epochs_compiled_batched_jobs_with(
+    ct: &Arc<CompiledTrace>,
+    cache_cfg: CacheConfig,
+    rp: f64,
+    distances: &[u32],
+    opts: EngineOptions,
+    epoch_len: u64,
+    jobs: usize,
+    lanes: usize,
+) -> Result<(Sweep, SweepEpochs, RunnerReport), GeometryMismatch> {
+    if lanes <= 1 {
+        return sweep_epochs_compiled_jobs_with(
+            ct, cache_cfg, rp, distances, opts, epoch_len, jobs,
+        );
+    }
+    ct.ensure_geometry(cache_cfg.trace_geometry())?;
+    let threshold = default_early_threshold(&cache_cfg.latency);
+    let corr = sp_obs::corr::current();
+    let _sp = sp_obs::span!(
+        "sweep",
+        points = distances.len(),
+        lanes = lanes,
+        epochs = true
+    );
+    let specs = sweep_specs(rp, distances);
+    let mut grid: Vec<Job<'static, Vec<(RunResult, EpochSeries)>>> =
+        Vec::with_capacity(specs.len().div_ceil(lanes));
+    for (ci, chunk) in specs.chunks(lanes).enumerate() {
+        let chunk = chunk.to_vec();
+        let batch_ct = Arc::clone(ct);
+        grid.push(Box::new(move || {
+            let _cg = corr.map(|c| sp_obs::corr::set_current(c.child(ci as u32 + 1)));
+            let _sp = sp_obs::span!("batch", lanes = chunk.len(), epochs = true);
+            let mut sinks: Vec<EpochSink> = (0..chunk.len())
+                .map(|_| EpochSink::new(epoch_len, threshold))
+                .collect();
+            let runs = run_trace_batched_ev(&batch_ct, cache_cfg, &chunk, opts, &mut sinks)
+                .expect("geometry checked");
+            runs.into_iter()
+                .zip(sinks)
+                .map(|(r, s)| (r, s.finish()))
+                .collect()
+        }));
+    }
+    let (results, report) = run_jobs(grid, jobs);
+    let mut flat: Vec<(RunResult, EpochSeries)> = results.into_iter().flatten().collect();
+    let (baseline, base_epochs) = flat.remove(0);
+    let (runs, points): (Vec<RunResult>, Vec<EpochSeries>) = flat.into_iter().unzip();
+    let sweep = assemble_sweep(baseline, distances, rp, runs);
+    Ok((
+        sweep,
+        SweepEpochs {
+            baseline: base_epochs,
+            points,
+        },
+        report,
+    ))
+}
+
 /// Normalize a grid of SP runs against the baseline — shared by the
 /// plain and the event-observed sweeps so their `Sweep`s are assembled
 /// identically.
@@ -597,6 +734,87 @@ mod tests {
         .unwrap();
         assert_eq!(bs, sweep);
         assert_eq!(be, events, "per-lane folds must match scalar folds");
+    }
+
+    #[test]
+    fn epoch_sweep_matches_plain_sweep_and_totals_fold_to_the_counters() {
+        let t = synth::random(300, 3, 0, 1 << 20, 23, 2);
+        let c = cfg();
+        let ct = std::sync::Arc::new(crate::engine::compile_trace(&t, &c));
+        let (plain, _) =
+            sweep_compiled_jobs_with(&ct, c, 0.5, &[2, 8], EngineOptions::default(), 1).unwrap();
+        let (recorded, epochs, _) =
+            sweep_epochs_compiled_jobs_with(&ct, c, 0.5, &[2, 8], EngineOptions::default(), 64, 1)
+                .unwrap();
+        assert_eq!(plain, recorded, "recording a sweep must not change it");
+        assert_eq!(epochs.points.len(), 2);
+        // Every window but the last is exactly the epoch length, and the
+        // series totals are the run-aggregate counters, refined in time.
+        for (series, run) in std::iter::once((&epochs.baseline, &recorded.baseline)).chain(
+            epochs
+                .points
+                .iter()
+                .zip(recorded.points.iter().map(|p| &p.run)),
+        ) {
+            for w in &series.epochs[..series.len().saturating_sub(1)] {
+                assert_eq!(w.refs, 64);
+            }
+            let t = series.totals();
+            let m = &run.stats.main;
+            assert_eq!(
+                t.main,
+                [m.l1_hits, m.total_hits, m.partial_hits, m.total_misses]
+            );
+            let h = &run.stats.helper;
+            assert_eq!(
+                t.helper,
+                [h.l1_hits, h.total_hits, h.partial_hits, h.total_misses]
+            );
+            assert_eq!(t.issued, run.stats.prefetches_issued);
+            assert_eq!(t.first_uses, run.stats.prefetches_useful);
+            assert_eq!(series.pollution_stats(), run.stats.pollution);
+        }
+        // Epoch series are jobs-width deterministic like the sweep.
+        let par =
+            sweep_epochs_compiled_jobs_with(&ct, c, 0.5, &[2, 8], EngineOptions::default(), 64, 4)
+                .unwrap();
+        assert_eq!(par.0, recorded);
+        assert_eq!(par.1, epochs);
+    }
+
+    #[test]
+    fn batched_epoch_sweep_matches_scalar_epoch_sweep() {
+        let t = synth::random(300, 3, 0, 1 << 20, 23, 2);
+        let c = cfg();
+        let ct = std::sync::Arc::new(crate::engine::compile_trace(&t, &c));
+        let (sweep, epochs, _) = sweep_epochs_compiled_jobs_with(
+            &ct,
+            c,
+            0.5,
+            &[2, 8, 32],
+            EngineOptions::default(),
+            64,
+            1,
+        )
+        .unwrap();
+        for lanes in [2usize, 4] {
+            let (bs, be, _) = sweep_epochs_compiled_batched_jobs_with(
+                &ct,
+                c,
+                0.5,
+                &[2, 8, 32],
+                EngineOptions::default(),
+                64,
+                1,
+                lanes,
+            )
+            .unwrap();
+            assert_eq!(bs, sweep, "lanes={lanes}");
+            assert_eq!(
+                be, epochs,
+                "per-lane series must match scalar, lanes={lanes}"
+            );
+        }
     }
 
     #[test]

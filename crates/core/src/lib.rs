@@ -60,8 +60,10 @@ pub use calr::{estimate_calr, select_params, select_rp, CalrProfile};
 pub use distance::{
     controlled_distance, recommend_distance, sweep_compiled_batched_jobs_with,
     sweep_compiled_jobs_with, sweep_distances, sweep_distances_batched_jobs_with,
-    sweep_distances_jobs, sweep_distances_jobs_with, sweep_events_compiled_batched_jobs_with,
-    sweep_events_compiled_jobs_with, DistanceRecommendation, Sweep, SweepEvents, SweepPoint,
+    sweep_distances_jobs, sweep_distances_jobs_with, sweep_epochs_compiled_batched_jobs_with,
+    sweep_epochs_compiled_jobs_with, sweep_events_compiled_batched_jobs_with,
+    sweep_events_compiled_jobs_with, DistanceRecommendation, Sweep, SweepEpochs, SweepEvents,
+    SweepPoint,
 };
 pub use engine::{
     compile_trace, run_original, run_original_passes, run_original_passes_compiled,

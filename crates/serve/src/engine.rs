@@ -13,10 +13,11 @@
 use crate::json::Json;
 use crate::protocol::{scale_name, Command, SimSpec};
 use sp_bench::{kernel_row, Scale};
-use sp_cachesim::{EventSummary, PfClass, PollutionCase};
+use sp_cachesim::{EpochSeries, EventSummary, PfClass, PollutionCase, DEFAULT_EPOCH_LEN};
 use sp_core::{
     compile_trace, recommend_distance, sweep_compiled_batched_jobs_with,
-    sweep_events_compiled_batched_jobs_with, Sweep, SweepEvents,
+    sweep_epochs_compiled_batched_jobs_with, sweep_events_compiled_batched_jobs_with, Sweep,
+    SweepEpochs, SweepEvents,
 };
 use sp_native::sync::Mutex;
 use sp_trace::{CompiledTrace, HotLoopTrace, TraceGeometry};
@@ -86,6 +87,44 @@ impl EventTotals {
     }
 }
 
+/// Aggregate epoch-telemetry counters folded over every epoch-recorded
+/// run — the source behind the `sp_epoch_*` families of the Prometheus
+/// exposition. Epoch requests bypass the result cache, so every one of
+/// them records here.
+#[derive(Debug, Default)]
+pub struct EpochTotals {
+    /// Epoch-recorded runs folded in (baseline plus one per point).
+    pub runs: AtomicU64,
+    /// Epoch windows recorded across those runs.
+    pub windows: AtomicU64,
+    /// Main-thread references covered by those windows.
+    pub refs: AtomicU64,
+    /// Pollution evictions, indexed by [`PollutionCase::index`].
+    pub pollution: [AtomicU64; 3],
+    /// First uses whose fill had not completed when the demand arrived.
+    pub late: AtomicU64,
+    /// First uses within the early-threshold window of their fill.
+    pub on_time: AtomicU64,
+    /// First uses that idled in the cache past the early threshold.
+    pub early: AtomicU64,
+}
+
+impl EpochTotals {
+    /// Fold one run's epoch series into the totals.
+    pub fn record(&self, s: &EpochSeries) {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        self.windows.fetch_add(s.len() as u64, Ordering::Relaxed);
+        let t = s.totals();
+        self.refs.fetch_add(t.refs, Ordering::Relaxed);
+        for i in 0..PollutionCase::ALL.len() {
+            self.pollution[i].fetch_add(t.pollution[i], Ordering::Relaxed);
+        }
+        self.late.fetch_add(t.late, Ordering::Relaxed);
+        self.on_time.fetch_add(t.on_time, Ordering::Relaxed);
+        self.early.fetch_add(t.early, Ordering::Relaxed);
+    }
+}
+
 /// The daemon's simulation executor: a trace memo plus the encoding of
 /// each result kind. Stateless apart from the memo and the event
 /// totals, so any number of pool workers can execute through one shared
@@ -95,6 +134,7 @@ pub struct SimEngine {
     traces: Mutex<HashMap<(u8, u8), Arc<HotLoopTrace>>>,
     compiled: Mutex<HashMap<(u64, TraceGeometry), Arc<CompiledTrace>>>,
     events: EventTotals,
+    epochs: EpochTotals,
 }
 
 impl SimEngine {
@@ -106,6 +146,11 @@ impl SimEngine {
     /// The aggregate event counters (for the Prometheus exposition).
     pub fn event_totals(&self) -> &EventTotals {
         &self.events
+    }
+
+    /// The aggregate epoch counters (for the Prometheus exposition).
+    pub fn epoch_totals(&self) -> &EpochTotals {
+        &self.epochs
     }
 
     fn trace(&self, bench: KernelKind, scale: Scale) -> Arc<HotLoopTrace> {
@@ -182,6 +227,25 @@ impl SimEngine {
         // (jobs = 1); `spec.lanes` batches grid points per trace pass
         // inside this worker. Results are bit-identical at every lane
         // width, which is why `lanes` stays out of the cache key.
+        if spec.epochs {
+            let (sweep, epochs, _report) = sweep_epochs_compiled_batched_jobs_with(
+                &compiled,
+                spec.cache.config,
+                spec.rp,
+                distances,
+                spec.opts,
+                DEFAULT_EPOCH_LEN,
+                1,
+                spec.lanes,
+            )
+            .expect("compiled for this request's geometry");
+            self.epochs.record(&epochs.baseline);
+            for point in &epochs.points {
+                self.epochs.record(point);
+            }
+            let _sp = sp_obs::span!("serialize");
+            return sweep_json(spec, bound, &sweep, None, Some(&epochs)).encode();
+        }
         if spec.events {
             let (sweep, events, _report) = sweep_events_compiled_batched_jobs_with(
                 &compiled,
@@ -198,7 +262,7 @@ impl SimEngine {
                 self.events.record(point);
             }
             let _sp = sp_obs::span!("serialize");
-            return sweep_json(spec, bound, &sweep, Some(&events)).encode();
+            return sweep_json(spec, bound, &sweep, Some(&events), None).encode();
         }
         let (sweep, _report) = sweep_compiled_batched_jobs_with(
             &compiled,
@@ -211,20 +275,22 @@ impl SimEngine {
         )
         .expect("compiled for this request's geometry");
         let _sp = sp_obs::span!("serialize");
-        sweep_json(spec, bound, &sweep, None).encode()
+        sweep_json(spec, bound, &sweep, None, None).encode()
     }
 }
 
 /// Encode a sweep. Point field names mirror [`sp_bench::SWEEP_HEADER`]
 /// so CSV consumers and protocol consumers read the same vocabulary.
 /// With `events`, each point additionally carries its lifecycle /
-/// timeliness / pollution-case summary (`SweepEvents::points` is
-/// index-aligned with `Sweep::points`).
+/// timeliness / pollution-case summary; with `epochs`, a compact
+/// columnar epoch series (both `points` vectors are index-aligned with
+/// `Sweep::points`; the parser guarantees at most one is present).
 fn sweep_json(
     spec: &SimSpec,
     bound: Option<u32>,
     sweep: &Sweep,
     events: Option<&SweepEvents>,
+    epochs: Option<&SweepEpochs>,
 ) -> Json {
     let points = sweep
         .points
@@ -253,6 +319,9 @@ fn sweep_json(
             if let Some(ev) = events {
                 point = point.push("events", event_summary_json(&ev.points[i]));
             }
+            if let Some(ep) = epochs {
+                point = point.push("epochs", epoch_series_json(&ep.points[i]));
+            }
             point
         })
         .collect();
@@ -266,7 +335,33 @@ fn sweep_json(
     if let Some(ev) = events {
         out = out.push("baseline_events", event_summary_json(&ev.baseline));
     }
+    if let Some(ep) = epochs {
+        out = out.push("baseline_epochs", epoch_series_json(&ep.baseline));
+    }
     out.push("points", Json::Arr(points))
+}
+
+/// Encode one run's epoch series in columnar form — one array per
+/// metric, index-aligned by window — which keeps a long series compact
+/// on the wire (no per-window key repetition) and trivially plottable.
+fn epoch_series_json(s: &EpochSeries) -> Json {
+    let col = |f: &dyn Fn(&sp_cachesim::EpochWindow) -> u64| {
+        Json::Arr(s.epochs.iter().map(|w| Json::num(f(w) as f64)).collect())
+    };
+    Json::obj()
+        .push("epoch_len", Json::num(s.epoch_len as f64))
+        .push("windows", Json::num(s.len() as f64))
+        .push("refs", col(&|w| w.refs))
+        .push("misses", col(&|w| w.main[3]))
+        .push("partial_hits", col(&|w| w.main[2]))
+        .push("issued", col(&|w| w.issued.iter().sum()))
+        .push("first_uses", col(&|w| w.first_uses.iter().sum()))
+        .push("pollution", col(&|w| w.total_pollution()))
+        .push("late", col(&|w| w.late))
+        .push("on_time", col(&|w| w.on_time))
+        .push("early", col(&|w| w.early))
+        .push("l2_fills", col(&|w| w.l2_fills.iter().sum()))
+        .push("mshr_peak", col(&|w| w.mshr_peak))
 }
 
 /// Encode one run's event summary: lifecycle counts by prefetch class,
@@ -400,6 +495,69 @@ mod tests {
         assert!(pv.get("baseline_events").is_none());
         let pp = pv.get("points").and_then(Json::as_arr).unwrap();
         assert!(pp[0].get("events").is_none());
+        assert_eq!(
+            pp[0].get("runtime_norm").and_then(Json::as_f64),
+            points[0].get("runtime_norm").and_then(Json::as_f64),
+        );
+        assert_eq!(
+            pp[0].get("pollution_events").and_then(Json::as_u64),
+            points[0].get("pollution_events").and_then(Json::as_u64),
+        );
+    }
+
+    #[test]
+    fn epoch_point_carries_a_columnar_series_and_feeds_the_totals() {
+        let engine = SimEngine::new();
+        let plain = engine
+            .execute(&command(
+                "{\"type\":\"point\",\"bench\":\"em3d\",\"distance\":8}",
+            ))
+            .unwrap();
+        assert_eq!(engine.epochs.runs.load(Ordering::Relaxed), 0);
+        let recorded = engine
+            .execute(&command(
+                "{\"type\":\"point\",\"bench\":\"em3d\",\"distance\":8,\"epochs\":true}",
+            ))
+            .unwrap();
+        // Baseline + one point folded into the daemon totals.
+        assert_eq!(engine.epochs.runs.load(Ordering::Relaxed), 2);
+        assert!(engine.epochs.windows.load(Ordering::Relaxed) >= 2);
+        assert!(engine.epochs.refs.load(Ordering::Relaxed) > 0);
+        let v = Json::parse(&recorded).unwrap();
+        let base = v.get("baseline_epochs").expect("baseline series");
+        assert_eq!(
+            base.get("epoch_len").and_then(Json::as_u64),
+            Some(DEFAULT_EPOCH_LEN)
+        );
+        let points = v.get("points").and_then(Json::as_arr).unwrap();
+        let ep = points[0].get("epochs").expect("per-point series");
+        let windows = ep.get("windows").and_then(Json::as_u64).unwrap();
+        assert!(windows >= 1);
+        // Columnar: every metric array is index-aligned by window.
+        for key in [
+            "refs",
+            "misses",
+            "partial_hits",
+            "issued",
+            "first_uses",
+            "pollution",
+            "late",
+            "on_time",
+            "early",
+            "l2_fills",
+            "mshr_peak",
+        ] {
+            let col = ep.get(key).and_then(Json::as_arr).unwrap_or_else(|| {
+                panic!("missing column {key}: {recorded}");
+            });
+            assert_eq!(col.len() as u64, windows, "ragged column {key}");
+        }
+        // The headline numbers agree with the unrecorded path (the
+        // recorder must not perturb the simulation).
+        let pv = Json::parse(&plain).unwrap();
+        assert!(pv.get("baseline_epochs").is_none());
+        let pp = pv.get("points").and_then(Json::as_arr).unwrap();
+        assert!(pp[0].get("epochs").is_none());
         assert_eq!(
             pp[0].get("runtime_norm").and_then(Json::as_f64),
             points[0].get("runtime_norm").and_then(Json::as_f64),

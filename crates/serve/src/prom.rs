@@ -9,7 +9,7 @@
 //! integer microseconds (`_us` metric names) rather than float seconds
 //! so the body stays byte-deterministic for a given counter state.
 
-use crate::engine::EventTotals;
+use crate::engine::{EpochTotals, EventTotals};
 use crate::metrics::{Histogram, Metrics, StageTimes, KINDS};
 use sp_cachesim::{PfClass, PollutionCase};
 use std::fmt::Write;
@@ -23,6 +23,8 @@ pub struct PromSnapshot<'a> {
     pub metrics: &'a Metrics,
     /// Aggregate event totals from eventful runs.
     pub events: &'a EventTotals,
+    /// Aggregate epoch-telemetry totals from epoch-recorded runs.
+    pub epochs: &'a EpochTotals,
     /// Daemon uptime, milliseconds.
     pub uptime_ms: u64,
     /// Result-cache entries currently held.
@@ -288,23 +290,75 @@ pub fn render(snap: &PromSnapshot) -> String {
             ("early", ev.early.load(Ordering::Relaxed)),
         ],
     );
+
+    // Aggregate epoch-telemetry totals. Zero until an epoch-recorded
+    // request (`"epochs":true`) executes; those bypass the result
+    // cache, so every one records. Naming follows the audit of the
+    // families above: cumulative counts end `_total`, durations carry
+    // an explicit unit suffix — see `names_follow_the_unit_conventions`.
+    let ep = snap.epochs;
+    counter(
+        &mut out,
+        "sp_epoch_runs_total",
+        "Simulation runs folded into the epoch totals.",
+        ep.runs.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "sp_epoch_windows_total",
+        "Epoch windows recorded across those runs.",
+        ep.windows.load(Ordering::Relaxed),
+    );
+    counter(
+        &mut out,
+        "sp_epoch_refs_total",
+        "Main-thread references covered by recorded windows.",
+        ep.refs.load(Ordering::Relaxed),
+    );
+    let by_case: Vec<(&str, u64)> = PollutionCase::ALL
+        .iter()
+        .map(|c| (c.name(), ep.pollution[c.index()].load(Ordering::Relaxed)))
+        .collect();
+    labelled(
+        &mut out,
+        "sp_epoch_pollution_total",
+        "Pollution evictions in epoch-recorded runs, by displacement case.",
+        "case",
+        &by_case,
+    );
+    labelled(
+        &mut out,
+        "sp_epoch_timeliness_total",
+        "Prefetch first uses in epoch-recorded runs, by timeliness.",
+        "timeliness",
+        &[
+            ("late", ep.late.load(Ordering::Relaxed)),
+            ("on_time", ep.on_time.load(Ordering::Relaxed)),
+            ("early", ep.early.load(Ordering::Relaxed)),
+        ],
+    );
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::EventTotals;
+    use crate::engine::{EpochTotals, EventTotals};
     use crate::metrics::{Metrics, LATENCY_BOUNDS_US, STAGES};
 
-    fn snapshot<'a>(
-        m: &'a Metrics,
-        ev: &'a EventTotals,
-        stages: &'a StageTimes,
-    ) -> PromSnapshot<'a> {
+    #[derive(Default)]
+    struct Totals {
+        m: Metrics,
+        ev: EventTotals,
+        ep: EpochTotals,
+        stages: StageTimes,
+    }
+
+    fn snapshot(t: &Totals) -> PromSnapshot<'_> {
         PromSnapshot {
-            metrics: m,
-            events: ev,
+            metrics: &t.m,
+            events: &t.ev,
+            epochs: &t.ep,
             uptime_ms: 1234,
             cache_entries: 3,
             cache_capacity: 256,
@@ -312,21 +366,19 @@ mod tests {
             queue_capacity: 64,
             workers: 4,
             completed: 9,
-            stages,
+            stages: &t.stages,
         }
     }
 
     #[test]
     fn exposition_is_well_formed_and_covers_every_family() {
-        let m = Metrics::default();
-        m.count_request("sweep");
-        m.count_request("metrics");
-        m.latency.record(120);
-        m.latency.record(9_999_999);
-        let ev = EventTotals::default();
-        let stages = StageTimes::default();
-        stages.record_us("simulate", 120);
-        let body = render(&snapshot(&m, &ev, &stages));
+        let t = Totals::default();
+        t.m.count_request("sweep");
+        t.m.count_request("metrics");
+        t.m.latency.record(120);
+        t.m.latency.record(9_999_999);
+        t.stages.record_us("simulate", 120);
+        let body = render(&snapshot(&t));
         // Every non-comment line is `name{labels} value` with a numeric
         // value; every sample is preceded by HELP/TYPE for its family.
         for line in body.lines() {
@@ -351,6 +403,11 @@ mod tests {
             "sp_events_pollution_total",
             "sp_events_timeliness_total",
             "sp_stage_seconds",
+            "sp_epoch_runs_total",
+            "sp_epoch_windows_total",
+            "sp_epoch_refs_total",
+            "sp_epoch_pollution_total",
+            "sp_epoch_timeliness_total",
         ] {
             assert!(
                 body.contains(&format!("# TYPE {family} ")),
@@ -365,6 +422,56 @@ mod tests {
             body.contains("sp_events_pollution_total{case=\"reuse\"} 0"),
             "got {body}"
         );
+        assert!(
+            body.contains("sp_epoch_timeliness_total{timeliness=\"late\"} 0"),
+            "got {body}"
+        );
+    }
+
+    /// The metric-name lint: every family follows the exposition's
+    /// unit-suffix conventions. Cumulative counters end `_total`;
+    /// histograms carry an explicit unit suffix (`_us` or `_seconds`);
+    /// gauges are instantaneous quantities and may end in a unit
+    /// (`_ms`) or a bare noun; and every name is `sp_`-prefixed
+    /// lowercase. New families (the `sp_epoch_*` set included) are
+    /// checked automatically because the lint walks the rendered body's
+    /// TYPE comments rather than a hand-kept list.
+    #[test]
+    fn names_follow_the_unit_conventions() {
+        let t = Totals::default();
+        t.m.count_request("sweep");
+        let body = render(&snapshot(&t));
+        let mut families = 0;
+        for line in body.lines() {
+            let Some(rest) = line.strip_prefix("# TYPE ") else {
+                continue;
+            };
+            let (name, kind) = rest.split_once(' ').expect("TYPE has name and kind");
+            families += 1;
+            assert!(
+                name.starts_with("sp_")
+                    && name
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "family {name} must be sp_-prefixed lowercase"
+            );
+            match kind {
+                "counter" => assert!(
+                    name.ends_with("_total"),
+                    "counter {name} must end in _total"
+                ),
+                "histogram" => assert!(
+                    name.ends_with("_us") || name.ends_with("_seconds"),
+                    "histogram {name} must carry a unit suffix (_us/_seconds)"
+                ),
+                "gauge" => assert!(
+                    !name.ends_with("_total"),
+                    "gauge {name} must not use the counter suffix"
+                ),
+                other => panic!("unexpected TYPE {other} for {name}"),
+            }
+        }
+        assert!(families > 15, "lint saw only {families} families");
     }
 
     #[test]

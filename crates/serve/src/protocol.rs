@@ -125,6 +125,12 @@ pub struct SimSpec {
     /// timeliness / pollution-case summaries to the result (and feeding
     /// the daemon's aggregate event counters).
     pub events: bool,
+    /// Attach epoch recorders to every run, adding a compact per-window
+    /// telemetry series to each point (and feeding the daemon's
+    /// `sp_epoch_*` counters). Mutually exclusive with `events` — each
+    /// run carries one sink. Epoch payloads are **never cached** (see
+    /// [`Request::cache_key`]), so the knob stays out of the key.
+    pub epochs: bool,
     /// Grid points simulated per trace pass for sweep requests (the
     /// lane-batched engine; 1 = the scalar per-point path). Purely an
     /// execution knob: results are bit-identical at every width, so it
@@ -159,6 +165,13 @@ impl SimSpec {
             None => false,
             Some(e) => e.as_bool().ok_or("events must be a boolean")?,
         };
+        let epochs = match v.get("epochs") {
+            None => false,
+            Some(e) => e.as_bool().ok_or("epochs must be a boolean")?,
+        };
+        if events && epochs {
+            return Err("events and epochs are mutually exclusive".into());
+        }
         let lanes = match v.get("lanes") {
             None => 1,
             Some(l) => {
@@ -176,6 +189,7 @@ impl SimSpec {
             rp,
             opts,
             events,
+            epochs,
             lanes,
         })
     }
@@ -368,9 +382,14 @@ impl Request {
 
     /// The canonical cache key, if this request is cacheable. Built from
     /// resolved values so default-spelling variants share an entry;
-    /// `burn`/`stats`/`ping`/`shutdown` are never cached.
+    /// `burn`/`stats`/`ping`/`shutdown` are never cached. Epoch-series
+    /// requests bypass the cache entirely — the `epochs` knob is
+    /// excluded from the key, and sharing an entry with the plain spec
+    /// would serve a series-free payload — so they stay uncached rather
+    /// than key-split.
     pub fn cache_key(&self) -> Option<String> {
         match &self.cmd {
+            Command::Sweep { spec, .. } | Command::Point { spec, .. } if spec.epochs => None,
             Command::Sweep { spec, distances } => {
                 let ds: Vec<String> = distances.iter().map(u32::to_string).collect();
                 Some(format!("sweep|{}|ds={}", spec.key_fragment(), ds.join(",")))
@@ -558,6 +577,35 @@ mod tests {
             other => panic!("wrong command {other:?}"),
         }
         assert!(Request::parse("{\"type\":\"point\",\"events\":\"yes\"}").is_err());
+    }
+
+    #[test]
+    fn epochs_flag_defaults_off_bypasses_the_cache_and_rejects_combos() {
+        let r = Request::parse("{\"type\":\"point\"}").unwrap();
+        match r.cmd {
+            Command::Point { spec, .. } => assert!(!spec.epochs),
+            other => panic!("wrong command {other:?}"),
+        }
+        // Epoch requests carry a series the plain payload lacks; instead
+        // of splitting the key they bypass the result cache entirely.
+        for line in [
+            "{\"type\":\"point\",\"epochs\":true}",
+            "{\"type\":\"sweep\",\"distances\":[2,4],\"epochs\":true}",
+        ] {
+            let r = Request::parse(line).unwrap();
+            match &r.cmd {
+                Command::Point { spec, .. } | Command::Sweep { spec, .. } => {
+                    assert!(spec.epochs)
+                }
+                other => panic!("wrong command {other:?}"),
+            }
+            assert_eq!(r.cache_key(), None, "epoch request must not be cached");
+        }
+        assert!(Request::parse("{\"type\":\"point\",\"epochs\":\"yes\"}").is_err());
+        assert!(
+            Request::parse("{\"type\":\"point\",\"epochs\":true,\"events\":true}").is_err(),
+            "one sink per run: events+epochs must reject"
+        );
     }
 
     #[test]

@@ -499,6 +499,7 @@ fn metrics_payload(shared: &Shared) -> String {
     let body = crate::prom::render(&crate::prom::PromSnapshot {
         metrics: &shared.metrics,
         events: shared.engine.event_totals(),
+        epochs: shared.engine.epoch_totals(),
         uptime_ms: shared.started.elapsed().as_millis() as u64,
         cache_entries: shared.cache.len(),
         cache_capacity: shared.cache.capacity(),

@@ -1,0 +1,170 @@
+//! Determinism + refinement suite for the epoch flight recorder: the
+//! per-window series must be a pure function of the simulated run, so
+//! an epoch sweep must produce *byte-identical* NDJSON at any `--jobs`
+//! width and any `--lanes` batch width — and every series must fold
+//! back to the run-aggregate counters exactly (the epoch↔counter
+//! self-check, mirroring `events_determinism.rs` / the event↔counter
+//! check of the events layer).
+
+use sp_cachesim::{CacheConfig, EpochSeries};
+use sp_core::{
+    compile_trace, sweep_epochs_compiled_batched_jobs_with, sweep_epochs_compiled_jobs_with,
+    EngineOptions, Sweep, SweepEpochs,
+};
+use sp_workloads::{Benchmark, Workload};
+use std::sync::Arc;
+
+const EPOCH_LEN: u64 = 128;
+
+fn grid(b: Benchmark) -> Vec<u32> {
+    match b {
+        Benchmark::Em3d => vec![1, 2, 4, 8, 16, 32],
+        Benchmark::Mcf => vec![2, 8, 32, 128, 512],
+        Benchmark::Mst => vec![1, 3, 9, 27, 81],
+    }
+}
+
+fn ndjson(s: &Sweep, e: &SweepEpochs) -> String {
+    let mut out = e.baseline.to_ndjson("\"distance\":null,");
+    for (p, series) in s.points.iter().zip(&e.points) {
+        out.push_str(&series.to_ndjson(&format!("\"distance\":{},", p.distance)));
+    }
+    out
+}
+
+#[test]
+fn epoch_series_are_byte_identical_at_any_jobs_width() {
+    let cfg = CacheConfig::scaled_default();
+    for b in [Benchmark::Em3d, Benchmark::Mcf, Benchmark::Mst] {
+        let trace = Workload::tiny(b).trace();
+        let ct = Arc::new(compile_trace(&trace, &cfg));
+        let ds = grid(b);
+        let (sweep, epochs, rep) = sweep_epochs_compiled_jobs_with(
+            &ct,
+            cfg,
+            0.5,
+            &ds,
+            EngineOptions::default(),
+            EPOCH_LEN,
+            1,
+        )
+        .expect("compiled for this geometry");
+        assert_eq!(rep.jobs, ds.len() + 1, "baseline + one job per distance");
+        let expected = ndjson(&sweep, &epochs);
+        assert!(
+            epochs.points.iter().all(|s| !s.is_empty()),
+            "{b:?}: every distance must record windows"
+        );
+        for jobs in [2, 4, 8] {
+            let (s, e, _) = sweep_epochs_compiled_jobs_with(
+                &ct,
+                cfg,
+                0.5,
+                &ds,
+                EngineOptions::default(),
+                EPOCH_LEN,
+                jobs,
+            )
+            .expect("compiled for this geometry");
+            assert_eq!(sweep, s, "{b:?}: sweep diverged at --jobs {jobs}");
+            assert_eq!(
+                expected,
+                ndjson(&s, &e),
+                "{b:?}: epoch NDJSON diverged at --jobs {jobs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn epoch_series_are_byte_identical_at_any_lane_width() {
+    let cfg = CacheConfig::scaled_default();
+    for b in [Benchmark::Em3d, Benchmark::Mcf, Benchmark::Mst] {
+        let trace = Workload::tiny(b).trace();
+        let ct = Arc::new(compile_trace(&trace, &cfg));
+        let ds = grid(b);
+        let mut reference: Option<(Sweep, String)> = None;
+        for lanes in [1, 2, 4, 8] {
+            let (s, e, _) = sweep_epochs_compiled_batched_jobs_with(
+                &ct,
+                cfg,
+                0.5,
+                &ds,
+                EngineOptions::default(),
+                EPOCH_LEN,
+                2,
+                lanes,
+            )
+            .expect("compiled for this geometry");
+            let nd = ndjson(&s, &e);
+            match &reference {
+                None => reference = Some((s, nd)),
+                Some((sweep0, nd0)) => {
+                    assert_eq!(sweep0, &s, "{b:?}: sweep diverged at --lanes {lanes}");
+                    assert_eq!(nd0, &nd, "{b:?}: epoch NDJSON diverged at --lanes {lanes}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn epoch_totals_fold_exactly_to_the_run_counters() {
+    let cfg = CacheConfig::scaled_default();
+    for b in [Benchmark::Em3d, Benchmark::Mcf, Benchmark::Mst] {
+        let trace = Workload::tiny(b).trace();
+        let ct = Arc::new(compile_trace(&trace, &cfg));
+        let (sweep, epochs, _) = sweep_epochs_compiled_jobs_with(
+            &ct,
+            cfg,
+            0.5,
+            &grid(b),
+            EngineOptions::default(),
+            EPOCH_LEN,
+            2,
+        )
+        .expect("compiled for this geometry");
+        let pairs: Vec<(&EpochSeries, &sp_core::RunResult)> =
+            std::iter::once((&epochs.baseline, &sweep.baseline))
+                .chain(
+                    epochs
+                        .points
+                        .iter()
+                        .zip(sweep.points.iter().map(|p| &p.run)),
+                )
+                .collect();
+        for (series, run) in pairs {
+            let t = series.totals();
+            let m = &run.stats.main;
+            assert_eq!(
+                t.main,
+                [m.l1_hits, m.total_hits, m.partial_hits, m.total_misses],
+                "{b:?}: main-thread hit classes must fold exactly"
+            );
+            let h = &run.stats.helper;
+            assert_eq!(
+                t.helper,
+                [h.l1_hits, h.total_hits, h.partial_hits, h.total_misses],
+                "{b:?}: helper-thread hit classes must fold exactly"
+            );
+            assert_eq!(t.issued, run.stats.prefetches_issued, "{b:?}: issued");
+            assert_eq!(
+                t.first_uses, run.stats.prefetches_useful,
+                "{b:?}: first uses"
+            );
+            assert_eq!(
+                series.pollution_stats(),
+                run.stats.pollution,
+                "{b:?}: displacement cases must fold exactly"
+            );
+            // Window bookkeeping: every window but the last is full, and
+            // indices are dense.
+            for (i, w) in series.epochs.iter().enumerate() {
+                assert_eq!(w.index, i as u64, "{b:?}: window indices are dense");
+            }
+            for w in &series.epochs[..series.len().saturating_sub(1)] {
+                assert_eq!(w.refs, EPOCH_LEN, "{b:?}: only the last window is partial");
+            }
+        }
+    }
+}
