@@ -6,8 +6,9 @@ use sp_trace::HotLoopTrace;
 use sp_workloads::{KernelKind, ScaleTier, WorkloadBuilder};
 
 /// Flags that may appear without a value (`spt bench --smoke`,
-/// `spt sweep --events`, `spt events --original`).
-const BOOLEAN_FLAGS: [&str; 3] = ["smoke", "events", "original"];
+/// `spt sweep --events`, `spt events --original`,
+/// `spt top --once --json`).
+const BOOLEAN_FLAGS: [&str; 5] = ["smoke", "events", "original", "once", "json"];
 
 /// Parsed command line: subcommand, positional args, `--key value` flags.
 #[derive(Debug, Clone)]

@@ -3,7 +3,7 @@
 //! usage, so flag changes must update the fixture deliberately.
 
 /// Every `spt` subcommand, in the order the top-level usage lists them.
-pub const COMMANDS: [&str; 14] = [
+pub const COMMANDS: [&str; 15] = [
     "affinity",
     "sweep",
     "delinquent",
@@ -18,6 +18,7 @@ pub const COMMANDS: [&str; 14] = [
     "report",
     "serve",
     "loadgen",
+    "top",
 ];
 
 const COMMON: &str = "\
@@ -222,22 +223,59 @@ pub fn command_help(cmd: &str) -> Option<String> {
         ),
         "loadgen" => (
             "spt loadgen [flags]",
-            "Closed-loop load generator: replay a seeded request mix\n\
-             against a running daemon and print throughput, latency\n\
-             percentiles, and an order-independent result digest (stable\n\
-             across runs with the same seed).\n\
+            "Load generator: drive a seeded request mix against a running\n\
+             daemon and print throughput, per-outcome counters (busy /\n\
+             timeout / error replies are counted separately and never\n\
+             mixed into latency), latency percentiles from the shared\n\
+             log-linear histogram, and an order-independent result digest\n\
+             (stable across runs with the same seed).\n\
+             \n\
+             Closed loop (default): each client waits for a reply before\n\
+             the next send — queueing delay under overload is hidden\n\
+             (coordinated omission). Open loop (--rate): requests launch\n\
+             on a fixed schedule and every latency is measured from its\n\
+             intended send time, so tail percentiles include the wait.\n\
              \n\
              FLAGS:\n  \
              --addr HOST:PORT         daemon address (default 127.0.0.1:7077)\n  \
              --requests N             total requests (default 50)\n  \
-             --concurrency N          parallel closed-loop clients (default 4)\n  \
-             --seed N                 mix seed (default 1)\n  \
+             --concurrency N          parallel connections (default 4)\n  \
+             --seed N                 mix + arrival seed (default 1)\n  \
+             --rate R                 open loop: offered arrivals/second\n  \
+             --arrivals MODEL         constant|poisson (default constant;\n                           \
+             needs --rate)\n  \
+             --series FILE            per-second NDJSON time series (offered,\n                           \
+             outcomes, inflight, interval percentiles;\n                           \
+             written atomically)\n  \
+             --prom FILE              Prometheus body (sp_loadgen_* families)\n  \
+             --slo SPEC               gate: \"p99<=5ms,p999<=20ms,\n                           \
+             error_rate<=0.1%\"; metrics p50|p90|p99|\n                           \
+             p999|max (us/ms/s) and error_rate (% or\n                           \
+             ratio); prints slo_verdict JSON and exits\n                           \
+             non-zero on violation\n  \
              --shutdown on|off        drain the daemon afterwards (default off)\n",
+        ),
+        "top" => (
+            "spt top [flags]",
+            "Live terminal dashboard over a running daemon: polls the\n\
+             stats command at an interval and redraws in place (plain\n\
+             ANSI) with throughput, cache hit ratio, queue depth, worker\n\
+             utilization, and latency percentiles, each with a sparkline\n\
+             history row.\n\
+             \n\
+             FLAGS:\n  \
+             --addr HOST:PORT         daemon address (default 127.0.0.1:7077)\n  \
+             --interval-ms N          poll interval (default 1000)\n  \
+             --count N                stop after N frames (default 0 = run\n                           \
+             until interrupted)\n  \
+             --once                   poll once, print one static frame\n  \
+             --json                   with --once: print the raw stats\n                           \
+             result object (machine-readable)\n",
         ),
         _ => return None,
     };
     let common = match cmd {
-        "serve" | "loadgen" | "selection" | "bench" => "",
+        "serve" | "loadgen" | "top" | "selection" | "bench" => "",
         _ => COMMON,
     };
     Some(format!("USAGE:\n  {synopsis}\n\n{body}{common}"))

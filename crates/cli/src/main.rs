@@ -27,6 +27,8 @@
 mod args;
 mod help;
 mod serve_cmd;
+mod slo;
+mod top_cmd;
 
 use args::Args;
 use sp_cachesim::CacheConfig;
@@ -95,7 +97,14 @@ COMMANDS:
                telemetry and render sparklines + displacement heatmap
                as markdown (--out F.md) and NDJSON series (--ndjson F)
   serve        run the simulation service daemon (NDJSON over TCP)
-  loadgen      replay a seeded request mix against a running daemon
+  loadgen      drive a seeded request mix against a running daemon:
+               closed-loop or open-loop (--rate, coordinated-omission-
+               free latency), NDJSON time series (--series), SLO gate
+               (--slo \"p99<=5ms,error_rate<=0.1%\", non-zero exit on
+               violation)
+  top          live dashboard over a running daemon (throughput, hit
+               ratio, queue, utilization, latency sparklines);
+               --once --json prints one machine-readable snapshot
 
 COMMON FLAGS:
   --bench KERNEL                        workload (default em3d); one of
@@ -128,6 +137,7 @@ fn run(a: Args) -> Result<(), String> {
         "report" => report(&a),
         "serve" => serve_cmd::serve(&a),
         "loadgen" => serve_cmd::loadgen(&a),
+        "top" => top_cmd::top(&a),
         other => Err(format!(
             "unknown command {other}; expected one of {}",
             help::COMMANDS.join("|")

@@ -1,0 +1,314 @@
+//! `--slo` specification parsing and evaluation for `spt loadgen` —
+//! the piece that turns the load generator into a CI-usable latency
+//! gate.
+//!
+//! A spec is a comma-separated list of clauses, each
+//! `metric<=limit`: latency metrics (`p50|p90|p99|p999|max`) take a
+//! limit with a `us`/`ms`/`s` unit suffix (bare numbers are
+//! microseconds), and `error_rate` takes a percentage (`0.1%`) or a
+//! bare ratio (`0.001`). Example:
+//!
+//! ```text
+//! --slo "p99<=5ms,p999<=20ms,error_rate<=0.1%"
+//! ```
+//!
+//! Evaluation produces a machine-readable one-line verdict
+//! (`slo_verdict {...}`) and the caller exits non-zero when any clause
+//! fails.
+
+use sp_serve::Json;
+
+/// One metric a clause can bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Median latency.
+    P50,
+    /// 90th-percentile latency.
+    P90,
+    /// 99th-percentile latency.
+    P99,
+    /// 99.9th-percentile latency.
+    P999,
+    /// Maximum observed latency.
+    Max,
+    /// Non-ok replies (busy + timeout + error) over all replies.
+    ErrorRate,
+}
+
+impl Metric {
+    fn name(self) -> &'static str {
+        match self {
+            Metric::P50 => "p50",
+            Metric::P90 => "p90",
+            Metric::P99 => "p99",
+            Metric::P999 => "p999",
+            Metric::Max => "max",
+            Metric::ErrorRate => "error_rate",
+        }
+    }
+
+    fn is_latency(self) -> bool {
+        self != Metric::ErrorRate
+    }
+}
+
+/// One parsed `metric<=limit` clause. Latency limits are stored in
+/// microseconds; the error-rate limit as a ratio in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clause {
+    /// The bounded metric.
+    pub metric: Metric,
+    /// The inclusive upper limit (us for latency, ratio for error_rate).
+    pub limit: f64,
+}
+
+/// A parsed `--slo` specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Slo {
+    /// The clauses, in spec order.
+    pub clauses: Vec<Clause>,
+}
+
+/// The measured quantities a spec is judged against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Measured {
+    /// Median latency, microseconds.
+    pub p50_us: u64,
+    /// 90th-percentile latency, microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// 99.9th-percentile latency, microseconds.
+    pub p999_us: u64,
+    /// Maximum latency, microseconds.
+    pub max_us: u64,
+    /// Non-ok replies over all replies, in `[0, 1]`.
+    pub error_rate: f64,
+}
+
+/// One clause's outcome.
+#[derive(Debug, Clone)]
+pub struct ClauseResult {
+    /// The clause that was checked.
+    pub clause: Clause,
+    /// The measured value (same unit as the clause limit).
+    pub actual: f64,
+    /// True when `actual <= limit`.
+    pub pass: bool,
+}
+
+/// The whole spec's outcome.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// True when every clause passed.
+    pub pass: bool,
+    /// Per-clause outcomes, in spec order.
+    pub rows: Vec<ClauseResult>,
+}
+
+impl Verdict {
+    /// The machine-readable verdict object printed as `slo_verdict {..}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj().push("pass", Json::Bool(self.pass)).push(
+            "clauses",
+            Json::Arr(
+                self.rows
+                    .iter()
+                    .map(|r| {
+                        let unit = if r.clause.metric.is_latency() {
+                            "us"
+                        } else {
+                            "ratio"
+                        };
+                        Json::obj()
+                            .push("metric", Json::str(r.clause.metric.name()))
+                            .push("limit", Json::num(r.clause.limit))
+                            .push("actual", Json::num(r.actual))
+                            .push("unit", Json::str(unit))
+                            .push("pass", Json::Bool(r.pass))
+                    })
+                    .collect(),
+            ),
+        )
+    }
+}
+
+/// Parse a latency limit with an optional unit suffix into microseconds.
+fn parse_latency_limit(s: &str) -> Result<f64, String> {
+    let (num, scale) = if let Some(n) = s.strip_suffix("us") {
+        (n, 1.0)
+    } else if let Some(n) = s.strip_suffix("ms") {
+        (n, 1e3)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1e6)
+    } else {
+        (s, 1.0)
+    };
+    let v: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad latency limit {s:?} (want e.g. 5ms, 250us, 1s)"))?;
+    if v < 0.0 || !v.is_finite() {
+        return Err(format!("latency limit {s:?} must be finite and >= 0"));
+    }
+    Ok(v * scale)
+}
+
+/// Parse an error-rate limit: `0.1%` or a bare ratio like `0.001`.
+fn parse_rate_limit(s: &str) -> Result<f64, String> {
+    let (num, scale) = match s.strip_suffix('%') {
+        Some(n) => (n, 1e-2),
+        None => (s, 1.0),
+    };
+    let v: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad error_rate limit {s:?} (want e.g. 0.1% or 0.001)"))?;
+    let ratio = v * scale;
+    if !(0.0..=1.0).contains(&ratio) {
+        return Err(format!("error_rate limit {s:?} must be in [0, 100%]"));
+    }
+    Ok(ratio)
+}
+
+impl Slo {
+    /// Parse a comma-separated spec like `p99<=5ms,error_rate<=0.1%`.
+    pub fn parse(spec: &str) -> Result<Slo, String> {
+        let mut clauses = Vec::new();
+        for raw in spec.split(',') {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            let (lhs, rhs) = raw
+                .split_once("<=")
+                .ok_or_else(|| format!("slo clause {raw:?} must use metric<=limit"))?;
+            let metric = match lhs.trim() {
+                "p50" => Metric::P50,
+                "p90" => Metric::P90,
+                "p99" => Metric::P99,
+                "p999" => Metric::P999,
+                "max" => Metric::Max,
+                "error_rate" => Metric::ErrorRate,
+                other => {
+                    return Err(format!(
+                        "unknown slo metric {other:?}; expected p50|p90|p99|p999|max|error_rate"
+                    ))
+                }
+            };
+            let limit = if metric.is_latency() {
+                parse_latency_limit(rhs.trim())?
+            } else {
+                parse_rate_limit(rhs.trim())?
+            };
+            clauses.push(Clause { metric, limit });
+        }
+        if clauses.is_empty() {
+            return Err("empty slo spec".into());
+        }
+        Ok(Slo { clauses })
+    }
+
+    /// Judge `m` against every clause.
+    pub fn evaluate(&self, m: &Measured) -> Verdict {
+        let rows: Vec<ClauseResult> = self
+            .clauses
+            .iter()
+            .map(|c| {
+                let actual = match c.metric {
+                    Metric::P50 => m.p50_us as f64,
+                    Metric::P90 => m.p90_us as f64,
+                    Metric::P99 => m.p99_us as f64,
+                    Metric::P999 => m.p999_us as f64,
+                    Metric::Max => m.max_us as f64,
+                    Metric::ErrorRate => m.error_rate,
+                };
+                ClauseResult {
+                    clause: c.clone(),
+                    actual,
+                    pass: actual <= c.limit,
+                }
+            })
+            .collect();
+        Verdict {
+            pass: rows.iter().all(|r| r.pass),
+            rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_canonical_spec() {
+        let slo = Slo::parse("p99<=5ms,p999<=20ms,error_rate<=0.1%").unwrap();
+        assert_eq!(
+            slo.clauses,
+            vec![
+                Clause {
+                    metric: Metric::P99,
+                    limit: 5_000.0
+                },
+                Clause {
+                    metric: Metric::P999,
+                    limit: 20_000.0
+                },
+                Clause {
+                    metric: Metric::ErrorRate,
+                    limit: 0.001
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_every_unit_form() {
+        let slo = Slo::parse("p50<=250us, max<=1s, p90<=750, error_rate<=0.05").unwrap();
+        assert_eq!(slo.clauses[0].limit, 250.0);
+        assert_eq!(slo.clauses[1].limit, 1e6);
+        assert_eq!(slo.clauses[2].limit, 750.0); // bare number = us
+        assert_eq!(slo.clauses[3].limit, 0.05); // bare number = ratio
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(Slo::parse("").is_err());
+        assert!(Slo::parse("p99>5ms").is_err(), "only <= is supported");
+        assert!(Slo::parse("p42<=5ms").is_err(), "unknown metric");
+        assert!(Slo::parse("p99<=fastpls").is_err(), "non-numeric limit");
+        assert!(Slo::parse("error_rate<=150%").is_err(), "rate above 100%");
+        assert!(Slo::parse("p99<=-3ms").is_err(), "negative latency");
+    }
+
+    #[test]
+    fn evaluation_flags_only_the_violated_clauses() {
+        let slo = Slo::parse("p99<=5ms,error_rate<=1%").unwrap();
+        let m = Measured {
+            p99_us: 7_100,
+            error_rate: 0.002,
+            ..Measured::default()
+        };
+        let v = slo.evaluate(&m);
+        assert!(!v.pass);
+        assert!(!v.rows[0].pass, "p99 7.1ms > 5ms must fail");
+        assert!(v.rows[1].pass, "0.2% <= 1% must pass");
+        let json = v.to_json().encode();
+        assert!(json.contains("\"pass\":false"), "got {json}");
+        assert!(
+            json.contains("\"metric\":\"p99\",\"limit\":5000,\"actual\":7100"),
+            "got {json}"
+        );
+    }
+
+    #[test]
+    fn boundary_values_pass() {
+        let slo = Slo::parse("p99<=5ms").unwrap();
+        let m = Measured {
+            p99_us: 5_000,
+            ..Measured::default()
+        };
+        assert!(slo.evaluate(&m).pass, "limits are inclusive");
+    }
+}

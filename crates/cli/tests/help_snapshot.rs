@@ -14,7 +14,7 @@ use std::process::Command;
 /// Must match `help::COMMANDS` in the binary (asserted indirectly: a
 /// command missing here would leave its page out of the fixture, and a
 /// page for an unknown command exits non-zero below).
-const COMMANDS: [&str; 14] = [
+const COMMANDS: [&str; 15] = [
     "affinity",
     "sweep",
     "delinquent",
@@ -29,6 +29,7 @@ const COMMANDS: [&str; 14] = [
     "report",
     "serve",
     "loadgen",
+    "top",
 ];
 
 fn spt(args: &[&str]) -> std::process::Output {
@@ -87,7 +88,7 @@ fn every_listed_command_is_dispatchable() {
     // "unknown command" (anything else — missing flags, run output — is
     // command-specific and fine here).
     for cmd in COMMANDS {
-        if cmd == "serve" || cmd == "loadgen" {
+        if cmd == "serve" || cmd == "loadgen" || cmd == "top" {
             continue; // would bind a socket / need a daemon
         }
         let out = spt(&[cmd, "--bad-flag"]);

@@ -1,0 +1,225 @@
+//! End-to-end `spt loadgen` tests against an in-process sp-serve
+//! daemon on an ephemeral port: open-loop determinism and NDJSON
+//! series schema, SLO gate exit codes, and the closed-loop summary
+//! shapes CI's serve-smoke step greps.
+
+use sp_serve::{Json, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::Command;
+
+/// Start a daemon on an ephemeral port.
+fn start() -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+/// Drain the daemon and join its accept loop.
+fn drain(addr: SocketAddr, handle: std::thread::JoinHandle<std::io::Result<()>>) {
+    let stream = TcpStream::connect(addr).expect("connect for drain");
+    let mut writer = stream.try_clone().unwrap();
+    writer.write_all(b"{\"type\":\"shutdown\"}\n").unwrap();
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply).unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+fn spt(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_spt"))
+        .args(args)
+        .output()
+        .expect("run spt")
+}
+
+fn stdout_of(out: &std::process::Output) -> String {
+    String::from_utf8(out.stdout.clone()).unwrap()
+}
+
+fn grab<'a>(haystack: &'a str, marker: &str) -> &'a str {
+    let at = haystack
+        .find(marker)
+        .unwrap_or_else(|| panic!("missing {marker:?} in {haystack}"));
+    haystack[at..].split_whitespace().nth(1).unwrap()
+}
+
+#[test]
+fn open_loop_is_deterministic_and_writes_the_series() {
+    let (addr, handle) = start();
+    let addr_s = addr.to_string();
+    let dir = std::env::temp_dir().join("spt_loadgen_open_loop_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let s1 = dir.join("series1.ndjson");
+    let s2 = dir.join("series2.ndjson");
+    let prom = dir.join("loadgen.prom");
+
+    let run = |series: &std::path::Path| {
+        spt(&[
+            "loadgen",
+            "--addr",
+            &addr_s,
+            "--requests",
+            "40",
+            "--concurrency",
+            "4",
+            "--seed",
+            "5",
+            "--rate",
+            "400",
+            "--arrivals",
+            "poisson",
+            "--series",
+            series.to_str().unwrap(),
+            "--prom",
+            prom.to_str().unwrap(),
+        ])
+    };
+    let a = run(&s1);
+    assert!(a.status.success(), "first run failed: {}", stdout_of(&a));
+    let b = run(&s2);
+    assert!(b.status.success(), "second run failed: {}", stdout_of(&b));
+    let (out_a, out_b) = (stdout_of(&a), stdout_of(&b));
+
+    // Same seed ⇒ identical request mix (and byte-identical results,
+    // since the warm run answers from the daemon's cache).
+    assert_eq!(grab(&out_a, "mix_digest"), grab(&out_b, "mix_digest"));
+    assert_eq!(grab(&out_a, "result_digest"), grab(&out_b, "result_digest"));
+    assert!(out_a.contains("mode open-loop"), "got {out_a}");
+
+    // Every series row carries the full schema; offered sends total the
+    // request count.
+    let series_keys = [
+        "sec",
+        "offered",
+        "ok",
+        "busy",
+        "timeout",
+        "error",
+        "inflight_end",
+        "p50_us",
+        "p90_us",
+        "p99_us",
+        "max_us",
+    ];
+    let mut offered_total = 0u64;
+    for (path, out) in [(&s1, &out_a), (&s2, &out_b)] {
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(!body.is_empty(), "empty series from {out}");
+        for row in body.lines() {
+            let v = Json::parse(row).expect("series row is JSON");
+            for key in series_keys {
+                assert!(v.get(key).is_some(), "row missing {key}: {row}");
+            }
+        }
+        if path == &s1 {
+            offered_total = body
+                .lines()
+                .map(|r| {
+                    Json::parse(r)
+                        .unwrap()
+                        .get("offered")
+                        .and_then(Json::as_u64)
+                        .unwrap()
+                })
+                .sum();
+        }
+    }
+    assert_eq!(offered_total, 40, "offered sends must total --requests");
+
+    // The Prometheus body came out through the linted renderer.
+    let prom_body = std::fs::read_to_string(&prom).unwrap();
+    assert!(prom_body.contains("# TYPE sp_loadgen_requests_total counter"));
+    assert!(prom_body.contains("sp_loadgen_open_loop 1"), "{prom_body}");
+    assert!(prom_body.contains("sp_build_info{version="), "{prom_body}");
+
+    drain(addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slo_gate_exit_codes() {
+    let (addr, handle) = start();
+    let addr_s = addr.to_string();
+    let base = [
+        "loadgen",
+        "--addr",
+        &addr_s,
+        "--requests",
+        "10",
+        "--concurrency",
+        "2",
+        "--seed",
+        "3",
+    ];
+
+    // Generous SLO: must pass with exit 0 and a machine-readable verdict.
+    let mut args = base.to_vec();
+    args.extend(["--slo", "p99<=60s,p999<=60s,error_rate<=100%"]);
+    let out = spt(&args);
+    let text = stdout_of(&out);
+    assert!(out.status.success(), "generous slo failed: {text}");
+    let verdict_line = text
+        .lines()
+        .find(|l| l.starts_with("slo_verdict "))
+        .expect("verdict line");
+    let v = Json::parse(verdict_line.strip_prefix("slo_verdict ").unwrap()).unwrap();
+    assert_eq!(v.get("pass").and_then(Json::as_bool), Some(true));
+    assert!(v.get("clauses").and_then(Json::as_arr).unwrap().len() == 3);
+
+    // Impossible SLO: non-zero exit, verdict says which clause failed.
+    let mut args = base.to_vec();
+    args.extend(["--slo", "max<=0us"]);
+    let out = spt(&args);
+    let text = stdout_of(&out);
+    assert!(!out.status.success(), "impossible slo must fail");
+    assert!(text.contains("\"pass\":false"), "got {text}");
+
+    // Malformed spec: non-zero exit before any load is generated.
+    let mut args = base.to_vec();
+    args.extend(["--slo", "p42<=1ms"]);
+    let out = spt(&args);
+    assert!(!out.status.success(), "bad spec must fail");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown slo metric"), "stderr: {err}");
+
+    drain(addr, handle);
+}
+
+#[test]
+fn closed_loop_summary_keeps_the_ci_grep_shapes() {
+    let (addr, handle) = start();
+    let out = spt(&[
+        "loadgen",
+        "--addr",
+        &addr.to_string(),
+        "--requests",
+        "12",
+        "--concurrency",
+        "3",
+        "--seed",
+        "1",
+    ]);
+    let text = stdout_of(&out);
+    assert!(out.status.success(), "closed loop failed: {text}");
+    assert!(text.contains("mode closed-loop"), "got {text}");
+    // The shapes CI's serve-smoke step greps/seds: digests and exactly
+    // one line carrying `cached N`.
+    assert!(text.contains("mix_digest "), "got {text}");
+    assert!(text.contains("result_digest "), "got {text}");
+    let cached_lines = text.lines().filter(|l| l.contains("cached ")).count();
+    assert_eq!(cached_lines, 1, "got {text}");
+    // Outcome counters are distinct and the percentile line comes from
+    // the shared histogram (p999 present).
+    assert!(text.contains("busy "), "got {text}");
+    assert!(text.contains("timeouts "), "got {text}");
+    assert!(
+        text.contains("latency_us p50 ") && text.contains(" p999 "),
+        "got {text}"
+    );
+    drain(addr, handle);
+}

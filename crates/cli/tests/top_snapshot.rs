@@ -1,0 +1,147 @@
+//! `spt top --once --json` golden snapshot: the machine-readable
+//! stats shape is pinned against a fixture with every numeric value
+//! normalized to 0 (values vary run to run; the schema must not).
+//!
+//! Re-bless after an intentional schema change:
+//!
+//! ```text
+//! SP_BLESS=1 cargo test -p sp-cli --test top_snapshot
+//! ```
+
+use sp_serve::{Json, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn start() -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn drain(addr: SocketAddr, handle: std::thread::JoinHandle<std::io::Result<()>>) {
+    let stream = TcpStream::connect(addr).expect("connect for drain");
+    let mut writer = stream.try_clone().unwrap();
+    writer.write_all(b"{\"type\":\"shutdown\"}\n").unwrap();
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply).unwrap();
+    handle.join().unwrap().unwrap();
+}
+
+/// Zero every number and empty every array so only the schema remains.
+/// Arrays are emptied (not recursed) because histogram bucket rows vary
+/// in count with the data's spread.
+fn normalize(v: &Json) -> Json {
+    match v {
+        Json::Num(_) => Json::Num(0.0),
+        Json::Arr(_) => Json::Arr(Vec::new()),
+        Json::Obj(pairs) => Json::Obj(
+            pairs
+                .iter()
+                .map(|(k, val)| (k.clone(), normalize(val)))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+#[test]
+fn top_once_json_matches_the_golden_schema() {
+    let (addr, handle) = start();
+    let addr_s = addr.to_string();
+
+    // Put a little traffic through so the histogram rows exist (they
+    // are normalized away, but the summary keys must be present).
+    {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        for i in 0..5 {
+            writer
+                .write_all(format!("{{\"id\":{i},\"type\":\"ping\"}}\n").as_bytes())
+                .unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+        }
+    }
+
+    let out = Command::new(env!("CARGO_BIN_EXE_spt"))
+        .args(["top", "--addr", &addr_s, "--once", "--json"])
+        .output()
+        .expect("run spt top");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "spt top failed: {text}");
+    let v = Json::parse(text.trim()).expect("top --json output is JSON");
+    let snapshot = normalize(&v).encode() + "\n";
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/top_once.json");
+    if std::env::var_os("SP_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &snapshot).unwrap();
+    } else {
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing fixture {} ({e}); run with SP_BLESS=1 to create it",
+                path.display()
+            )
+        });
+        assert_eq!(
+            expected, snapshot,
+            "spt top --once --json schema drifted; if intentional, re-bless with SP_BLESS=1"
+        );
+    }
+
+    // The human frame works too, without ANSI escapes.
+    let out = Command::new(env!("CARGO_BIN_EXE_spt"))
+        .args(["top", "--addr", &addr_s, "--once"])
+        .output()
+        .expect("run spt top");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "spt top --once failed: {text}");
+    assert!(text.contains("spt top —"), "got {text}");
+    assert!(text.contains("latency"), "got {text}");
+    assert!(!text.contains('\x1b'), "static frame must be ANSI-free");
+
+    drain(addr, handle);
+}
+
+#[test]
+fn top_live_mode_renders_bounded_frames() {
+    let (addr, handle) = start();
+    // Two fast frames, then exit: exercises the redraw path end to end.
+    let out = Command::new(env!("CARGO_BIN_EXE_spt"))
+        .args([
+            "top",
+            "--addr",
+            &addr.to_string(),
+            "--interval-ms",
+            "20",
+            "--count",
+            "2",
+        ])
+        .output()
+        .expect("run spt top live");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "live top failed: {text}");
+    // Second frame repositions with cursor-up and clears each line.
+    assert!(text.contains("\x1b[7A"), "missing cursor-up: {text:?}");
+    assert!(text.matches("\x1b[2K").count() >= 14, "got {text:?}");
+    drain(addr, handle);
+}
+
+#[test]
+fn top_rejects_json_without_once() {
+    let out = Command::new(env!("CARGO_BIN_EXE_spt"))
+        .args(["top", "--json"])
+        .output()
+        .expect("run spt top");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--json needs --once"), "stderr: {err}");
+}

@@ -1,0 +1,322 @@
+//! Log-linear fixed-bucket histogram for latency-style `u64` samples —
+//! the workspace's single percentile implementation.
+//!
+//! HDR-histogram shape without the dependency: values below
+//! `2^sub_bits` land in exact unit-width buckets (the *linear* region);
+//! above that, each power-of-two octave is split into `2^sub_bits`
+//! equal sub-buckets (the *log* region), so the bucket width at value
+//! `v` is at most `v / 2^sub_bits`. Quantile estimates therefore carry
+//! a **relative error bound of `2^-sub_bits`**: the estimate is the
+//! inclusive upper bound of the bucket holding the exact nearest-rank
+//! value, clamped to the recorded maximum. The property suite
+//! (`tests/prop_hist.rs`) pins exactly that contract.
+//!
+//! Counters are relaxed atomics, so one histogram serves both the
+//! sp-serve daemon (recorded concurrently under load, scraped while
+//! hot) and single-threaded consumers like `spt loadgen`. Count, sum,
+//! min, and max are exact; only quantiles are bucketed.
+//!
+//! The full bucket table for `sub_bits = p` has `(65 - p) << p` slots
+//! (7296 at the default precision, ~57 KiB) — allocated once, never
+//! resized, index math is two shifts and a subtract per record.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default sub-bucket precision: 128 sub-buckets per octave, quantile
+/// relative error ≤ 1/128 (< 0.8%).
+pub const DEFAULT_SUB_BITS: u32 = 7;
+
+/// The five headline quantiles plus the exact extremes, as one
+/// snapshot (see [`LogLinearHist::percentiles`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Median estimate.
+    pub p50: u64,
+    /// 90th percentile estimate.
+    pub p90: u64,
+    /// 99th percentile estimate.
+    pub p99: u64,
+    /// 99.9th percentile estimate.
+    pub p999: u64,
+    /// Exact maximum recorded value (0 when empty).
+    pub max: u64,
+}
+
+/// A log-linear histogram of `u64` samples (typically microseconds).
+#[derive(Debug)]
+pub struct LogLinearHist {
+    sub_bits: u32,
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogLinearHist {
+    fn default() -> LogLinearHist {
+        LogLinearHist::with_precision(DEFAULT_SUB_BITS)
+    }
+}
+
+impl LogLinearHist {
+    /// A histogram with `2^sub_bits` sub-buckets per octave
+    /// (`sub_bits` in `0..=12`; the bucket table is `(65 - p) << p`
+    /// slots).
+    pub fn with_precision(sub_bits: u32) -> LogLinearHist {
+        assert!(sub_bits <= 12, "sub_bits {sub_bits} out of range 0..=12");
+        let len = (65 - sub_bits as usize) << sub_bits;
+        LogLinearHist {
+            sub_bits,
+            counts: (0..len).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured sub-bucket precision.
+    pub fn sub_bits(&self) -> u32 {
+        self.sub_bits
+    }
+
+    /// The quantile relative error bound this precision guarantees
+    /// (`2^-sub_bits`).
+    pub fn relative_error_bound(&self) -> f64 {
+        1.0 / (1u64 << self.sub_bits) as f64
+    }
+
+    /// The bucket index value `v` lands in.
+    pub fn index_of(&self, v: u64) -> usize {
+        let p = self.sub_bits;
+        if v < (1u64 << p) {
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros();
+        let e = msb - p;
+        let sub = (v >> e) as usize - (1usize << p);
+        (((e as usize) + 1) << p) + sub
+    }
+
+    /// The inclusive upper bound of bucket `idx` — the largest value
+    /// mapping to it.
+    pub fn bound_of(&self, idx: usize) -> u64 {
+        let p = self.sub_bits;
+        let scale = 1usize << p;
+        if idx < scale {
+            return idx as u64;
+        }
+        let e = (idx >> p) as u32 - 1;
+        let sub = (idx & (scale - 1)) as u128;
+        let hi = ((scale as u128 + sub + 1) << e) - 1;
+        hi.min(u64::MAX as u128) as u64
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` observations of the same value.
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[self.index_of(v)].fetch_add(n, Ordering::Relaxed);
+        self.total.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total observations (exact).
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Sum of all observations — exact while the true total fits in
+    /// `u64` (always the case for microsecond latencies; ~584k years
+    /// of them fit).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Exact minimum recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX && self.is_empty() {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of all observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Nearest-rank quantile estimate for `q` in `[0, 1]`: the upper
+    /// bound of the bucket holding the exact quantile value, clamped
+    /// to the recorded maximum. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (idx, c) in self.counts.iter().enumerate() {
+            cumulative += c.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return self.bound_of(idx).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// The headline percentile snapshot (p50/p90/p99/p999 + exact max).
+    pub fn percentiles(&self) -> Percentiles {
+        Percentiles {
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+            max: self.max(),
+        }
+    }
+
+    /// Fold `other` into `self`. Requires identical precision — the
+    /// bucket tables must line up — and is exactly equivalent to
+    /// having recorded both sample streams into one histogram.
+    pub fn merge(&self, other: &LogLinearHist) -> Result<(), String> {
+        if self.sub_bits != other.sub_bits {
+            return Err(format!(
+                "precision mismatch: cannot merge sub_bits {} into {}",
+                other.sub_bits, self.sub_bits
+            ));
+        }
+        for (mine, theirs) in self.counts.iter().zip(&other.counts) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.total
+            .fetch_add(other.total.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// The occupied buckets, ascending, as `(inclusive upper bound,
+    /// count)` — the compact export JSON and Prometheus renderers
+    /// consume. Empty buckets are skipped, so the row count tracks the
+    /// data's spread, not the table size.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, c)| {
+                let n = c.load(Ordering::Relaxed);
+                (n > 0).then(|| (self.bound_of(idx), n))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_region_is_exact_and_log_region_is_contiguous() {
+        let h = LogLinearHist::with_precision(3);
+        // Linear region: one bucket per value.
+        for v in 0..8u64 {
+            assert_eq!(h.index_of(v), v as usize);
+            assert_eq!(h.bound_of(v as usize), v);
+        }
+        // Bucket bounds are monotone and index_of(bound) round-trips.
+        let mut prev = None;
+        for idx in 0..h.counts.len() {
+            let b = h.bound_of(idx);
+            assert_eq!(h.index_of(b), idx, "bound {b} of idx {idx}");
+            if let Some(p) = prev {
+                assert!(b > p, "bounds must strictly increase at idx {idx}");
+            }
+            prev = Some(b);
+        }
+        assert_eq!(h.bound_of(h.counts.len() - 1), u64::MAX);
+        assert_eq!(h.index_of(u64::MAX), h.counts.len() - 1);
+    }
+
+    #[test]
+    fn exact_aggregates_and_quantiles_on_small_input() {
+        let h = LogLinearHist::default();
+        for v in [3u64, 5, 5, 100, 10_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 10_113);
+        assert_eq!(h.min(), 3);
+        assert_eq!(h.max(), 10_000);
+        // All but 10_000 sit in the exact linear region at p=7.
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(0.2), 3);
+        let p = h.percentiles();
+        assert_eq!(p.max, 10_000);
+        assert!(p.p999 >= 10_000 - 10_000 / 128 && p.p999 <= 10_000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LogLinearHist::default();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_rejects_precision_mismatch() {
+        let a = LogLinearHist::with_precision(5);
+        let b = LogLinearHist::with_precision(7);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let a = LogLinearHist::default();
+        let b = LogLinearHist::default();
+        a.record_n(4242, 3);
+        for _ in 0..3 {
+            b.record(4242);
+        }
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.sum(), b.sum());
+        assert_eq!(a.nonzero_buckets(), b.nonzero_buckets());
+    }
+}

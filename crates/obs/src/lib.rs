@@ -24,6 +24,13 @@
 //!   per sweep grid point ([`CorrId::child`]). The current ID lives in
 //!   thread-local state and is captured by every span and log line.
 //!
+//! Alongside them, [`hist`] holds the workspace's single percentile
+//! implementation: an HDR-style log-linear histogram
+//! ([`LogLinearHist`]) with exact count/sum/min/max, bounded-error
+//! quantiles, and lossless merge — sp-serve's request-latency and
+//! per-stage metrics and `spt loadgen`'s SLO percentiles all record
+//! into it.
+//!
 //! The compile-time kill switch mirrors `sp_cachesim::events::NullSink`:
 //! [`Subscriber`] has a `const ENABLED: bool`, and code monomorphised
 //! over [`NullSubscriber`] (`ENABLED = false`) compiles the tracing away
@@ -36,10 +43,12 @@
 
 pub mod chrome;
 pub mod corr;
+pub mod hist;
 pub mod logger;
 pub mod span;
 
 pub use corr::{CorrGuard, CorrId};
+pub use hist::{LogLinearHist, Percentiles};
 pub use logger::{Level, LogFormat};
 pub use span::{NullSubscriber, Recorder, SpanGuard, SpanRecord, Subscriber};
 

@@ -1,0 +1,127 @@
+//! Property suite for the shared log-linear histogram: percentile
+//! error bounded by the bucket width, merge exactly equivalent to
+//! concatenation, exact aggregates. Runs under the deterministic
+//! sp-testkit harness (fixed case list, replayable seeds).
+
+use sp_obs::hist::LogLinearHist;
+use sp_testkit::{check, gen_vec, SmallRng};
+
+/// Exact nearest-rank percentile on a sorted slice — the reference the
+/// histogram estimate is checked against.
+fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Samples spanning the linear region, the log region, and the huge
+/// tail, so bucket-boundary math is exercised at every magnitude.
+fn gen_sample(rng: &mut SmallRng) -> u64 {
+    match rng.gen_range(0..4u32) {
+        0 => rng.gen_range(0..300u64), // linear region (p >= 7 keeps these exact)
+        1 => rng.gen_range(300..100_000u64), // typical latencies
+        2 => rng.gen_range(100_000..10_000_000u64), // slow tail
+        // Arbitrary magnitudes up to ~2^52 — large enough to stress the
+        // high octaves, small enough that no test-sized sample set can
+        // overflow the exact u64 running sum.
+        _ => rng.next_u64() >> rng.gen_range(12..40u32),
+    }
+}
+
+const QUANTILES: [f64; 6] = [0.0, 0.5, 0.9, 0.99, 0.999, 1.0];
+
+#[test]
+fn quantile_error_is_bounded_by_the_bucket_width() {
+    for sub_bits in [0u32, 3, 5, 7] {
+        check(64, |rng| {
+            let samples = gen_vec(rng, 1..400, gen_sample);
+            let h = LogLinearHist::with_precision(sub_bits);
+            for &v in &samples {
+                h.record(v);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            for q in QUANTILES {
+                let exact = nearest_rank(&sorted, q);
+                let est = h.quantile(q);
+                // The estimate is the upper bound of the exact value's
+                // bucket (clamped to the recorded max): never below the
+                // exact value, never past its bucket.
+                assert!(
+                    est >= exact,
+                    "p{sub_bits} q{q}: estimate {est} < exact {exact}"
+                );
+                assert_eq!(
+                    h.index_of(est),
+                    h.index_of(exact),
+                    "p{sub_bits} q{q}: estimate {est} left exact {exact}'s bucket"
+                );
+                let width = h.bound_of(h.index_of(exact)) - exact;
+                assert!(
+                    est - exact <= width,
+                    "p{sub_bits} q{q}: error {} exceeds bucket width {width}",
+                    est - exact
+                );
+            }
+            // The relative error bound holds in the log region.
+            let exact = nearest_rank(&sorted, 0.99);
+            let est = h.quantile(0.99);
+            if exact >= 1u64 << sub_bits {
+                let rel = (est - exact) as f64 / exact as f64;
+                let bound = 2.0 * h.relative_error_bound(); // bucket top vs bucket bottom
+                assert!(rel <= bound, "relative error {rel} > {bound}");
+            } else {
+                assert_eq!(est, exact, "linear-region quantiles are exact");
+            }
+        });
+    }
+}
+
+#[test]
+fn aggregates_are_exact() {
+    check(64, |rng| {
+        let samples = gen_vec(rng, 1..300, gen_sample);
+        let h = LogLinearHist::default();
+        for &v in &samples {
+            h.record(v);
+        }
+        assert_eq!(h.count(), samples.len() as u64);
+        assert_eq!(h.sum(), samples.iter().sum::<u64>());
+        assert_eq!(h.min(), *samples.iter().min().unwrap());
+        assert_eq!(h.max(), *samples.iter().max().unwrap());
+        // The occupied-bucket export folds back to the exact count.
+        let folded: u64 = h.nonzero_buckets().iter().map(|&(_, n)| n).sum();
+        assert_eq!(folded, h.count());
+    });
+}
+
+#[test]
+fn merge_is_exactly_concatenation() {
+    check(64, |rng| {
+        let left = gen_vec(rng, 0..200, gen_sample);
+        let right = gen_vec(rng, 0..200, gen_sample);
+        let a = LogLinearHist::default();
+        for &v in &left {
+            a.record(v);
+        }
+        let b = LogLinearHist::default();
+        for &v in &right {
+            b.record(v);
+        }
+        let merged = LogLinearHist::default();
+        merged.merge(&a).unwrap();
+        merged.merge(&b).unwrap();
+        let concat = LogLinearHist::default();
+        for &v in left.iter().chain(&right) {
+            concat.record(v);
+        }
+        assert_eq!(merged.count(), concat.count());
+        assert_eq!(merged.sum(), concat.sum());
+        assert_eq!(merged.min(), concat.min());
+        assert_eq!(merged.max(), concat.max());
+        assert_eq!(merged.nonzero_buckets(), concat.nonzero_buckets());
+        for q in QUANTILES {
+            assert_eq!(merged.quantile(q), concat.quantile(q), "q={q}");
+        }
+    });
+}

@@ -1,0 +1,19 @@
+//! Bakes the checkout's `git describe` into the binary for the
+//! `sp_build_info` metric. Falls back to "unknown" outside a git
+//! checkout (e.g. a source tarball) so builds never fail on it.
+
+use std::process::Command;
+
+fn main() {
+    let describe = Command::new("git")
+        .args(["describe", "--tags", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=SP_GIT_DESCRIBE={describe}");
+    // Re-run when HEAD moves so the label tracks the checkout.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

@@ -41,6 +41,9 @@ pub use cache::{fnv1a64, ResultCache};
 pub use engine::{EpochTotals, EventTotals, SimEngine};
 pub use json::Json;
 pub use metrics::{Metrics, StageTimes, STAGES};
-pub use prom::{render as render_prometheus, render_stage_seconds, PromSnapshot};
+pub use prom::{
+    render as render_prometheus, render_loadgen, render_stage_seconds, LoadgenSnapshot,
+    PromSnapshot,
+};
 pub use protocol::{error_response, ok_response, Command, Request, SimSpec};
 pub use server::{Server, ServerConfig};

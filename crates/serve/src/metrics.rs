@@ -1,8 +1,14 @@
 //! The daemon's observability surface: request counters, cache hit
-//! counters, and a fixed-bucket latency histogram — all lock-free
+//! counters, and the end-to-end latency histogram — all lock-free
 //! atomics, safe to read while the server is under load.
+//!
+//! The latency and per-stage distributions record into the shared
+//! [`sp_obs::LogLinearHist`] (the workspace's single percentile
+//! implementation); this module only owns the counters and the JSON
+//! shapes the `stats` reply renders from.
 
 use crate::json::Json;
+use sp_obs::LogLinearHist;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Request kinds the per-type counters distinguish (wire `type` names).
@@ -10,74 +16,43 @@ pub const KINDS: [&str; 8] = [
     "sweep", "point", "affinity", "burn", "stats", "metrics", "ping", "shutdown",
 ];
 
-/// Upper bucket bounds of the latency histogram, in microseconds; one
-/// extra overflow bucket catches everything slower.
-pub const LATENCY_BOUNDS_US: [u64; 14] = [
-    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
-    1_000_000, 5_000_000,
-];
-
-/// A fixed-bucket latency histogram (`le`-style cumulative on render).
-#[derive(Debug, Default)]
-pub struct Histogram {
-    counts: [AtomicU64; LATENCY_BOUNDS_US.len() + 1],
-    sum_us: AtomicU64,
+/// Render a histogram as a JSON array of `{le_us, count}` rows — one
+/// per **occupied** bucket (ascending, non-cumulative), so the row
+/// count tracks the data's spread rather than the bucket table size.
+/// A bucket whose bound is `u64::MAX` renders as the string `"inf"`,
+/// matching the fixed-bucket overflow row this shape replaced.
+pub fn hist_rows_json(h: &LogLinearHist) -> Json {
+    Json::Arr(
+        h.nonzero_buckets()
+            .into_iter()
+            .map(|(bound, count)| {
+                let le = if bound == u64::MAX {
+                    Json::str("inf")
+                } else {
+                    Json::num(bound as f64)
+                };
+                Json::obj()
+                    .push("le_us", le)
+                    .push("count", Json::num(count as f64))
+            })
+            .collect(),
+    )
 }
 
-impl Histogram {
-    /// Record one observation of `micros`.
-    pub fn record(&self, micros: u64) {
-        let idx = LATENCY_BOUNDS_US
-            .iter()
-            .position(|&b| micros <= b)
-            .unwrap_or(LATENCY_BOUNDS_US.len());
-        self.counts[idx].fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(micros, Ordering::Relaxed);
-    }
-
-    /// Sum of all recorded observations, microseconds (the Prometheus
-    /// `_sum` series).
-    pub fn sum_us(&self) -> u64 {
-        self.sum_us.load(Ordering::Relaxed)
-    }
-
-    /// Per-bucket counts, `(upper_bound_us, count)`; the final entry's
-    /// bound is `u64::MAX` (the overflow bucket).
-    pub fn buckets(&self) -> Vec<(u64, u64)> {
-        self.counts
-            .iter()
-            .enumerate()
-            .map(|(i, c)| {
-                let bound = LATENCY_BOUNDS_US.get(i).copied().unwrap_or(u64::MAX);
-                (bound, c.load(Ordering::Relaxed))
-            })
-            .collect()
-    }
-
-    /// Total observations.
-    pub fn total(&self) -> u64 {
-        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
-    }
-
-    /// Render as a JSON array of `{le, count}` rows (non-cumulative);
-    /// the overflow bucket's bound is the string `"inf"`.
-    pub fn to_json(&self) -> Json {
-        Json::Arr(
-            self.buckets()
-                .into_iter()
-                .map(|(bound, count)| {
-                    let le = if bound == u64::MAX {
-                        Json::str("inf")
-                    } else {
-                        Json::num(bound as f64)
-                    };
-                    Json::obj()
-                        .push("le_us", le)
-                        .push("count", Json::num(count as f64))
-                })
-                .collect(),
-        )
-    }
+/// Render a histogram's headline summary as a JSON object:
+/// `{count, sum_us, min_us, max_us, p50_us, p90_us, p99_us, p999_us}`.
+/// This is the `latency` block `stats` serves alongside the bucket rows.
+pub fn hist_summary_json(h: &LogLinearHist) -> Json {
+    let p = h.percentiles();
+    Json::obj()
+        .push("count", Json::num(h.count() as f64))
+        .push("sum_us", Json::num(h.sum() as f64))
+        .push("min_us", Json::num(h.min() as f64))
+        .push("max_us", Json::num(h.max() as f64))
+        .push("p50_us", Json::num(p.p50 as f64))
+        .push("p90_us", Json::num(p.p90 as f64))
+        .push("p99_us", Json::num(p.p99 as f64))
+        .push("p999_us", Json::num(p.p999 as f64))
 }
 
 /// Pipeline stages folded into the `sp_stage_seconds` histograms — the
@@ -96,13 +71,21 @@ pub const STAGES: [&str; 8] = [
     "execute",
 ];
 
-/// Per-stage wall-time histograms, one [`Histogram`] per [`STAGES`]
+/// Per-stage wall-time histograms, one [`LogLinearHist`] per [`STAGES`]
 /// entry. Recorded in microseconds (the sp-obs span clock); the
 /// Prometheus renderer converts bounds to seconds for the
 /// `sp_stage_seconds` family.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct StageTimes {
-    hists: [Histogram; STAGES.len()],
+    hists: [LogLinearHist; STAGES.len()],
+}
+
+impl Default for StageTimes {
+    fn default() -> StageTimes {
+        StageTimes {
+            hists: std::array::from_fn(|_| LogLinearHist::default()),
+        }
+    }
 }
 
 impl StageTimes {
@@ -115,7 +98,7 @@ impl StageTimes {
     }
 
     /// The histogram for `stage`, when it is a [`STAGES`] member.
-    pub fn get(&self, stage: &str) -> Option<&Histogram> {
+    pub fn get(&self, stage: &str) -> Option<&LogLinearHist> {
         STAGES
             .iter()
             .position(|&s| s == stage)
@@ -123,7 +106,7 @@ impl StageTimes {
     }
 
     /// Iterate `(stage, histogram)` in [`STAGES`] order.
-    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &Histogram)> {
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &LogLinearHist)> {
         STAGES.iter().copied().zip(self.hists.iter())
     }
 }
@@ -146,7 +129,7 @@ pub struct Metrics {
     /// Malformed or failed requests.
     pub errors: AtomicU64,
     /// End-to-end request latency histogram.
-    pub latency: Histogram,
+    pub latency: LogLinearHist,
 }
 
 impl Metrics {
@@ -202,21 +185,34 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_buckets_by_bound() {
-        let h = Histogram::default();
-        h.record(50); // <= 100
-        h.record(100); // <= 100 (inclusive)
-        h.record(101); // <= 250
-        h.record(9_999_999); // overflow
-        let b = h.buckets();
-        assert_eq!(b[0], (100, 2));
-        assert_eq!(b[1], (250, 1));
-        assert_eq!(b.last().copied(), Some((u64::MAX, 1)));
-        assert_eq!(h.total(), 4);
-        assert_eq!(h.sum_us(), 50 + 100 + 101 + 9_999_999);
-        let json = h.to_json().encode();
-        assert!(json.contains("\"le_us\":100"), "got {json}");
-        assert!(json.contains("\"le_us\":\"inf\""), "got {json}");
+    fn hist_rows_skip_empty_buckets_and_mark_overflow() {
+        let h = LogLinearHist::default();
+        h.record(50);
+        h.record(50);
+        h.record(101);
+        h.record(u64::MAX);
+        let json = hist_rows_json(&h).encode();
+        // Three occupied buckets, not the full 7296-slot table.
+        assert_eq!(json.matches("le_us").count(), 3, "got {json}");
+        assert!(json.contains("\"le_us\":50,\"count\":2"), "got {json}");
+        assert!(json.contains("\"le_us\":101,\"count\":1"), "got {json}");
+        assert!(json.contains("\"le_us\":\"inf\",\"count\":1"), "got {json}");
+    }
+
+    #[test]
+    fn hist_summary_reports_exact_aggregates_and_percentiles() {
+        let h = LogLinearHist::default();
+        for v in [100u64, 200, 300, 10_000] {
+            h.record(v);
+        }
+        let json = hist_summary_json(&h).encode();
+        assert!(json.contains("\"count\":4"), "got {json}");
+        assert!(json.contains("\"sum_us\":10600"), "got {json}");
+        assert!(json.contains("\"min_us\":100"), "got {json}");
+        assert!(json.contains("\"max_us\":10000"), "got {json}");
+        // Linear-region values are exact (p = 7 keeps 0..128 exact; 200
+        // and 300 sit in the log region but p50 lands on 200's bucket).
+        assert!(json.contains("\"p999_us\":"), "got {json}");
     }
 
     #[test]
@@ -226,8 +222,8 @@ mod tests {
         s.record_us("simulate", 3_000_000);
         s.record_us("request", 5); // grouping span, not a stage
         let h = s.get("simulate").unwrap();
-        assert_eq!(h.total(), 2);
-        assert_eq!(h.sum_us(), 3_001_000);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 3_001_000);
         assert!(s.get("request").is_none());
         assert_eq!(s.iter().count(), STAGES.len());
         assert!(s.iter().all(|(name, _)| STAGES.contains(&name)));

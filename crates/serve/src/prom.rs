@@ -1,19 +1,31 @@
 //! Prometheus text exposition (format version 0.0.4) for the daemon's
 //! counters, the request-latency histogram, and the aggregate prefetch
-//! event totals.
+//! event totals — plus the `sp_loadgen_*` families `spt loadgen
+//! --prom` writes, rendered here so one name lint covers both bodies.
 //!
 //! Everything rendered here reads the **same** atomics the JSON `stats`
 //! reply reads, and the histogram series are derived from the same
-//! [`Histogram::buckets`] table `latency_us` renders from — there is no
-//! second bucket-bound list to drift out of sync. Latency is exposed in
-//! integer microseconds (`_us` metric names) rather than float seconds
-//! so the body stays byte-deterministic for a given counter state.
+//! [`LogLinearHist::nonzero_buckets`] table `latency_us` renders from —
+//! there is no second bucket-bound list to drift out of sync. Latency
+//! is exposed in integer microseconds (`_us` metric names) rather than
+//! float seconds so the body stays byte-deterministic for a given
+//! counter state. Only occupied buckets emit `le` series (the
+//! log-linear table has thousands of slots); the `+Inf` bucket always
+//! appears, so `histogram_quantile` stays well-formed at zero samples.
 
 use crate::engine::{EpochTotals, EventTotals};
-use crate::metrics::{Histogram, Metrics, StageTimes, KINDS};
+use crate::metrics::{Metrics, StageTimes, KINDS};
 use sp_cachesim::{PfClass, PollutionCase};
+use sp_obs::LogLinearHist;
 use std::fmt::Write;
 use std::sync::atomic::Ordering;
+
+/// The `git describe` of the tree this binary was built from (set by
+/// the build script; `"unknown"` outside a git checkout).
+pub const GIT_DESCRIBE: &str = env!("SP_GIT_DESCRIBE");
+
+/// The crate version baked into `sp_build_info`.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
 
 /// A point-in-time view of everything the exposition covers. The
 /// gauge-ish fields (queue depth, cache occupancy, uptime) are sampled
@@ -58,6 +70,11 @@ fn gauge(out: &mut String, name: &str, help: &str, value: u64) {
     let _ = writeln!(out, "{name} {value}");
 }
 
+fn gauge_f64(out: &mut String, name: &str, help: &str, value: f64) {
+    header(out, name, "gauge", help);
+    let _ = writeln!(out, "{name} {value}");
+}
+
 /// One labelled counter family: `name{label="key"} value` per sample.
 fn labelled(out: &mut String, name: &str, help: &str, label: &str, samples: &[(&str, u64)]) {
     header(out, name, "counter", help);
@@ -66,67 +83,176 @@ fn labelled(out: &mut String, name: &str, help: &str, label: &str, samples: &[(&
     }
 }
 
+/// The `sp_build_info` identity gauge: constant value 1, the useful
+/// content in the `version`/`git` labels (the Prometheus `*_info`
+/// convention).
+fn build_info(out: &mut String) {
+    header(
+        out,
+        "sp_build_info",
+        "gauge",
+        "Build identity; value is constant 1, see the version/git labels.",
+    );
+    let _ = writeln!(
+        out,
+        "sp_build_info{{version=\"{VERSION}\",git=\"{GIT_DESCRIBE}\"}} 1"
+    );
+}
+
 /// Render a histogram in exposition format: cumulative `_bucket{le=..}`
-/// series (bounds in microseconds, overflow as `+Inf`), then `_sum` and
-/// `_count`. The cumulative sums are folded from the same
-/// non-cumulative [`Histogram::buckets`] table the JSON surface
+/// series over the **occupied** buckets (bounds in microseconds, the
+/// table's final slot and the always-present trailing series as
+/// `+Inf`), then `_sum` and `_count`. The series are folded from the
+/// same [`LogLinearHist::nonzero_buckets`] table the JSON surface
 /// renders, so the two can't disagree on bounds or counts.
-pub fn render_histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
+pub fn render_histogram(out: &mut String, name: &str, help: &str, h: &LogLinearHist) {
     header(out, name, "histogram", help);
+    hist_series(out, name, "", h);
+}
+
+/// The `_bucket`/`_sum`/`_count` series for one histogram, with an
+/// optional pre-rendered label (e.g. `stage="simulate",`) spliced
+/// before `le`.
+fn hist_series(out: &mut String, name: &str, label: &str, h: &LogLinearHist) {
     let mut cumulative = 0u64;
-    for (bound, count) in h.buckets() {
-        cumulative += count;
+    for (bound, count) in h.nonzero_buckets() {
         if bound == u64::MAX {
-            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
-        } else {
-            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+            // The table's overflow slot; covered by the +Inf series.
+            break;
         }
+        cumulative += count;
+        let _ = writeln!(out, "{name}_bucket{{{label}le=\"{bound}\"}} {cumulative}");
     }
-    let _ = writeln!(out, "{name}_sum {}", h.sum_us());
-    let _ = writeln!(out, "{name}_count {cumulative}");
+    let total = h.count();
+    let _ = writeln!(out, "{name}_bucket{{{label}le=\"+Inf\"}} {total}");
+    if label.is_empty() {
+        let _ = writeln!(out, "{name}_sum {}", h.sum());
+        let _ = writeln!(out, "{name}_count {total}");
+    } else {
+        let lbl = label.trim_end_matches(',');
+        let _ = writeln!(out, "{name}_sum{{{lbl}}} {}", h.sum());
+        let _ = writeln!(out, "{name}_count{{{lbl}}} {total}");
+    }
 }
 
 /// A microsecond quantity as a seconds string. `f64` `Display` prints
-/// the shortest round-tripping form, so the fixed bucket bounds render
-/// as stable literals (`100` → `0.0001`, `5_000_000` → `5`).
+/// the shortest round-tripping form, so bucket bounds render as stable
+/// literals (`100` → `0.0001`, `5_000_000` → `5`).
 fn seconds(us: u64) -> String {
     format!("{}", us as f64 / 1e6)
 }
 
 /// Render the per-stage wall-time histograms as one family with a
-/// `stage` label. Bounds are the shared [`Histogram`] bucket table
+/// `stage` label. Bounds are the shared log-linear bucket table
 /// converted to seconds; all [`crate::metrics::STAGES`] series appear
-/// even at zero counts, so dashboards see a stable label set.
+/// even at zero counts (each at least `+Inf`/`_sum`/`_count`), so
+/// dashboards see a stable label set.
 pub fn render_stage_seconds(out: &mut String, name: &str, help: &str, stages: &StageTimes) {
     header(out, name, "histogram", help);
     for (stage, h) in stages.iter() {
         let mut cumulative = 0u64;
-        for (bound, count) in h.buckets() {
+        for (bound, count) in h.nonzero_buckets() {
+            if bound == u64::MAX {
+                break;
+            }
             cumulative += count;
-            let le = if bound == u64::MAX {
-                "+Inf".to_string()
-            } else {
-                seconds(bound)
-            };
             let _ = writeln!(
                 out,
-                "{name}_bucket{{stage=\"{stage}\",le=\"{le}\"}} {cumulative}"
+                "{name}_bucket{{stage=\"{stage}\",le=\"{}\"}} {cumulative}",
+                seconds(bound)
             );
         }
+        let total = h.count();
         let _ = writeln!(
             out,
-            "{name}_sum{{stage=\"{stage}\"}} {}",
-            seconds(h.sum_us())
+            "{name}_bucket{{stage=\"{stage}\",le=\"+Inf\"}} {total}"
         );
-        let _ = writeln!(out, "{name}_count{{stage=\"{stage}\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_sum{{stage=\"{stage}\"}} {}", seconds(h.sum()));
+        let _ = writeln!(out, "{name}_count{{stage=\"{stage}\"}} {total}");
     }
 }
 
-/// Render the full exposition body.
+/// One `spt loadgen` run, as the Prometheus body `--prom FILE` writes.
+/// Lives here (not in the CLI) so the exposition name lint below
+/// covers the `sp_loadgen_*` families alongside the daemon's.
+pub struct LoadgenSnapshot<'a> {
+    /// `"open"` or `"closed"` — the arrival model used.
+    pub mode: &'a str,
+    /// Requests the schedule offered (sent or attempted).
+    pub offered: u64,
+    /// Successful replies.
+    pub ok: u64,
+    /// `busy` backpressure replies.
+    pub busy: u64,
+    /// Deadline-exceeded replies.
+    pub timeouts: u64,
+    /// Transport or protocol errors.
+    pub errors: u64,
+    /// Offered arrival rate, requests/second (0 in closed-loop mode).
+    pub offered_rate: f64,
+    /// Achieved completion rate, requests/second.
+    pub achieved_rate: f64,
+    /// Latency of **successful** replies only, microseconds.
+    pub latency: &'a LogLinearHist,
+}
+
+/// Render the loadgen exposition body (`sp_loadgen_*` families plus
+/// `sp_build_info`).
+pub fn render_loadgen(snap: &LoadgenSnapshot) -> String {
+    let mut out = String::new();
+    build_info(&mut out);
+    labelled(
+        &mut out,
+        "sp_loadgen_requests_total",
+        "Loadgen requests by outcome.",
+        "outcome",
+        &[
+            ("ok", snap.ok),
+            ("busy", snap.busy),
+            ("timeout", snap.timeouts),
+            ("error", snap.errors),
+        ],
+    );
+    counter(
+        &mut out,
+        "sp_loadgen_offered_total",
+        "Requests the arrival schedule offered.",
+        snap.offered,
+    );
+    gauge_f64(
+        &mut out,
+        "sp_loadgen_offered_rate",
+        "Offered arrival rate, requests/second (0 in closed-loop mode).",
+        snap.offered_rate,
+    );
+    gauge_f64(
+        &mut out,
+        "sp_loadgen_achieved_rate",
+        "Achieved completion rate, requests/second.",
+        snap.achieved_rate,
+    );
+    let mode_val = u64::from(snap.mode == "open");
+    gauge(
+        &mut out,
+        "sp_loadgen_open_loop",
+        "1 when the run used the open-loop arrival model, else 0.",
+        mode_val,
+    );
+    render_histogram(
+        &mut out,
+        "sp_loadgen_latency_us",
+        "Latency of successful replies, microseconds (open loop: from intended send time).",
+        snap.latency,
+    );
+    out
+}
+
+/// Render the full daemon exposition body.
 pub fn render(snap: &PromSnapshot) -> String {
     let m = snap.metrics;
     let mut out = String::new();
 
+    build_info(&mut out);
     gauge(
         &mut out,
         "sp_uptime_ms",
@@ -344,7 +470,7 @@ pub fn render(snap: &PromSnapshot) -> String {
 mod tests {
     use super::*;
     use crate::engine::{EpochTotals, EventTotals};
-    use crate::metrics::{Metrics, LATENCY_BOUNDS_US, STAGES};
+    use crate::metrics::{Metrics, STAGES};
 
     #[derive(Default)]
     struct Totals {
@@ -370,6 +496,13 @@ mod tests {
         }
     }
 
+    fn loadgen_totals() -> (LogLinearHist, u64) {
+        let h = LogLinearHist::default();
+        h.record(120);
+        h.record(4_500);
+        (h, 2)
+    }
+
     #[test]
     fn exposition_is_well_formed_and_covers_every_family() {
         let t = Totals::default();
@@ -393,6 +526,7 @@ mod tests {
             assert!(value.parse::<f64>().is_ok(), "non-numeric sample {line:?}");
         }
         for family in [
+            "sp_build_info",
             "sp_uptime_ms",
             "sp_requests_total",
             "sp_requests_by_kind_total",
@@ -426,6 +560,10 @@ mod tests {
             body.contains("sp_epoch_timeliness_total{timeliness=\"late\"} 0"),
             "got {body}"
         );
+        assert!(
+            body.contains(&format!("sp_build_info{{version=\"{VERSION}\",git=")),
+            "got {body}"
+        );
     }
 
     /// The metric-name lint: every family follows the exposition's
@@ -433,21 +571,38 @@ mod tests {
     /// histograms carry an explicit unit suffix (`_us` or `_seconds`);
     /// gauges are instantaneous quantities and may end in a unit
     /// (`_ms`) or a bare noun; and every name is `sp_`-prefixed
-    /// lowercase. New families (the `sp_epoch_*` set included) are
-    /// checked automatically because the lint walks the rendered body's
-    /// TYPE comments rather than a hand-kept list.
+    /// lowercase. New families (the `sp_loadgen_*` set included) are
+    /// checked automatically because the lint walks the rendered
+    /// bodies' TYPE comments rather than a hand-kept list — both the
+    /// daemon exposition and the loadgen `--prom` body pass through.
     #[test]
     fn names_follow_the_unit_conventions() {
         let t = Totals::default();
         t.m.count_request("sweep");
-        let body = render(&snapshot(&t));
+        let (lat, offered) = loadgen_totals();
+        let lg = render_loadgen(&LoadgenSnapshot {
+            mode: "open",
+            offered,
+            ok: 2,
+            busy: 0,
+            timeouts: 0,
+            errors: 0,
+            offered_rate: 100.0,
+            achieved_rate: 99.5,
+            latency: &lat,
+        });
+        let body = format!("{}{lg}", render(&snapshot(&t)));
         let mut families = 0;
+        let mut loadgen_families = 0;
         for line in body.lines() {
             let Some(rest) = line.strip_prefix("# TYPE ") else {
                 continue;
             };
             let (name, kind) = rest.split_once(' ').expect("TYPE has name and kind");
             families += 1;
+            if name.starts_with("sp_loadgen_") {
+                loadgen_families += 1;
+            }
             assert!(
                 name.starts_with("sp_")
                     && name
@@ -472,40 +627,57 @@ mod tests {
             }
         }
         assert!(families > 15, "lint saw only {families} families");
+        assert!(
+            loadgen_families >= 5,
+            "lint saw only {loadgen_families} sp_loadgen_ families"
+        );
     }
 
     #[test]
-    fn histogram_series_are_cumulative_and_share_the_json_bounds() {
+    fn histogram_series_are_cumulative_over_occupied_buckets() {
         let m = Metrics::default();
         m.latency.record(50);
         m.latency.record(120);
         m.latency.record(9_999_999);
         let mut out = String::new();
         render_histogram(&mut out, "h_us", "help.", &m.latency);
-        // Cumulative: 1 at le=100, 2 at le=250, held through +Inf = 3.
-        assert!(out.contains("h_us_bucket{le=\"100\"} 1"), "got {out}");
-        assert!(out.contains("h_us_bucket{le=\"250\"} 2"), "got {out}");
+        // Occupied buckets only: 50 (linear, exact), 120's bucket, the
+        // slow outlier's bucket, then +Inf at the total.
+        assert!(out.contains("h_us_bucket{le=\"50\"} 1"), "got {out}");
         assert!(out.contains("h_us_bucket{le=\"+Inf\"} 3"), "got {out}");
         assert!(out.contains(&format!("h_us_sum {}", 50 + 120 + 9_999_999)));
         assert!(out.contains("h_us_count 3"), "got {out}");
-        // One bucket line per JSON bucket row: same source table.
+        // One line per occupied bucket plus +Inf — not the full table.
         let bucket_lines = out.matches("h_us_bucket{").count();
-        assert_eq!(bucket_lines, LATENCY_BOUNDS_US.len() + 1);
+        assert_eq!(bucket_lines, 4, "got {out}");
+        // Cumulative counts are non-decreasing in render order.
+        let mut prev = 0u64;
+        for line in out.lines().filter(|l| l.starts_with("h_us_bucket{")) {
+            let v: u64 = line.rsplit_once(' ').unwrap().1.parse().unwrap();
+            assert!(v >= prev, "cumulative dip at {line}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn empty_histogram_still_renders_inf_sum_count() {
+        let h = LogLinearHist::default();
+        let mut out = String::new();
+        render_histogram(&mut out, "h_us", "help.", &h);
+        assert!(out.contains("h_us_bucket{le=\"+Inf\"} 0"), "got {out}");
+        assert!(out.contains("h_us_sum 0"), "got {out}");
+        assert!(out.contains("h_us_count 0"), "got {out}");
     }
 
     #[test]
     fn stage_seconds_renders_every_stage_with_seconds_bounds() {
         let stages = StageTimes::default();
-        stages.record_us("simulate", 120); // le 250us = 0.00025s
-        stages.record_us("queue_wait", 9_999_999); // overflow
+        stages.record_us("simulate", 120); // 0.00012 s
+        stages.record_us("queue_wait", 9_999_999);
         let mut out = String::new();
         render_stage_seconds(&mut out, "sp_stage_seconds", "help.", &stages);
         assert!(
-            out.contains("sp_stage_seconds_bucket{stage=\"simulate\",le=\"0.0001\"} 0"),
-            "got {out}"
-        );
-        assert!(
-            out.contains("sp_stage_seconds_bucket{stage=\"simulate\",le=\"0.00025\"} 1"),
+            out.contains("sp_stage_seconds_bucket{stage=\"simulate\",le=\"0.00012\"} 1"),
             "got {out}"
         );
         assert!(
@@ -521,8 +693,33 @@ mod tests {
                 "missing stage {stage}"
             );
         }
-        // Exactly one bucket line per bound per stage.
-        let bucket_lines = out.matches("sp_stage_seconds_bucket{").count();
-        assert_eq!(bucket_lines, STAGES.len() * (LATENCY_BOUNDS_US.len() + 1));
+    }
+
+    #[test]
+    fn loadgen_body_reports_outcomes_and_rates() {
+        let (lat, offered) = loadgen_totals();
+        let body = render_loadgen(&LoadgenSnapshot {
+            mode: "closed",
+            offered,
+            ok: 2,
+            busy: 1,
+            timeouts: 0,
+            errors: 0,
+            offered_rate: 0.0,
+            achieved_rate: 42.5,
+            latency: &lat,
+        });
+        assert!(
+            body.contains("sp_loadgen_requests_total{outcome=\"ok\"} 2"),
+            "got {body}"
+        );
+        assert!(
+            body.contains("sp_loadgen_requests_total{outcome=\"busy\"} 1"),
+            "got {body}"
+        );
+        assert!(body.contains("sp_loadgen_open_loop 0"), "got {body}");
+        assert!(body.contains("sp_loadgen_achieved_rate 42.5"), "got {body}");
+        assert!(body.contains("sp_loadgen_latency_us_count 2"), "got {body}");
+        assert!(body.contains("sp_build_info{version="), "got {body}");
     }
 }

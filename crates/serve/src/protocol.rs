@@ -422,6 +422,18 @@ pub fn ok_response(id: &Option<Json>, cached: bool, micros: u64, result: &str) -
     )
 }
 
+/// Splice a `"corr":"cN"` field into an encoded reply object, right
+/// after the opening brace. The daemon applies this to **every** reply
+/// so clients can join a slow response against the access log and
+/// `spt trace` spans by correlation ID. Non-object payloads (there are
+/// none on the reply path) pass through untouched.
+pub fn with_corr(reply: &str, corr: sp_obs::CorrId) -> String {
+    match reply.strip_prefix('{') {
+        Some(rest) if !rest.starts_with('}') => format!("{{\"corr\":\"{corr}\",{rest}"),
+        _ => reply.to_string(),
+    }
+}
+
 /// Encode an error envelope.
 pub fn error_response(id: &Option<Json>, error: &str, detail: &str) -> String {
     Json::obj()
@@ -673,5 +685,21 @@ mod tests {
         assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
         assert_eq!(v.get("error").and_then(Json::as_str), Some("busy"));
         assert_eq!(v.get("id"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn with_corr_splices_into_both_envelopes() {
+        let corr = sp_obs::CorrId::next_root();
+        let tag = format!("{corr}");
+        let ok = with_corr(&ok_response(&None, false, 9, "{\"x\":1}"), corr);
+        let v = Json::parse(&ok).unwrap();
+        assert_eq!(v.get("corr").and_then(Json::as_str), Some(tag.as_str()));
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        let err = with_corr(&error_response(&None, "busy", "full"), corr);
+        let v = Json::parse(&err).unwrap();
+        assert_eq!(v.get("corr").and_then(Json::as_str), Some(tag.as_str()));
+        // Non-object payloads pass through untouched.
+        assert_eq!(with_corr("plain", corr), "plain");
+        assert_eq!(with_corr("{}", corr), "{}");
     }
 }

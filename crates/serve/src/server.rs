@@ -27,8 +27,8 @@
 use crate::cache::ResultCache;
 use crate::engine::SimEngine;
 use crate::json::Json;
-use crate::metrics::{Metrics, StageTimes};
-use crate::protocol::{error_response, ok_response, Command, Request};
+use crate::metrics::{hist_rows_json, hist_summary_json, Metrics, StageTimes};
+use crate::protocol::{error_response, ok_response, with_corr, Command, Request};
 use sp_obs::CorrId;
 use sp_runner::{SubmitError, WorkerPool};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
@@ -320,6 +320,10 @@ fn serve_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
         let _sp = sp_obs::span!("request");
         serve_request(shared, line, start, &mut ctx)
     };
+    // Echo the correlation ID in every reply so clients (loadgen slow-
+    // request exemplars in particular) can join replies against the
+    // access log and `spt trace` spans.
+    let reply = with_corr(&reply, corr);
     let total_us = start.elapsed().as_micros() as u64;
     shared.metrics.latency.record(total_us);
     fold_stages();
@@ -551,5 +555,6 @@ fn stats_json(shared: &Shared) -> Json {
                 .push("panicked", Json::num(shared.pool.panicked() as f64))
                 .push("utilization", Json::num(report.utilization())),
         )
-        .push("latency_us", shared.metrics.latency.to_json())
+        .push("latency_us", hist_rows_json(&shared.metrics.latency))
+        .push("latency", hist_summary_json(&shared.metrics.latency))
 }
